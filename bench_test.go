@@ -1,0 +1,350 @@
+package zenspec
+
+// The benchmark harness: one testing.B benchmark per table and figure in
+// the paper's evaluation. Each benchmark regenerates its experiment and
+// reports the headline quantities via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the full paper-vs-measured series. Absolute cycle values are
+// simulator cycles; the claims under reproduction are orderings and ratios
+// (see EXPERIMENTS.md).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"zenspec/internal/attack"
+	"zenspec/internal/kernel"
+	"zenspec/internal/predict"
+	"zenspec/internal/revng"
+	"zenspec/internal/workload"
+)
+
+// BenchmarkFig2ExecutionTypes regenerates the Fig 2 execution-type analysis
+// and reports the mean cycles of the fast (H), stall (E) and rollback (G)
+// levels.
+func BenchmarkFig2ExecutionTypes(b *testing.B) {
+	var res revng.Fig2Result
+	for i := 0; i < b.N; i++ {
+		res = Fig2(Config{Seed: 42})
+	}
+	for _, row := range res.Rows {
+		b.ReportMetric(float64(row.MeanCycles), "cycles/"+row.Type.String())
+	}
+	b.ReportMetric(100*res.TimingAgree, "timing-agreement-%")
+}
+
+// BenchmarkTable1StateMachine reports the fraction of random-sequence steps
+// the TABLE I model explains (paper: >99.8%).
+func BenchmarkTable1StateMachine(b *testing.B) {
+	var res revng.Table1Result
+	for i := 0; i < b.N; i++ {
+		res = Table1(Config{Seed: 42}, 20, 48, 7)
+	}
+	b.ReportMetric(100*res.MatchRate, "match-%")
+}
+
+// BenchmarkTable2CounterOrganization reports the dependence matrix as 0/1
+// metrics (store-IPA and load-IPA selection per counter).
+func BenchmarkTable2CounterOrganization(b *testing.B) {
+	var res revng.Table2Result
+	for i := 0; i < b.N; i++ {
+		res = Table2(Config{Seed: 42})
+	}
+	for _, row := range res.Rows {
+		v := 0.0
+		if row.DependsOnStore {
+			v = 1
+		}
+		b.ReportMetric(v, row.Counter+"-store-dep")
+		v = 0
+		if row.DependsOnLoad {
+			v = 1
+		}
+		b.ReportMetric(v, row.Counter+"-load-dep")
+	}
+}
+
+// BenchmarkFig4HashCharacteristics reports the fraction of mined colliding
+// pairs satisfying the stride-12 XOR property (paper: all).
+func BenchmarkFig4HashCharacteristics(b *testing.B) {
+	var res revng.Fig4Result
+	for i := 0; i < b.N; i++ {
+		res = Fig4(Config{Seed: 42}, 4)
+	}
+	b.ReportMetric(float64(res.Pairs), "pairs")
+	b.ReportMetric(float64(res.StrideXORok), "stride12-ok")
+}
+
+// BenchmarkFig5EvictionRate reports the eviction rates at the paper's
+// inflection points: PSFP 11 vs 12, SSBP 16 and 32.
+func BenchmarkFig5EvictionRate(b *testing.B) {
+	var res revng.Fig5Result
+	for i := 0; i < b.N; i++ {
+		res = Fig5(Config{Seed: 42}, []int{11, 12, 16, 32}, 10)
+	}
+	get := func(ps []revng.EvictionPoint, size int) float64 {
+		for _, p := range ps {
+			if p.SetSize == size {
+				return 100 * p.Rate
+			}
+		}
+		return -1
+	}
+	b.ReportMetric(get(res.PSFP, 11), "psfp-evict-%@11")
+	b.ReportMetric(get(res.PSFP, 12), "psfp-evict-%@12")
+	b.ReportMetric(get(res.SSBP, 16), "ssbp-evict-%@16")
+	b.ReportMetric(get(res.SSBP, 32), "ssbp-evict-%@32")
+}
+
+// BenchmarkFig7CollisionFinding reports the SSBP collision-search attempt
+// statistics (paper: Gaussian around ~2200, bound 4096) and PSFP distance
+// dependence.
+func BenchmarkFig7CollisionFinding(b *testing.B) {
+	var res revng.Fig7Result
+	for i := 0; i < b.N; i++ {
+		res = Fig7(Config{Seed: 42}, 6, 2)
+	}
+	b.ReportMetric(res.SSBPMean, "ssbp-mean-attempts")
+	b.ReportMetric(float64(res.PSFPSameDistanceFound)/float64(res.PSFPSameDistanceTried), "psfp-same-dist-rate")
+	b.ReportMetric(float64(res.PSFPDiffDistanceFound)/float64(res.PSFPDiffDistanceTried), "psfp-diff-dist-rate")
+}
+
+// BenchmarkIsolationMatrix reports Vulnerability 1: SSBP leak rate across
+// domains vs PSFP (Section IV-A).
+func BenchmarkIsolationMatrix(b *testing.B) {
+	var res revng.IsolationResult
+	for i := 0; i < b.N; i++ {
+		res = Isolation(Config{Seed: 42})
+	}
+	ssbpLeaks, psfpLeaks, ssbpTotal, psfpTotal := 0, 0, 0, 0
+	for _, row := range res.Rows {
+		if row.Predictor == "SSBP" {
+			ssbpTotal++
+			if row.Leaked {
+				ssbpLeaks++
+			}
+		} else {
+			psfpTotal++
+			if row.Leaked {
+				psfpLeaks++
+			}
+		}
+	}
+	b.ReportMetric(100*float64(ssbpLeaks)/float64(ssbpTotal), "ssbp-leak-%")
+	b.ReportMetric(100*float64(psfpLeaks)/float64(psfpTotal), "psfp-leak-%")
+}
+
+func benchSecret(n int) []byte {
+	r := rand.New(rand.NewSource(1234))
+	s := make([]byte, n)
+	r.Read(s)
+	return s
+}
+
+// BenchmarkSpectreSTL reports the out-of-place Spectre-STL accuracy and
+// bandwidth (paper: 99.95%, 416 B/s on silicon).
+func BenchmarkSpectreSTL(b *testing.B) {
+	var res AttackResult
+	for i := 0; i < b.N; i++ {
+		res = SpectreSTL(Config{Seed: 5}, benchSecret(64), STLOptions{})
+	}
+	b.ReportMetric(100*res.Accuracy, "accuracy-%")
+	b.ReportMetric(res.BytesPerSecond, "leak-B/s")
+	b.ReportMetric(float64(res.CollisionAttempts), "sliding-attempts")
+}
+
+// BenchmarkSpectreSTLInPlaceVsOutOfPlace quantifies the paper's Section V-B
+// comparison: victim executions per leaked byte for the classic in-place
+// training against the out-of-place collider.
+func BenchmarkSpectreSTLInPlaceVsOutOfPlace(b *testing.B) {
+	var in, out AttackResult
+	for i := 0; i < b.N; i++ {
+		in = SpectreSTLInPlace(Config{Seed: 5}, benchSecret(32))
+		out = SpectreSTL(Config{Seed: 5}, benchSecret(32), STLOptions{})
+	}
+	b.ReportMetric(float64(in.VictimCalls)/32, "inplace-victim-calls/B")
+	b.ReportMetric(float64(out.VictimCalls)/32, "outofplace-victim-calls/B")
+	b.ReportMetric(100*in.Accuracy, "inplace-acc-%")
+	b.ReportMetric(100*out.Accuracy, "outofplace-acc-%")
+}
+
+// BenchmarkSpectreCTL reports the Spectre-CTL accuracy and bandwidth
+// (paper: 99.97%, 384 B/s).
+func BenchmarkSpectreCTL(b *testing.B) {
+	var res AttackResult
+	for i := 0; i < b.N; i++ {
+		res = SpectreCTL(Config{Seed: 5}, benchSecret(24), CTLOptions{})
+	}
+	b.ReportMetric(100*res.Accuracy, "accuracy-%")
+	b.ReportMetric(res.BytesPerSecond, "leak-B/s")
+}
+
+// BenchmarkSpectreCTLBrowser reports the browser-timer variant (paper:
+// 81.1%, ~170 B/s).
+func BenchmarkSpectreCTLBrowser(b *testing.B) {
+	var res AttackResult
+	for i := 0; i < b.N; i++ {
+		res = SpectreCTLBrowser(Config{Seed: 5}, benchSecret(24))
+	}
+	b.ReportMetric(100*res.Accuracy, "accuracy-%")
+	b.ReportMetric(res.BytesPerSecond, "leak-B/s")
+}
+
+// BenchmarkFig11Fingerprint reports the CNN fingerprinting SVM accuracy
+// (paper: >95.5%).
+func BenchmarkFig11Fingerprint(b *testing.B) {
+	var res attack.FingerprintResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = Fingerprint(Config{}, FingerprintOptions{
+			ScanRange: 128, Rounds: 14, TrainSamples: 9, TestSamples: 4, Seed: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.Accuracy, "svm-accuracy-%")
+}
+
+// BenchmarkFig12SSBDOverhead reports the per-benchmark SSBD overhead
+// percentages (paper: >20% on perlbench and exchange2).
+func BenchmarkFig12SSBDOverhead(b *testing.B) {
+	var res workload.SSBDOverheadResult
+	for i := 0; i < b.N; i++ {
+		res = SSBDOverhead(Config{Seed: 1})
+	}
+	for _, row := range res.Rows {
+		b.ReportMetric(100*row.OverheadFrac, row.Name+"-overhead-%")
+	}
+}
+
+// BenchmarkTable4MDUComparison contrasts the disambiguator designs: how many
+// non-aliasing executions each needs before it first allows a bypass
+// (training latency), run through the bare predictor models.
+func BenchmarkTable4MDUComparison(b *testing.B) {
+	designs := []predict.Disambiguator{
+		predict.NewIntelMDU(),
+		predict.NewARMMDU(),
+		predict.NewUnit(predict.Config{Seed: 1}),
+	}
+	q := predict.Query{StoreIPA: 0x1000, LoadIPA: 0x1008, StoreIVA: 0x1000, LoadIVA: 0x1008}
+	for i := 0; i < b.N; i++ {
+		for _, d := range designs {
+			d.FlushPredictor()
+		}
+	}
+	for _, d := range designs {
+		// Train to the aliasing-predicted state, then count non-aliasing
+		// executions until bypass.
+		d.Verify(q, true)
+		runs := 0
+		for !func() bool { p := d.Predict(q); return !p.Aliasing }() && runs < 64 {
+			d.Verify(q, false)
+			runs++
+		}
+		b.ReportMetric(float64(runs), d.Name()+"-drain-runs")
+	}
+}
+
+// BenchmarkSMTMode reports the Section III-D3 PSFP eviction thresholds in
+// SMT and single-thread mode (paper: unchanged, i.e. duplicated resources).
+func BenchmarkSMTMode(b *testing.B) {
+	var res revng.SMTModeResult
+	for i := 0; i < b.N; i++ {
+		res = SMTMode(Config{Seed: 42})
+	}
+	b.ReportMetric(float64(res.SMTThreshold), "smt-threshold")
+	b.ReportMetric(float64(res.SingleThreshold), "single-threshold")
+}
+
+// BenchmarkAddrLeak reports the Section V-D address-relation leak success
+// rate.
+func BenchmarkAddrLeak(b *testing.B) {
+	var res revng.AddrLeakResult
+	for i := 0; i < b.N; i++ {
+		res = AddrLeak(Config{Seed: 42}, 5)
+	}
+	b.ReportMetric(float64(res.Pages), "page-pairs")
+	b.ReportMetric(float64(res.Recovered), "recovered")
+}
+
+// BenchmarkAblationPSFPSize sweeps the PSFP capacity design parameter and
+// reports the eviction threshold each value produces.
+func BenchmarkAblationPSFPSize(b *testing.B) {
+	var points []revng.AblationPoint
+	for i := 0; i < b.N; i++ {
+		points = PSFPSizeAblation(Config{Seed: 42}, []int{4, 8, 12, 16, 24})
+	}
+	for _, p := range points {
+		b.ReportMetric(float64(p.Threshold), fmt.Sprintf("threshold@size%d", p.Value))
+	}
+}
+
+// BenchmarkAblationRollbackPenalty sweeps the rollback penalty and reports
+// the type-G execution time — the knob behind Fig 2's ">240 cycles".
+func BenchmarkAblationRollbackPenalty(b *testing.B) {
+	penalties := []int{50, 100, 200, 400}
+	var gTimes []float64
+	for i := 0; i < b.N; i++ {
+		gTimes = gTimes[:0]
+		for _, pen := range penalties {
+			kcfg := Config{Seed: 42}.kernelConfig()
+			kcfg.Pipeline.RollbackPenalty = pen
+			l := revng.NewLab(kcfg)
+			s := l.PlaceStld()
+			ob := s.Run(true) // first aliasing run: type G
+			gTimes = append(gTimes, float64(ob.Cycles))
+		}
+	}
+	for i, pen := range penalties {
+		b.ReportMetric(gTimes[i], fmt.Sprintf("G-cycles@penalty%d", pen))
+	}
+}
+
+// BenchmarkMitigationAblation reports attack accuracy under each defense
+// (Section VI): SSBD stops everything, PSFD stops nothing, and each VI-B
+// sketch kills its attack class.
+func BenchmarkMitigationAblation(b *testing.B) {
+	secret := benchSecret(8)
+	type cell struct {
+		name string
+		acc  float64
+	}
+	var cells []cell
+	for i := 0; i < b.N; i++ {
+		cells = cells[:0]
+		cells = append(cells,
+			cell{"baseline-stl", SpectreSTL(Config{Seed: 5}, secret, STLOptions{}).Accuracy},
+			cell{"ssbd-stl", SpectreSTL(Config{Seed: 5, SSBD: true}, secret, STLOptions{}).Accuracy},
+			cell{"psfd-stl", SpectreSTL(Config{Seed: 5, PSFD: true}, secret, STLOptions{}).Accuracy},
+			cell{"securetimer-stl", SpectreSTL(Config{Seed: 5, TimerQuantum: 4096}, secret, STLOptions{}).Accuracy},
+			cell{"baseline-ctl", SpectreCTL(Config{Seed: 5}, secret, CTLOptions{Sweeps: 1}).Accuracy},
+			cell{"ssbd-ctl", SpectreCTL(Config{Seed: 5, SSBD: true}, secret, CTLOptions{Sweeps: 1}).Accuracy},
+			cell{"flushssbp-ctl", SpectreCTL(Config{Seed: 5, FlushSSBPOnSwitch: true}, secret, CTLOptions{Sweeps: 1}).Accuracy},
+			cell{"rotatesalt-ctl", SpectreCTL(Config{Seed: 5, RotateSalt: true}, secret,
+				CTLOptions{Sweeps: 1, VictimDomain: kernel.DomainKernel}).Accuracy},
+		)
+	}
+	for _, c := range cells {
+		b.ReportMetric(100*c.acc, c.name+"-acc-%")
+	}
+}
+
+// BenchmarkSandboxEscape reports the browser-model escape: bytes leaked from
+// renderer memory by sandboxed (masked, flush-free, coarse-timed) code, and
+// the JIT-compilation cost of the in-browser collision search.
+func BenchmarkSandboxEscape(b *testing.B) {
+	var correct, probes int
+	for i := 0; i < b.N; i++ {
+		res, err := SandboxEscape(Config{Seed: 5}, []byte{0x5e, 0xc1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		correct, probes = res.Correct, res.ProbesCompiled
+	}
+	b.ReportMetric(float64(correct)/2*100, "leak-%")
+	b.ReportMetric(float64(probes), "modules-compiled")
+}

@@ -1,0 +1,28 @@
+// Command ssbd regenerates Fig 12: the performance cost of Speculative
+// Store Bypass Disable across the SPECrate-like kernels, with ASCII bars.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"zenspec"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	res := zenspec.SSBDOverhead(zenspec.Config{Seed: *seed})
+	fmt.Print(res)
+	fmt.Println()
+	fmt.Println("overhead (each # = 1%):")
+	for _, row := range res.Rows {
+		bars := int(row.OverheadFrac*100 + 0.5)
+		if bars < 0 {
+			bars = 0
+		}
+		fmt.Printf("%-12s %5.1f%% %s\n", row.Name, 100*row.OverheadFrac, strings.Repeat("#", bars))
+	}
+}

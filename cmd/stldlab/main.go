@@ -1,0 +1,45 @@
+// Command stldlab runs the paper's φ notation interactively: it executes a
+// sequence of aliasing (a) and non-aliasing (n) store-load pairs on the
+// simulated machine and prints each execution's cycles, timing class and
+// ground-truth type, plus the final predictor counters.
+//
+// Usage:
+//
+//	stldlab -seq "7n 1a 7n 1a 7n 1a" [-seed 42] [-ssbd]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"zenspec"
+)
+
+func main() {
+	seq := flag.String("seq", "7n 1a 7n 1a 7n 1a 32n", "stld sequence, e.g. \"7n 1a\"")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	ssbd := flag.Bool("ssbd", false, "enable Speculative Store Bypass Disable")
+	flag.Parse()
+
+	inputs, err := zenspec.ParseSeq(*seq)
+	if err != nil {
+		log.Fatalf("stldlab: %v", err)
+	}
+	l := zenspec.NewLab(zenspec.Config{Seed: *seed, SSBD: *ssbd})
+	s := l.PlaceStld()
+	fmt.Printf("stld placed: store IPA %#x (hash %#x), load IPA %#x (hash %#x)\n",
+		s.StoreIPA, s.StoreHash, s.LoadIPA, s.LoadHash)
+	fmt.Printf("%-5s %-6s %8s %-9s %-5s\n", "step", "input", "cycles", "class", "type")
+	for i, aliasing := range inputs {
+		in := "n"
+		if aliasing {
+			in = "a"
+		}
+		ob := s.Run(aliasing)
+		fmt.Printf("%-5d %-6s %8d %-9s %-5s\n", i, in, ob.Cycles, ob.Class, ob.TrueType)
+	}
+	c := s.Counters()
+	fmt.Printf("final counters: C0=%d C1=%d C2=%d C3=%d C4=%d (state %s)\n",
+		c.C0, c.C1, c.C2, c.C3, c.C4, c.State())
+}

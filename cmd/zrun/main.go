@@ -1,0 +1,156 @@
+// Command zrun assembles a text program and runs it on the simulated
+// machine, printing the final registers, cycle count and any store-load
+// speculation events — a workbench for building new gadgets.
+//
+// Usage:
+//
+//	zrun -file prog.s [-regs "rdi=0x10000,rsi=0x10000"] [-data 0x10000:16384] [-ssbd]
+//	echo 'movi rax, 42
+//	halt' | zrun
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"zenspec"
+)
+
+const entryVA = 0x400000
+
+func main() {
+	file := flag.String("file", "", "assembly source (default: stdin)")
+	regSpec := flag.String("regs", "", "initial registers, e.g. \"rdi=0x10000,rsi=42\"")
+	dataSpec := flag.String("data", "0x10000:65536", "data mapping addr:bytes, comma separated")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	ssbd := flag.Bool("ssbd", false, "enable SSBD")
+	trace := flag.Bool("trace", false, "print store-load speculation events")
+	itrace := flag.Bool("itrace", false, "print the full instruction trace (architectural and transient)")
+	disasm := flag.Bool("d", false, "print the disassembly before running")
+	scan := flag.Bool("scan", false, "scan the program for speculative store-bypass gadgets")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	if *file == "" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(*file)
+	}
+	if err != nil {
+		log.Fatalf("zrun: %v", err)
+	}
+	code, err := zenspec.Assemble(string(src), entryVA)
+	if err != nil {
+		log.Fatalf("zrun: %v", err)
+	}
+	if *disasm {
+		for _, line := range zenspec.Disassemble(code, entryVA) {
+			fmt.Println(line)
+		}
+		fmt.Println()
+	}
+	if *scan {
+		cands := zenspec.ScanGadgets(code)
+		if len(cands) == 0 {
+			fmt.Println("gadget scan: no speculative store-bypass candidates")
+		}
+		for _, c := range cands {
+			fmt.Println("gadget scan:", c)
+		}
+		fmt.Println()
+	}
+
+	m := zenspec.NewMachine(zenspec.Config{Seed: *seed, SSBD: *ssbd})
+	p := m.NewProcess("zrun", zenspec.DomainUser)
+	p.MapCode(entryVA, code)
+	for _, spec := range strings.Split(*dataSpec, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		parts := strings.SplitN(spec, ":", 2)
+		addr, err := strconv.ParseUint(parts[0], 0, 64)
+		if err != nil {
+			log.Fatalf("zrun: bad data address %q", parts[0])
+		}
+		size := uint64(4096)
+		if len(parts) == 2 {
+			size, err = strconv.ParseUint(parts[1], 0, 64)
+			if err != nil {
+				log.Fatalf("zrun: bad data size %q", parts[1])
+			}
+		}
+		p.MapData(addr, size)
+	}
+	if err := setRegs(p, *regSpec); err != nil {
+		log.Fatalf("zrun: %v", err)
+	}
+	if *itrace {
+		m.CPU(0).Core.SetTracer(func(e zenspec.TraceEntry) {
+			mark := " "
+			if e.Transient {
+				mark = "~" // wrong-path execution
+			}
+			fmt.Printf("%s %#08x  %-28s retired-by %d\n", mark, e.PC, e.Inst, e.RetiredBy)
+		})
+	}
+
+	res := m.Run(p, entryVA, 0)
+	fmt.Printf("stop: %v", res.Stop)
+	if res.Stop.String() == "fault" {
+		fmt.Printf(" (%v at %#x, pc %#x)", res.Fault, res.FaultVA, res.FaultPC)
+	}
+	fmt.Printf("   cycles: %d   instructions: %d\n", res.Cycles, res.Insts)
+	names := []string{"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+		"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15"}
+	for i, n := range names {
+		fmt.Printf("%-4s %#18x", n, p.Regs[i])
+		if i%2 == 1 {
+			fmt.Println()
+		} else {
+			fmt.Print("   ")
+		}
+	}
+	if *trace {
+		fmt.Println("\nstore-load speculation events:")
+		for _, ev := range res.Stlds {
+			transient := ""
+			if ev.Transient {
+				transient = " (transient)"
+			}
+			fmt.Printf("  type %v: store IPA %#x, load IPA %#x, store VA %#x, load VA %#x%s\n",
+				ev.Type, ev.StoreIPA, ev.LoadIPA, ev.StoreVA, ev.LoadVA, transient)
+		}
+	}
+}
+
+func setRegs(p *zenspec.Process, spec string) error {
+	if strings.TrimSpace(spec) == "" {
+		return nil
+	}
+	idx := map[string]int{"rax": 0, "rcx": 1, "rdx": 2, "rbx": 3, "rsp": 4,
+		"rbp": 5, "rsi": 6, "rdi": 7, "r8": 8, "r9": 9, "r10": 10, "r11": 11,
+		"r12": 12, "r13": 13, "r14": 14, "r15": 15}
+	for _, kv := range strings.Split(spec, ",") {
+		parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad register assignment %q", kv)
+		}
+		i, ok := idx[strings.ToLower(parts[0])]
+		if !ok {
+			return fmt.Errorf("unknown register %q", parts[0])
+		}
+		v, err := strconv.ParseUint(parts[1], 0, 64)
+		if err != nil {
+			return fmt.Errorf("bad value %q", parts[1])
+		}
+		p.Regs[i] = v
+	}
+	return nil
+}

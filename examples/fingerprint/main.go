@@ -1,0 +1,50 @@
+// Fingerprint: identify which CNN model a victim process is running —
+// without reading any of its memory — purely from the distribution of C3
+// values its store-load behaviour leaves in SSBP (Fig 11).
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"zenspec"
+)
+
+func main() {
+	fmt.Println("Collecting SSBP fingerprints for six CNN models")
+	fmt.Println("(each sample: victim timeslices interleaved with full entry scans)...")
+	fmt.Println()
+
+	res, err := zenspec.Fingerprint(zenspec.Config{}, zenspec.FingerprintOptions{
+		ScanRange: 128, Rounds: 14, TrainSamples: 9, TestSamples: 4, Seed: 2,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	var names []string
+	for n := range res.MeanVectors {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Println("mean rate of observed C3 values per scan round (values 1..10):")
+	fmt.Printf("%-11s", "model")
+	for v := 1; v <= 10; v++ {
+		fmt.Printf(" %5d", v)
+	}
+	fmt.Println()
+	for _, n := range names {
+		fmt.Printf("%-11s", n)
+		for v := 1; v <= 10; v++ {
+			fmt.Printf(" %5.2f", res.MeanVectors[n][v-1])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Printf("SVM accuracy on held-out samples: %.1f%% (the paper: >95.5%%)\n", 100*res.Accuracy)
+	fmt.Println()
+	fmt.Println("Each model's layer mix drains the predictor differently, so the")
+	fmt.Println("residual counter values form a signature — readable by any process")
+	fmt.Println("on the core, because SSBP survives context switches.")
+}

@@ -1,0 +1,3 @@
+module zenspec
+
+go 1.22

@@ -1,0 +1,36 @@
+package asm
+
+import "testing"
+
+// FuzzParse: the text assembler never panics on arbitrary input, and
+// whatever it accepts must assemble.
+func FuzzParse(f *testing.F) {
+	f.Add("movi rax, 42\nhalt")
+	f.Add("loop:\nsub rcx, rcx, 1\njnz rcx, loop")
+	f.Add("load rax, [rsi+8]\nstore [rdi-8], rax")
+	f.Add("; comment only")
+	f.Add("bogus garbage !!!")
+	f.Add("movi rax 42")
+	f.Add("jmp")
+	f.Fuzz(func(t *testing.T, src string) {
+		b, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if _, err := b.Assemble(0x400000); err != nil {
+			// Undefined labels are the one legitimate assemble-time error.
+			if !contains(err.Error(), "label") {
+				t.Fatalf("accepted source failed to assemble: %v", err)
+			}
+		}
+	})
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,91 @@
+// Package attack implements the paper's Section V exploits against the
+// simulated machine: the out-of-place Spectre-STL attack (PSFP), the
+// Spectre-CTL attack (SSBP, including the cross-process and browser
+// variants), and the SSBP process-fingerprinting side channel.
+package attack
+
+import (
+	"fmt"
+	"sort"
+
+	"zenspec/internal/revng"
+)
+
+// NominalGHz converts simulated cycles to wall-clock seconds for bandwidth
+// reporting; the paper's machines run at roughly this clock.
+const NominalGHz = 4.0
+
+// CyclesToSeconds converts simulated cycles to seconds at the nominal clock.
+func CyclesToSeconds(cycles int64) float64 {
+	return float64(cycles) / (NominalGHz * 1e9)
+}
+
+// Result summarizes a leak attack run.
+type Result struct {
+	Name     string
+	Secret   []byte
+	Leaked   []byte
+	Bytes    int
+	Correct  int
+	Accuracy float64
+	Cycles   int64 // total simulated cycles spent by the attack
+	// BytesPerSecond is the leak bandwidth at the nominal 4 GHz clock.
+	BytesPerSecond float64
+	// CollisionAttempts is the code-sliding cost paid during setup.
+	CollisionAttempts int
+	// VictimCalls counts victim executions — the axis on which the paper
+	// contrasts in-place training ("a lot of" victim runs per byte) with
+	// out-of-place training (one victim run per byte).
+	VictimCalls int
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s: leaked %d/%d bytes (%.2f%% accuracy), %.0f B/s at %.0f GHz (setup: %d sliding attempts; %d victim calls)",
+		r.Name, r.Correct, r.Bytes, 100*r.Accuracy, r.BytesPerSecond, NominalGHz, r.CollisionAttempts, r.VictimCalls)
+}
+
+func finalize(r *Result) {
+	r.Bytes = len(r.Secret)
+	for i := range r.Secret {
+		if i < len(r.Leaked) && r.Leaked[i] == r.Secret[i] {
+			r.Correct++
+		}
+	}
+	if r.Bytes > 0 {
+		r.Accuracy = float64(r.Correct) / float64(r.Bytes)
+	}
+	if sec := CyclesToSeconds(r.Cycles); sec > 0 {
+		r.BytesPerSecond = float64(r.Bytes) / sec
+	}
+}
+
+// drainUntilFast runs non-aliasing executions of s until the timing class
+// reads fast twice in a row (C3 of the shared entry drained to zero), or
+// maxRuns is exhausted. It returns the number of runs used.
+func drainUntilFast(s *revng.Stld, maxRuns int) int {
+	fast := 0
+	for i := 0; i < maxRuns; i++ {
+		if s.Run(false).Class == revng.ClassFast {
+			fast++
+			if fast >= 2 {
+				return i + 1
+			}
+		} else {
+			fast = 0
+		}
+	}
+	return maxRuns
+}
+
+// medianCycles takes n timing readings of s (non-aliasing runs) and returns
+// the median — the amplification primitive noisy-timer attackers rely on.
+// Readings are destructive (each stall drains one C3 step), so n must stay
+// well below the trained C3 value of 15.
+func medianCycles(s *revng.Stld, n int) uint64 {
+	v := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		v = append(v, s.Run(false).Cycles)
+	}
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	return v[len(v)/2]
+}

@@ -1,0 +1,185 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"zenspec/internal/kernel"
+	"zenspec/internal/mem"
+	"zenspec/internal/ml"
+	"zenspec/internal/revng"
+	"zenspec/internal/workload"
+)
+
+// FingerprintOptions configures the Fig 11 experiment.
+type FingerprintOptions struct {
+	// ScanRange is how many SSBP hash values the attacker traverses per
+	// probe round. The paper scans all 4096; tests shrink the range (victim
+	// sites are placed inside it, which only relabels hash values).
+	ScanRange int
+	// Rounds is the number of victim-quantum / scan cycles aggregated into
+	// one fingerprint vector.
+	Rounds int
+	// TrainSamples and TestSamples are per model.
+	TrainSamples, TestSamples int
+	Seed                      int64
+}
+
+func (o FingerprintOptions) withDefaults() FingerprintOptions {
+	if o.ScanRange == 0 {
+		o.ScanRange = 4096
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 6
+	}
+	if o.TrainSamples == 0 {
+		o.TrainSamples = 10
+	}
+	if o.TestSamples == 0 {
+		o.TestSamples = 5
+	}
+	return o
+}
+
+// FingerprintVectorLen is the feature dimension: relative frequencies of
+// probed C3 values 1..35, as in the paper's 35-element vectors.
+const FingerprintVectorLen = 35
+
+// FingerprintResult is the Fig 11 reproduction.
+type FingerprintResult struct {
+	Models      []string
+	Accuracy    float64
+	MeanVectors map[string][]float64
+}
+
+func (r FingerprintResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig 11 — SSBP fingerprinting of CNN models: SVM accuracy %.1f%%\n", 100*r.Accuracy)
+	fmt.Fprintf(&sb, "%-11s", "model")
+	for v := 1; v <= 8; v++ {
+		fmt.Fprintf(&sb, " v%d=", v)
+	}
+	sb.WriteString(" (relative frequency of low C3 values)\n")
+	var names []string
+	for n := range r.MeanVectors {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&sb, "%-11s", n)
+		for v := 1; v <= 8; v++ {
+			fmt.Fprintf(&sb, " %.2f", r.MeanVectors[n][v-1])
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// fingerprintSample runs one victim model for `rounds` scheduling quanta on
+// a fresh machine, scanning the SSBP entry space after each quantum, and
+// returns the aggregated feature vector.
+func fingerprintSample(cfg kernel.Config, model workload.CNNModel, opts FingerprintOptions, seed int64) []float64 {
+	cfg.Seed = seed
+	l := revng.NewLab(cfg)
+	r := rand.New(rand.NewSource(seed * 2654435761))
+
+	// Victim: the model compiled as a real program — one loop per layer on
+	// hash-controlled pages (see fingerprint_victim.go) — run under the
+	// scheduler, whose preemptions flush PSFP so the SSBP signature can
+	// accumulate.
+	victim := l.K.NewProcess("cnn-"+model.Name, kernel.DomainUser)
+	victim.MapData(fpVictimData, 4*mem.PageSize)
+	victim.WarmLine(fpVictimData)
+	victim.WarmLine(fpVictimData + 0x800)
+	frameSeq := uint64(1 << 22)
+	entry, patBases, err := buildVictimProgram(l, victim, model, opts.ScanRange, r.Intn, &frameSeq)
+	if err != nil {
+		panic(err)
+	}
+
+	// Attacker: one prober per scanned hash value (the paper's attacker
+	// walks these with code sliding; direct placement is equivalent).
+	probes := make([]*revng.Stld, opts.ScanRange)
+	for h := range probes {
+		probes[h] = l.PlaceStldHash(uint16(4000+h%96), uint16(h))
+	}
+
+	hist := make([]float64, FingerprintVectorLen)
+	for round := 0; round < opts.Rounds; round++ {
+		// One victim pass with the round's aliasing pattern.
+		writePatterns(victim, model, patBases, model.AliasingSchedule(r))
+		if err := runVictimQuantum(l, victim, entry, 1500); err != nil {
+			panic(err)
+		}
+		// Attacker scan: read (destructively) the C3 value of every entry.
+		// Only genuine stall-band readings count — a first execution of a
+		// cold probe reads slightly slow (front-end misses) without meaning
+		// C3 > 0.
+		for _, probe := range probes {
+			stalls := 0
+			fast := 0
+			for i := 0; i < 40 && fast < 2; i++ {
+				switch probe.Run(false).Class {
+				case revng.ClassFast:
+					fast++
+				case revng.ClassStall, revng.ClassRollback:
+					fast = 0
+					stalls++
+				default: // forward band: front-end noise, ignore
+					fast = 0
+				}
+			}
+			if stalls >= 1 && stalls <= FingerprintVectorLen {
+				hist[stalls-1]++
+			}
+		}
+	}
+	// Per-round rates: how many entries per scan read each C3 value. Unlike
+	// a normalized distribution this also keeps the model's activity level
+	// (how many sites stay resident) as signal.
+	for i := range hist {
+		hist[i] /= float64(opts.Rounds)
+	}
+	return hist
+}
+
+// Fingerprint runs the full Fig 11 experiment: per-model fingerprint
+// samples, an SVM trained on the training split, and its accuracy on the
+// held-out split.
+func Fingerprint(cfg kernel.Config, opts FingerprintOptions) (FingerprintResult, error) {
+	opts = opts.withDefaults()
+	models := workload.CNNModels()
+	var res FingerprintResult
+	res.MeanVectors = make(map[string][]float64)
+
+	var trainX, testX [][]float64
+	var trainY, testY []int
+	for mi, model := range models {
+		res.Models = append(res.Models, model.Name)
+		mean := make([]float64, FingerprintVectorLen)
+		n := opts.TrainSamples + opts.TestSamples
+		for s := 0; s < n; s++ {
+			seed := opts.Seed + int64(mi*1000+s)*7 + 11
+			vec := fingerprintSample(cfg, model, opts, seed)
+			for i := range mean {
+				mean[i] += vec[i] / float64(n)
+			}
+			if s < opts.TrainSamples {
+				trainX = append(trainX, vec)
+				trainY = append(trainY, mi)
+			} else {
+				testX = append(testX, vec)
+				testY = append(testY, mi)
+			}
+		}
+		res.MeanVectors[model.Name] = mean
+	}
+	svm, err := ml.Train(trainX, trainY, len(models), ml.Options{Seed: opts.Seed})
+	if err != nil {
+		return res, err
+	}
+	res.Accuracy = svm.Accuracy(testX, testY)
+	return res, nil
+}

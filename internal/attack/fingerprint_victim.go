@@ -1,0 +1,147 @@
+package attack
+
+import (
+	"fmt"
+
+	"zenspec/internal/asm"
+	"zenspec/internal/isa"
+	"zenspec/internal/kernel"
+	"zenspec/internal/mem"
+	"zenspec/internal/predict"
+	"zenspec/internal/revng"
+	"zenspec/internal/workload"
+)
+
+// This file builds the Fig 11 victim as a real program: one loop per model
+// layer ("site"), each on its own pair of hash-controlled pages so the
+// site's load selects a chosen SSBP entry. The loop reads its aliasing
+// pattern for the round from a data array, runs the store-load pair with a
+// delayed store address, and chains into the next site. The program runs
+// under the kernel scheduler, whose preemptions flush PSFP — which is what
+// lets the SSBP signature accumulate.
+
+const (
+	fpVictimCode = 0x10000000
+	fpVictimData = 0x0a000000 // store/load data addresses
+	fpPatternVA  = 0x0b000000 // per-round aliasing patterns
+	fpSiteStride = 4 * mem.PageSize
+)
+
+// siteBuilder assembles one site's loop: pattern-driven store-load pairs
+// with a delayed store address, the STORE in the last slot of page 0 and
+// the LOAD in the first slot of page 1 (for hash-controlled placement),
+// chaining into the next site (or halting).
+func siteBuilder(runs int, patBase, next uint64) *asm.Builder {
+	b := asm.NewBuilder()
+	b.Movi(isa.R14, int32(runs))
+	b.Movi(isa.R11, int32(patBase))
+	b.Movi(isa.R12, 1)
+	b.Label("loop")
+	const bodyFixed = 14
+	pad := int(mem.PageSize)/isa.InstBytes - 3 - bodyFixed
+	for i := 0; i < pad; i++ {
+		b.Nop()
+	}
+	b.Load(isa.R10, isa.R11, 0)
+	b.Movi(isa.R13, 1)
+	b.Sub(isa.R13, isa.R13, isa.R10)
+	b.Shli(isa.R13, isa.R13, 11)
+	b.Add(isa.R13, isa.R13, isa.R15)
+	b.Mov(isa.RBX, isa.R15)
+	for i := 0; i < 7; i++ {
+		b.Imul(isa.RBX, isa.RBX, isa.R12)
+	}
+	b.Store(isa.RBX, 0, isa.R12)
+	b.Load(isa.R9, isa.R13, 0)
+	b.Addi(isa.R11, isa.R11, 8)
+	b.Subi(isa.R14, isa.R14, 1)
+	b.Jnz(isa.R14, "loop")
+	if next != 0 {
+		b.JmpAbs(next)
+	} else {
+		b.Halt()
+	}
+	return b
+}
+
+// buildVictimProgram maps the whole model as a chain of site loops in proc,
+// with each site's load hash drawn from [0, scanRange). It returns the
+// program entry and the per-site pattern bases.
+func buildVictimProgram(l *revng.Lab, proc *kernel.Process, m workload.CNNModel,
+	scanRange int, rnd func(int) int, frameSeq *uint64) (uint64, []uint64, error) {
+
+	sites := len(m.SiteAliasing)
+	patBases := make([]uint64, sites)
+	used := map[uint16]bool{}
+	proc.MapData(fpPatternVA, uint64(sites*64*8)+mem.PageSize)
+
+	for i := 0; i < sites; i++ {
+		patBases[i] = fpPatternVA + uint64(i*64*8)
+	}
+	// Build back to front so each site knows its successor's entry.
+	entries := make([]uint64, sites)
+	for i := range entries {
+		entries[i] = fpVictimCode + uint64(i)*fpSiteStride
+	}
+	for i := sites - 1; i >= 0; i-- {
+		next := uint64(0)
+		if i+1 < sites {
+			next = entries[i+1]
+		}
+		runs := m.SiteRuns[i%len(m.SiteRuns)]
+		b := siteBuilder(runs, patBases[i], next)
+		code, err := b.Assemble(entries[i])
+		if err != nil {
+			return 0, nil, err
+		}
+		// Hash-controlled frames: store ends page 0, load begins page 1.
+		var lh uint16
+		for {
+			lh = uint16(rnd(scanRange))
+			if !used[lh] {
+				used[lh] = true
+				break
+			}
+		}
+		sh := uint16(rnd(predict.HashEntries))
+		storeOffHash := predict.Hash48(mem.PageSize - isa.InstBytes)
+		f0 := revng.FrameWithHash(*frameSeq, sh^storeOffHash)
+		f1 := revng.FrameWithHash(*frameSeq+1, lh)
+		f2 := revng.FrameWithHash(*frameSeq+2, uint16(rnd(predict.HashEntries)))
+		*frameSeq += 3
+		if err := proc.MapCodeFrames(entries[i], code, []uint64{f0, f1, f2}); err != nil {
+			return 0, nil, err
+		}
+	}
+	return entries[0], patBases, nil
+}
+
+// writePatterns draws this round's aliasing bits into the pattern array.
+func writePatterns(proc *kernel.Process, m workload.CNNModel, patBases []uint64, sched [][]bool) {
+	for i, runs := range sched {
+		for j, aliasing := range runs {
+			v := uint64(0)
+			if aliasing {
+				v = 1
+			}
+			proc.Write64(patBases[i]+uint64(j*8), v)
+		}
+	}
+}
+
+// runVictimQuantum executes one full pass of the model under the scheduler,
+// preempted every `quantum` instructions.
+func runVictimQuantum(l *revng.Lab, proc *kernel.Process, entry uint64, quantum uint64) error {
+	sched := l.K.NewScheduler(0, quantum)
+	proc.Regs = [isa.NumRegs]uint64{}
+	proc.Regs[isa.R15] = fpVictimData
+	task := sched.Spawn(proc, entry)
+	if err := sched.Run(1 << 16); err != nil {
+		return err
+	}
+	if task.State != kernel.TaskDone {
+		return fmt.Errorf("attack: victim quantum ended %v (%v at %#x)",
+			task.State, task.Result.Fault, task.Result.FaultVA)
+	}
+	return nil
+}

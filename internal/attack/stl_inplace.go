@@ -1,0 +1,72 @@
+package attack
+
+import (
+	"zenspec/internal/isa"
+	"zenspec/internal/kernel"
+	"zenspec/internal/mem"
+	"zenspec/internal/revng"
+	"zenspec/internal/sidechannel"
+)
+
+// SpectreSTLInPlace is the baseline the paper improves on: classic
+// Spectre-STL, where the attacker trains PSFP by repeatedly executing the
+// victim function itself with aliasing inputs (idx = 0), instead of through
+// an out-of-place collider. Every byte costs a batch of victim executions —
+// the cost axis the paper's Section V-B contrasts — and the attack still
+// cannot cross a process boundary, since PSFP is flushed on every switch.
+func SpectreSTLInPlace(cfg kernel.Config, secret []byte) Result {
+	res := Result{Name: "in-place spectre-stl", Secret: secret}
+
+	l := revng.NewLab(cfg)
+	p := l.P
+	p.MapCode(stlVictimVA, buildSTLVictim())
+	p.MapData(stlArray1VA, mem.PageSize)
+	p.MapData(stlArray2VA, (stlStoreIdx+2)*mem.PageSize)
+	p.MapData(stlIdxVA, mem.PageSize)
+	p.MapData(stlSecretVA, uint64(len(secret))+mem.PageSize)
+	p.WriteBytes(stlSecretVA, secret)
+	fr := sidechannel.New(l.K, p, 0, stlArray2VA, 256, stlFRCodeVA)
+
+	start := l.K.CPU(0).Core.Cycle()
+	runVictim := func(x, idx uint64, flushIdx bool) {
+		res.VictimCalls++
+		p.Write64(stlIdxVA, idx)
+		p.WarmLine(stlArray2VA)
+		if flushIdx {
+			p.FlushLine(stlIdxVA)
+		} else {
+			p.WarmLine(stlIdxVA)
+		}
+		p.Regs = [isa.NumRegs]uint64{}
+		p.Regs[isa.RDI] = x
+		l.K.Run(p, stlVictimVA, 0)
+	}
+
+	exclude := map[int]bool{0: true}
+	for i := range secret {
+		v, ok := 0, false
+		for attempt := 0; attempt < 2 && !ok; attempt++ {
+			// In-place training: a context switch clears the (possibly
+			// blocked) PSFP entry, then aliasing victim executions retrain
+			// it until predictive forwarding is enabled — "a lot of
+			// victim_function" runs, in the paper's words.
+			l.Tick()
+			p.Write64(stlArray2VA, 0)
+			for j := 0; j < 7; j++ {
+				runVictim(0, 0, false) // idx=0: store aliases ld1
+			}
+			fr.FlushAll()
+			p.Write64(stlArray2VA, 0)
+			x := stlSecretVA + uint64(i) - stlArray1VA
+			runVictim(x, stlStoreIdx, true)
+			v, ok = fr.Recover(exclude)
+		}
+		if !ok {
+			v = 0
+		}
+		res.Leaked = append(res.Leaked, byte(v))
+	}
+	res.Cycles = l.K.CPU(0).Core.Cycle() - start
+	finalize(&res)
+	return res
+}

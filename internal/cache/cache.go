@@ -1,0 +1,292 @@
+// Package cache models a three-level set-associative data cache hierarchy.
+//
+// The hierarchy tracks only line presence and recency — data always lives in
+// physical memory — which is all that timing attacks such as Flush+Reload
+// observe. Latencies are configurable per level; the defaults approximate a
+// Zen 3 core (L1 4 cycles, L2 12, L3 40, DRAM 200).
+package cache
+
+import "fmt"
+
+// LineShift is log2 of the cache line size (64-byte lines).
+const LineShift = 6
+
+// LineSize is the cache line size in bytes.
+const LineSize = 1 << LineShift
+
+// LineOf returns the line address (physical address with the offset bits
+// cleared) containing pa.
+func LineOf(pa uint64) uint64 { return pa >> LineShift << LineShift }
+
+// Level identifies where an access hit.
+type Level uint8
+
+// Hit levels.
+const (
+	L1 Level = iota
+	L2
+	L3
+	Memory
+)
+
+func (l Level) String() string {
+	switch l {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case L3:
+		return "L3"
+	case Memory:
+		return "memory"
+	}
+	return "level?"
+}
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	Sets    int
+	Ways    int
+	Latency int
+}
+
+// Config describes the hierarchy.
+type Config struct {
+	L1, L2, L3 LevelConfig
+	// MemLatency is the DRAM access latency in cycles.
+	MemLatency int
+}
+
+// DefaultConfig approximates a Zen 3 data-cache hierarchy (32 KiB L1,
+// 512 KiB L2, 2 MiB of L3 slice).
+func DefaultConfig() Config {
+	return Config{
+		L1:         LevelConfig{Sets: 64, Ways: 8, Latency: 4},
+		L2:         LevelConfig{Sets: 1024, Ways: 8, Latency: 12},
+		L3:         LevelConfig{Sets: 4096, Ways: 8, Latency: 40},
+		MemLatency: 200,
+	}
+}
+
+// set is one associative set; lines are ordered most-recently-used first.
+type set struct {
+	lines []uint64
+}
+
+func (s *set) find(line uint64) int {
+	for i, l := range s.lines {
+		if l == line {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s *set) touch(i int) {
+	line := s.lines[i]
+	copy(s.lines[1:i+1], s.lines[:i])
+	s.lines[0] = line
+}
+
+// insert adds line as MRU, evicting the LRU line if the set is full.
+// It returns the evicted line and whether an eviction happened.
+func (s *set) insert(line uint64, ways int) (uint64, bool) {
+	if len(s.lines) < ways {
+		s.lines = append(s.lines, 0)
+		copy(s.lines[1:], s.lines)
+		s.lines[0] = line
+		return 0, false
+	}
+	victim := s.lines[len(s.lines)-1]
+	copy(s.lines[1:], s.lines)
+	s.lines[0] = line
+	return victim, true
+}
+
+func (s *set) remove(line uint64) bool {
+	i := s.find(line)
+	if i < 0 {
+		return false
+	}
+	s.lines = append(s.lines[:i], s.lines[i+1:]...)
+	return true
+}
+
+// level is one cache level.
+type level struct {
+	cfg  LevelConfig
+	sets []set
+}
+
+func newLevel(cfg LevelConfig) *level {
+	return &level{cfg: cfg, sets: make([]set, cfg.Sets)}
+}
+
+func (l *level) setOf(line uint64) *set {
+	return &l.sets[(line>>LineShift)%uint64(l.cfg.Sets)]
+}
+
+func (l *level) lookup(line uint64) bool {
+	s := l.setOf(line)
+	i := s.find(line)
+	if i < 0 {
+		return false
+	}
+	s.touch(i)
+	return true
+}
+
+func (l *level) fill(line uint64) (uint64, bool) {
+	s := l.setOf(line)
+	if i := s.find(line); i >= 0 {
+		s.touch(i)
+		return 0, false
+	}
+	return s.insert(line, l.cfg.Ways)
+}
+
+func (l *level) invalidate(line uint64) bool { return l.setOf(line).remove(line) }
+
+func (l *level) flushAll() {
+	for i := range l.sets {
+		l.sets[i].lines = l.sets[i].lines[:0]
+	}
+}
+
+func (l *level) contains(line uint64) bool { return l.setOf(line).find(line) >= 0 }
+
+func (l *level) count() int {
+	n := 0
+	for i := range l.sets {
+		n += len(l.sets[i].lines)
+	}
+	return n
+}
+
+// Stats counts hierarchy events.
+type Stats struct {
+	Accesses uint64
+	L1Hits   uint64
+	L2Hits   uint64
+	L3Hits   uint64
+	Misses   uint64
+	Flushes  uint64
+}
+
+// Hierarchy is the three-level cache.
+type Hierarchy struct {
+	cfg   Config
+	l1    *level
+	l2    *level
+	l3    *level
+	stats Stats
+}
+
+// New returns an empty hierarchy.
+func New(cfg Config) *Hierarchy {
+	for _, lc := range []LevelConfig{cfg.L1, cfg.L2, cfg.L3} {
+		if lc.Sets <= 0 || lc.Ways <= 0 {
+			panic(fmt.Sprintf("cache: invalid level config %+v", lc))
+		}
+	}
+	return &Hierarchy{cfg: cfg, l1: newLevel(cfg.L1), l2: newLevel(cfg.L2), l3: newLevel(cfg.L3)}
+}
+
+// Access performs a load or store access to pa and returns the latency and
+// the level that served it. Misses fill all levels (mostly-inclusive).
+func (h *Hierarchy) Access(pa uint64) (int, Level) {
+	h.stats.Accesses++
+	line := LineOf(pa)
+	if h.l1.lookup(line) {
+		h.stats.L1Hits++
+		return h.cfg.L1.Latency, L1
+	}
+	if h.l2.lookup(line) {
+		h.stats.L2Hits++
+		h.l1.fill(line)
+		return h.cfg.L2.Latency, L2
+	}
+	if h.l3.lookup(line) {
+		h.stats.L3Hits++
+		h.l1.fill(line)
+		h.l2.fill(line)
+		return h.cfg.L3.Latency, L3
+	}
+	h.stats.Misses++
+	h.l1.fill(line)
+	h.l2.fill(line)
+	h.l3.fill(line)
+	return h.cfg.MemLatency, Memory
+}
+
+// Touch fills pa's line into all levels without recording an access; used to
+// warm caches deterministically in experiments.
+func (h *Hierarchy) Touch(pa uint64) {
+	line := LineOf(pa)
+	h.l1.fill(line)
+	h.l2.fill(line)
+	h.l3.fill(line)
+}
+
+// Flush removes pa's line from every level (CLFLUSH).
+func (h *Hierarchy) Flush(pa uint64) {
+	h.stats.Flushes++
+	line := LineOf(pa)
+	h.l1.invalidate(line)
+	h.l2.invalidate(line)
+	h.l3.invalidate(line)
+}
+
+// FlushAll empties the hierarchy.
+func (h *Hierarchy) FlushAll() {
+	h.l1.flushAll()
+	h.l2.flushAll()
+	h.l3.flushAll()
+}
+
+// Contains reports whether pa's line is present at the given level.
+func (h *Hierarchy) Contains(pa uint64, lvl Level) bool {
+	line := LineOf(pa)
+	switch lvl {
+	case L1:
+		return h.l1.contains(line)
+	case L2:
+		return h.l2.contains(line)
+	case L3:
+		return h.l3.contains(line)
+	}
+	return false
+}
+
+// Cached reports whether pa's line is present at any level.
+func (h *Hierarchy) Cached(pa uint64) bool {
+	line := LineOf(pa)
+	return h.l1.contains(line) || h.l2.contains(line) || h.l3.contains(line)
+}
+
+// HitLatency returns the latency an access to pa would observe right now,
+// without changing any state. Side-channel probes use Access; this is for
+// assertions in tests.
+func (h *Hierarchy) HitLatency(pa uint64) int {
+	line := LineOf(pa)
+	switch {
+	case h.l1.contains(line):
+		return h.cfg.L1.Latency
+	case h.l2.contains(line):
+		return h.cfg.L2.Latency
+	case h.l3.contains(line):
+		return h.cfg.L3.Latency
+	}
+	return h.cfg.MemLatency
+}
+
+// Stats returns a copy of the event counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// Lines returns the number of resident lines per level, for tests.
+func (h *Hierarchy) Lines() (l1, l2, l3 int) {
+	return h.l1.count(), h.l2.count(), h.l3.count()
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }

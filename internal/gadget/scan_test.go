@@ -1,0 +1,140 @@
+package gadget
+
+import (
+	"testing"
+
+	"zenspec/internal/asm"
+	"zenspec/internal/isa"
+)
+
+// ctlLike builds the Listing 3 shape.
+func ctlLike() []byte {
+	b := asm.NewBuilder()
+	b.Movi(isa.R15, 0x4000)
+	b.Load(isa.RCX, isa.R15, 0)
+	b.Shli(isa.RCX, isa.RCX, 3)
+	b.Add(isa.RCX, isa.RCX, isa.R13)
+	b.Store(isa.RCX, 0, isa.RAX) // store
+	b.Load(isa.RDX, isa.R14, 0)  // ld1
+	b.Add(isa.RBX, isa.RDX, isa.R11)
+	b.Load(isa.R8, isa.RBX, 0) // ld2 (address from ld1)
+	b.Andi(isa.R8, isa.R8, 0xff)
+	b.Shli(isa.R9, isa.R8, 3)
+	b.Add(isa.R9, isa.R9, isa.R13)
+	b.Load(isa.R10, isa.R9, 0) // transmit (address from ld2)
+	b.Halt()
+	return b.MustAssemble(0)
+}
+
+func TestScanFindsCTLGadget(t *testing.T) {
+	cands := Scan(ctlLike(), Options{})
+	if len(cands) == 0 {
+		t.Fatal("the Listing 3 shape was not detected")
+	}
+	c := cands[0]
+	if !(c.StoreOff < c.Ld1Off && c.Ld1Off < c.Ld2Off && c.Ld2Off < c.TransmitOff) {
+		t.Errorf("offsets out of order: %+v", c)
+	}
+	if c.String() == "" {
+		t.Error("empty candidate report")
+	}
+}
+
+func TestScanFindsRealAttackGadgets(t *testing.T) {
+	// The scanner must flag the exact victims the attacks in this repository
+	// use. Rebuild the STL victim shape here (it lives in internal/attack).
+	b := asm.NewBuilder()
+	b.Movi(isa.R15, 0x4000000)
+	b.Load(isa.RCX, isa.R15, 0)
+	for i := 0; i < 10; i++ {
+		b.Imul(isa.RCX, isa.RCX, isa.R12)
+	}
+	b.Shli(isa.RCX, isa.RCX, 12)
+	b.Movi(isa.R13, 0x3000000)
+	b.Add(isa.RCX, isa.RCX, isa.R13)
+	b.Store(isa.RCX, 0, isa.RDI)
+	b.Load(isa.RDX, isa.R13, 0)
+	b.Movi(isa.R14, 0x2000000)
+	b.Add(isa.RBX, isa.RDX, isa.R14)
+	b.Load(isa.R8, isa.RBX, 0)
+	b.Andi(isa.R8, isa.R8, 0xff)
+	b.Shli(isa.R9, isa.R8, 12)
+	b.Add(isa.R9, isa.R9, isa.R13)
+	b.Load(isa.R10, isa.R9, 0)
+	b.Halt()
+	if len(Scan(b.MustAssemble(0), Options{})) == 0 {
+		t.Error("the repository's own STL victim gadget was not detected")
+	}
+}
+
+func TestScanIgnoresInnocuousCode(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Movi(isa.RAX, 1)
+	b.Store(isa.R15, 0, isa.RAX)
+	b.Load(isa.RBX, isa.R15, 8) // independent load
+	b.Add(isa.RBX, isa.RBX, isa.RAX)
+	b.Store(isa.R15, 16, isa.RBX) // store with CLEAN address (base r15)
+	b.Halt()
+	if cands := Scan(b.MustAssemble(0), Options{}); len(cands) != 0 {
+		t.Errorf("innocuous code flagged: %v", cands)
+	}
+}
+
+func TestScanStopsAtBranchesAndFences(t *testing.T) {
+	build := func(mid func(b *asm.Builder)) []byte {
+		b := asm.NewBuilder()
+		b.Store(isa.RCX, 0, isa.RAX)
+		b.Load(isa.RDX, isa.R14, 0)
+		mid(b)
+		b.Add(isa.RBX, isa.RDX, isa.R11)
+		b.Load(isa.R8, isa.RBX, 0)
+		b.Shli(isa.R9, isa.R8, 3)
+		b.Load(isa.R10, isa.R9, 0)
+		b.Label("out")
+		b.Halt()
+		return b.MustAssemble(0)
+	}
+	if n := len(Scan(build(func(b *asm.Builder) {}), Options{})); n == 0 {
+		t.Fatal("control pattern should be detected")
+	}
+	withFence := build(func(b *asm.Builder) { b.Lfence() })
+	if n := len(Scan(withFence, Options{})); n != 0 {
+		t.Error("a fence inside the window should kill the candidate")
+	}
+	withBranch := build(func(b *asm.Builder) { b.Jnz(isa.RAX, "out") })
+	if n := len(Scan(withBranch, Options{})); n != 0 {
+		t.Error("a branch inside the window should kill the candidate")
+	}
+}
+
+func TestScanWindowLimit(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Store(isa.RCX, 0, isa.RAX)
+	b.Load(isa.RDX, isa.R14, 0)
+	for i := 0; i < 60; i++ {
+		b.Addi(isa.RDX, isa.RDX, 0) // keep the taint alive, pad the distance
+	}
+	b.Load(isa.R8, isa.RDX, 0)
+	b.Load(isa.R10, isa.R8, 0)
+	b.Halt()
+	code := b.MustAssemble(0)
+	if len(Scan(code, Options{Window: 16})) != 0 {
+		t.Error("pattern beyond the window should not be flagged")
+	}
+	if len(Scan(code, Options{Window: 80})) == 0 {
+		t.Error("pattern inside a large window should be flagged")
+	}
+}
+
+func TestScanStoreTransmitter(t *testing.T) {
+	// A tainted-address STORE is also a transmitter.
+	b := asm.NewBuilder()
+	b.Store(isa.RCX, 0, isa.RAX)
+	b.Load(isa.RDX, isa.R14, 0)
+	b.Load(isa.R8, isa.RDX, 0)
+	b.Store(isa.R8, 0, isa.RAX)
+	b.Halt()
+	if len(Scan(b.MustAssemble(0), Options{})) == 0 {
+		t.Error("store transmitter not detected")
+	}
+}

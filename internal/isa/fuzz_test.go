@@ -1,0 +1,31 @@
+package isa
+
+import "testing"
+
+// FuzzDecode: decoding arbitrary bytes never panics, and re-encoding a
+// decoded valid instruction reproduces the canonical bytes.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 0, 42, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add(make([]byte, InstBytes))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < InstBytes {
+			return
+		}
+		in := Decode(data[:InstBytes])
+		if !in.Op.Valid() && in.Op != BAD {
+			t.Fatalf("decoded invalid op %d", in.Op)
+		}
+		var buf [InstBytes]byte
+		in.Encode(buf[:])
+		again := Decode(buf[:])
+		if again != in {
+			t.Fatalf("decode/encode not idempotent: %v vs %v", in, again)
+		}
+		_ = in.String()
+		_, n := in.SrcRegs()
+		if n < 0 || n > 2 {
+			t.Fatalf("SrcRegs count %d", n)
+		}
+	})
+}

@@ -1,0 +1,256 @@
+// Package isa defines the micro-ISA executed by the simulated CPU core.
+//
+// The ISA is a small, register-based subset of what the paper's amd64
+// microbenchmarks need: integer ALU ops, a 3-cycle multiplier (used to delay
+// address generation), 8-byte loads and stores, the RDPRU cycle-counter read,
+// CLFLUSH, fences, conditional branches, and a SYSCALL trap into the kernel
+// model. Instructions are encoded in 8 bytes and may be placed at any byte
+// offset, which is what makes the paper's code-sliding collision search
+// (Section III-C) expressible: a store-load pair copied one byte further in a
+// page moves its instruction physical addresses (IPAs) by one byte.
+package isa
+
+import "fmt"
+
+// Reg is an architectural register index. The ISA exposes 16 general-purpose
+// 64-bit registers, R0 through R15. By convention (mirroring the SysV names
+// the paper uses) R7 is RDI (first argument), R6 is RSI (second argument) and
+// R0 is RAX (return value).
+type Reg uint8
+
+// Register aliases following the amd64 convention used in the paper's
+// listings.
+const (
+	RAX Reg = 0
+	RCX Reg = 1
+	RDX Reg = 2
+	RBX Reg = 3
+	RSP Reg = 4
+	RBP Reg = 5
+	RSI Reg = 6
+	RDI Reg = 7
+	R8  Reg = 8
+	R9  Reg = 9
+	R10 Reg = 10
+	R11 Reg = 11
+	R12 Reg = 12
+	R13 Reg = 13
+	R14 Reg = 14
+	R15 Reg = 15
+)
+
+// NumRegs is the number of architectural registers.
+const NumRegs = 16
+
+func (r Reg) String() string {
+	names := [...]string{"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+		"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15"}
+	if int(r) < len(names) {
+		return names[r]
+	}
+	return fmt.Sprintf("r?%d", uint8(r))
+}
+
+// Op is an operation code.
+type Op uint8
+
+// Operation codes. The zero value is deliberately invalid so that executing
+// zeroed memory faults instead of silently doing work.
+const (
+	BAD Op = iota
+
+	// Data movement.
+	MOVI // dst = imm (sign-extended 32-bit)
+	MOV  // dst = src1
+
+	// ALU, dst = src1 op src2.
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	SHL
+	SHR
+
+	// ALU with immediate, dst = src1 op imm.
+	ADDI
+	SUBI
+	ANDI
+	ORI
+	XORI
+	SHLI
+	SHRI
+
+	// Multiply, dst = src1 * src2. Latency 3; single multiply port. Chains of
+	// IMUL are how the microbenchmarks delay store address generation.
+	IMUL
+
+	// Memory, 8-byte accesses: LOAD dst = mem[src1+imm], STORE mem[src1+imm] = src2.
+	LOAD
+	STORE
+
+	// Timing and cache control.
+	RDPRU   // dst = current cycle count; waits for all older ops to complete
+	CLFLUSH // flush the cache line containing mem[src1+imm]
+	MFENCE  // full memory fence
+	LFENCE  // load fence / speculation barrier
+	SFENCE  // store fence
+
+	// Control flow. Branch targets are absolute virtual addresses in imm.
+	JMP // unconditional
+	JZ  // branch if src1 == 0
+	JNZ // branch if src1 != 0
+
+	// System.
+	NOP
+	SYSCALL // trap into the kernel model (service number in RAX)
+	HALT    // stop execution, used as the return from a called routine
+
+	numOps
+)
+
+var opNames = [...]string{
+	BAD: "bad", MOVI: "movi", MOV: "mov",
+	ADD: "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor", SHL: "shl", SHR: "shr",
+	ADDI: "addi", SUBI: "subi", ANDI: "andi", ORI: "ori", XORI: "xori", SHLI: "shli", SHRI: "shri",
+	IMUL: "imul", LOAD: "load", STORE: "store",
+	RDPRU: "rdpru", CLFLUSH: "clflush", MFENCE: "mfence", LFENCE: "lfence", SFENCE: "sfence",
+	JMP: "jmp", JZ: "jz", JNZ: "jnz",
+	NOP: "nop", SYSCALL: "syscall", HALT: "halt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op?%d", uint8(o))
+}
+
+// Valid reports whether o is a defined operation.
+func (o Op) Valid() bool { return o > BAD && o < numOps }
+
+// Inst is a decoded instruction.
+type Inst struct {
+	Op   Op
+	Dst  Reg
+	Src1 Reg
+	Src2 Reg
+	Imm  int32
+}
+
+// InstBytes is the fixed encoding length of every instruction.
+const InstBytes = 8
+
+// IsLoad reports whether the instruction reads data memory.
+func (in Inst) IsLoad() bool { return in.Op == LOAD }
+
+// IsStore reports whether the instruction writes data memory.
+func (in Inst) IsStore() bool { return in.Op == STORE }
+
+// IsBranch reports whether the instruction may redirect control flow.
+func (in Inst) IsBranch() bool {
+	switch in.Op {
+	case JMP, JZ, JNZ:
+		return true
+	}
+	return false
+}
+
+// IsFence reports whether the instruction is a serializing fence.
+func (in Inst) IsFence() bool {
+	switch in.Op {
+	case MFENCE, LFENCE, SFENCE:
+		return true
+	}
+	return false
+}
+
+// WritesReg reports whether the instruction produces a register result.
+func (in Inst) WritesReg() bool {
+	switch in.Op {
+	case MOVI, MOV, ADD, SUB, AND, OR, XOR, SHL, SHR,
+		ADDI, SUBI, ANDI, ORI, XORI, SHLI, SHRI, IMUL, LOAD, RDPRU:
+		return true
+	}
+	return false
+}
+
+// SrcRegs returns which source registers the instruction reads.
+// The second return value reports how many are meaningful (0, 1 or 2).
+func (in Inst) SrcRegs() ([2]Reg, int) {
+	switch in.Op {
+	case MOVI, RDPRU, JMP, NOP, MFENCE, LFENCE, SFENCE, HALT, BAD:
+		return [2]Reg{}, 0
+	case MOV, ADDI, SUBI, ANDI, ORI, XORI, SHLI, SHRI, LOAD, CLFLUSH, JZ, JNZ:
+		return [2]Reg{in.Src1}, 1
+	case SYSCALL:
+		return [2]Reg{RAX}, 1
+	case STORE:
+		// src1 is the address base, src2 is the data.
+		return [2]Reg{in.Src1, in.Src2}, 2
+	default:
+		return [2]Reg{in.Src1, in.Src2}, 2
+	}
+}
+
+func (in Inst) String() string {
+	switch in.Op {
+	case MOVI:
+		return fmt.Sprintf("movi %s, %d", in.Dst, in.Imm)
+	case MOV:
+		return fmt.Sprintf("mov %s, %s", in.Dst, in.Src1)
+	case LOAD:
+		return fmt.Sprintf("load %s, [%s%+d]", in.Dst, in.Src1, in.Imm)
+	case STORE:
+		return fmt.Sprintf("store [%s%+d], %s", in.Src1, in.Imm, in.Src2)
+	case CLFLUSH:
+		return fmt.Sprintf("clflush [%s%+d]", in.Src1, in.Imm)
+	case RDPRU:
+		return fmt.Sprintf("rdpru %s", in.Dst)
+	case JMP:
+		return fmt.Sprintf("jmp 0x%x", uint32(in.Imm))
+	case JZ:
+		return fmt.Sprintf("jz %s, 0x%x", in.Src1, uint32(in.Imm))
+	case JNZ:
+		return fmt.Sprintf("jnz %s, 0x%x", in.Src1, uint32(in.Imm))
+	case ADDI, SUBI, ANDI, ORI, XORI, SHLI, SHRI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Dst, in.Src1, in.Imm)
+	case NOP, MFENCE, LFENCE, SFENCE, SYSCALL, HALT, BAD:
+		return in.Op.String()
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Dst, in.Src1, in.Src2)
+	}
+}
+
+// Encode writes the 8-byte encoding of in to dst, which must have room for
+// InstBytes bytes. Layout: opcode, dst, src1, src2, imm (little-endian int32).
+func (in Inst) Encode(dst []byte) {
+	_ = dst[7]
+	dst[0] = byte(in.Op)
+	dst[1] = byte(in.Dst)
+	dst[2] = byte(in.Src1)
+	dst[3] = byte(in.Src2)
+	imm := uint32(in.Imm)
+	dst[4] = byte(imm)
+	dst[5] = byte(imm >> 8)
+	dst[6] = byte(imm >> 16)
+	dst[7] = byte(imm >> 24)
+}
+
+// Decode decodes one instruction from src, which must hold at least
+// InstBytes bytes. Decoding never fails; invalid opcodes decode to BAD and
+// fault at execution.
+func Decode(src []byte) Inst {
+	_ = src[7]
+	op := Op(src[0])
+	if !op.Valid() {
+		op = BAD
+	}
+	return Inst{
+		Op:   op,
+		Dst:  Reg(src[1] & 0x0f),
+		Src1: Reg(src[2] & 0x0f),
+		Src2: Reg(src[3] & 0x0f),
+		Imm:  int32(uint32(src[4]) | uint32(src[5])<<8 | uint32(src[6])<<16 | uint32(src[7])<<24),
+	}
+}

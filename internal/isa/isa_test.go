@@ -1,0 +1,144 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Inst{
+		{Op: MOVI, Dst: RAX, Imm: -42},
+		{Op: MOV, Dst: R10, Src1: RDI},
+		{Op: ADD, Dst: R8, Src1: R9, Src2: R10},
+		{Op: IMUL, Dst: RCX, Src1: RCX, Src2: RDX},
+		{Op: LOAD, Dst: RAX, Src1: RSI, Imm: 16},
+		{Op: STORE, Src1: RDI, Src2: RAX, Imm: -8},
+		{Op: RDPRU, Dst: R11},
+		{Op: CLFLUSH, Src1: RBX, Imm: 64},
+		{Op: JMP, Imm: 0x401000},
+		{Op: JNZ, Src1: RAX, Imm: 0x400010},
+		{Op: SYSCALL},
+		{Op: HALT},
+	}
+	var buf [InstBytes]byte
+	for _, in := range cases {
+		in.Encode(buf[:])
+		got := Decode(buf[:])
+		if got != in {
+			t.Errorf("round trip %v: got %v", in, got)
+		}
+	}
+}
+
+func TestDecodeInvalidOpcodeIsBAD(t *testing.T) {
+	var buf [InstBytes]byte
+	buf[0] = 0xff
+	if got := Decode(buf[:]); got.Op != BAD {
+		t.Errorf("opcode 0xff decoded to %v, want BAD", got.Op)
+	}
+	buf[0] = byte(numOps)
+	if got := Decode(buf[:]); got.Op != BAD {
+		t.Errorf("opcode numOps decoded to %v, want BAD", got.Op)
+	}
+}
+
+// randomInst produces a valid random instruction for property testing.
+func randomInst(r *rand.Rand) Inst {
+	return Inst{
+		Op:   Op(1 + r.Intn(int(numOps)-1)),
+		Dst:  Reg(r.Intn(NumRegs)),
+		Src1: Reg(r.Intn(NumRegs)),
+		Src2: Reg(r.Intn(NumRegs)),
+		Imm:  int32(r.Uint32()),
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomInst(r)
+		var buf [InstBytes]byte
+		in.Encode(buf[:])
+		return Decode(buf[:]) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSrcRegs(t *testing.T) {
+	tests := []struct {
+		in   Inst
+		want int
+	}{
+		{Inst{Op: MOVI}, 0},
+		{Inst{Op: NOP}, 0},
+		{Inst{Op: RDPRU}, 0},
+		{Inst{Op: JMP}, 0},
+		{Inst{Op: MOV, Src1: RDI}, 1},
+		{Inst{Op: LOAD, Src1: RSI}, 1},
+		{Inst{Op: CLFLUSH, Src1: RBX}, 1},
+		{Inst{Op: JZ, Src1: RAX}, 1},
+		{Inst{Op: SYSCALL}, 1},
+		{Inst{Op: STORE, Src1: RDI, Src2: RAX}, 2},
+		{Inst{Op: ADD, Src1: R8, Src2: R9}, 2},
+		{Inst{Op: IMUL, Src1: R8, Src2: R9}, 2},
+	}
+	for _, tc := range tests {
+		_, n := tc.in.SrcRegs()
+		if n != tc.want {
+			t.Errorf("%v: got %d source regs, want %d", tc.in, n, tc.want)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !(Inst{Op: LOAD}).IsLoad() || (Inst{Op: STORE}).IsLoad() {
+		t.Error("IsLoad wrong")
+	}
+	if !(Inst{Op: STORE}).IsStore() || (Inst{Op: LOAD}).IsStore() {
+		t.Error("IsStore wrong")
+	}
+	for _, op := range []Op{JMP, JZ, JNZ} {
+		if !(Inst{Op: op}).IsBranch() {
+			t.Errorf("%v should be a branch", op)
+		}
+	}
+	if (Inst{Op: ADD}).IsBranch() {
+		t.Error("ADD is not a branch")
+	}
+	for _, op := range []Op{MFENCE, LFENCE, SFENCE} {
+		if !(Inst{Op: op}).IsFence() {
+			t.Errorf("%v should be a fence", op)
+		}
+	}
+	writers := []Op{MOVI, MOV, ADD, SUB, AND, OR, XOR, SHL, SHR, ADDI, SUBI,
+		ANDI, ORI, XORI, SHLI, SHRI, IMUL, LOAD, RDPRU}
+	for _, op := range writers {
+		if !(Inst{Op: op}).WritesReg() {
+			t.Errorf("%v should write a register", op)
+		}
+	}
+	nonWriters := []Op{STORE, CLFLUSH, MFENCE, JMP, JZ, JNZ, NOP, SYSCALL, HALT}
+	for _, op := range nonWriters {
+		if (Inst{Op: op}).WritesReg() {
+			t.Errorf("%v should not write a register", op)
+		}
+	}
+}
+
+func TestStringCoverage(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		in := Inst{Op: op, Dst: RAX, Src1: RSI, Src2: RDI, Imm: 4}
+		if in.String() == "" {
+			t.Errorf("empty String for %d", op)
+		}
+	}
+	if RDI.String() != "rdi" || RSI.String() != "rsi" || RAX.String() != "rax" {
+		t.Error("register alias names wrong")
+	}
+	if Reg(99).String() == "" {
+		t.Error("out-of-range reg should still print")
+	}
+}

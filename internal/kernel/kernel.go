@@ -1,0 +1,271 @@
+// Package kernel models the operating-system layer the paper's experiments
+// depend on: processes with private page tables, security domains (host
+// user, VM guest, kernel thread), fork with copy-on-write, shared mappings,
+// mprotect-induced remapping, and — crucially — the context-switch flush
+// rules the paper reverse engineered: PSFP is flushed on every context
+// switch, syscall and yield; both predictors are flushed when a process
+// sleeps; SSBP otherwise survives across processes (Vulnerability 1).
+//
+// The kernel also owns the machine's hardware threads: two SMT threads per
+// physical core, each with its own predictor unit (the paper found the
+// predictor resources duplicated, not shared), sharing caches and memory.
+package kernel
+
+import (
+	"fmt"
+
+	"zenspec/internal/cache"
+	"zenspec/internal/isa"
+	"zenspec/internal/mem"
+	"zenspec/internal/pipeline"
+	"zenspec/internal/pmc"
+	"zenspec/internal/predict"
+)
+
+// Domain is a security domain.
+type Domain uint8
+
+// Security domains considered in Section IV-A.
+const (
+	DomainUser Domain = iota
+	DomainVM
+	DomainKernel
+)
+
+func (d Domain) String() string {
+	switch d {
+	case DomainUser:
+		return "user"
+	case DomainVM:
+		return "vm"
+	case DomainKernel:
+		return "kernel"
+	}
+	return "domain?"
+}
+
+// Syscall service numbers (placed in RAX before SYSCALL).
+const (
+	SysYield = 1 // reschedule: flushes PSFP, keeps SSBP
+	SysSleep = 2 // suspend: flushes PSFP and SSBP
+)
+
+// Config selects the kernel's mitigation posture.
+type Config struct {
+	// SSBD sets Speculative Store Bypass Disable on every hardware thread.
+	SSBD bool
+	// PSFD sets the (ineffective) Predictive Store Forwarding Disable bit.
+	PSFD bool
+	// FlushSSBPOnSwitch enables the Section VI-B mitigation of flushing
+	// SSBP on every context switch.
+	FlushSSBPOnSwitch bool
+	// SaltPerDomain enables the randomized-selection mitigation: each
+	// security domain hashes IPAs with its own secret salt. Note that a
+	// static salt only defeats precomputed (PTEditor-style) collisions; a
+	// sliding attacker with timing feedback still finds colliding offsets
+	// empirically — see RotateSalt.
+	SaltPerDomain bool
+	// RotateSalt draws a fresh selection salt on every context switch,
+	// orphaning all previously trained entries. This is the strong form of
+	// the randomized-selection mitigation (at the cost of losing predictor
+	// state on every switch).
+	RotateSalt bool
+	// TimerQuantum coarsens RDPRU (secure-timer mitigation); 0 or 1 keeps
+	// cycle resolution.
+	TimerQuantum int64
+	// TimerJitter adds pseudo-random noise to RDPRU (the browser-timer
+	// profile of Section V-C2).
+	TimerJitter int64
+	// Seed drives all randomized structures.
+	Seed int64
+	// Pipeline overrides the core configuration (zero fields take defaults).
+	Pipeline pipeline.Config
+	// PredictorConfig overrides predictor sizes (zero fields take the
+	// reverse-engineered defaults).
+	PredictorConfig predict.Config
+	// SMTThreads is the number of hardware threads (default 2).
+	SMTThreads int
+}
+
+// CPU is one hardware (SMT) thread: a pipeline core with its private
+// predictor unit.
+type CPU struct {
+	ID      int
+	Core    *pipeline.Core
+	Unit    *predict.Unit
+	current *Process
+	salts   map[Domain]uint64
+	epoch   uint64
+}
+
+// Current returns the process last run on this thread.
+func (c *CPU) Current() *Process { return c.current }
+
+// Kernel is the machine plus operating system model.
+type Kernel struct {
+	cfg    Config
+	phys   *mem.Physical
+	caches *cache.Hierarchy
+	cpus   []*CPU
+	procs  []*Process
+	nextID int
+}
+
+// New boots a machine.
+func New(cfg Config) *Kernel {
+	if cfg.SMTThreads == 0 {
+		cfg.SMTThreads = 2
+	}
+	k := &Kernel{
+		cfg:    cfg,
+		phys:   mem.NewPhysical(),
+		caches: cache.New(cache.DefaultConfig()),
+	}
+	pcfg := cfg.Pipeline
+	pcfg.TimerQuantum = cfg.TimerQuantum
+	pcfg.TimerJitter = cfg.TimerJitter
+	pcfg.TimerSeed = cfg.Seed
+	for i := 0; i < cfg.SMTThreads; i++ {
+		ucfg := cfg.PredictorConfig
+		ucfg.Seed = cfg.Seed + int64(i)
+		ucfg.SSBD = cfg.SSBD
+		ucfg.PSFD = cfg.PSFD
+		unit := predict.NewUnit(ucfg)
+		core := pipeline.New(pcfg, k.phys, k.caches, unit, &pmc.Counters{})
+		salts := map[Domain]uint64{}
+		if cfg.SaltPerDomain {
+			// Deterministic per-domain secrets derived from the seed.
+			for _, d := range []Domain{DomainUser, DomainVM, DomainKernel} {
+				salts[d] = splitmix(uint64(cfg.Seed)*1099511628211 + uint64(d+1)*2654435761)
+			}
+		}
+		k.cpus = append(k.cpus, &CPU{ID: i, Core: core, Unit: unit, salts: salts})
+	}
+	return k
+}
+
+// splitmix is a small deterministic mixer for salt generation.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Phys exposes physical memory (the harness's DMA window).
+func (k *Kernel) Phys() *mem.Physical { return k.phys }
+
+// Caches exposes the shared hierarchy.
+func (k *Kernel) Caches() *cache.Hierarchy { return k.caches }
+
+// CPU returns hardware thread i.
+func (k *Kernel) CPU(i int) *CPU { return k.cpus[i] }
+
+// NumCPUs returns the hardware thread count.
+func (k *Kernel) NumCPUs() int { return len(k.cpus) }
+
+// Config returns the boot configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// SetSSBD toggles SSBD on every hardware thread at run time (the
+// SPEC_CTRL write the OS performs).
+func (k *Kernel) SetSSBD(on bool) {
+	for _, c := range k.cpus {
+		c.Unit.SetSSBD(on)
+	}
+}
+
+// SetPSFD toggles the (ineffective) PSFD bit on every hardware thread.
+func (k *Kernel) SetPSFD(on bool) {
+	for _, c := range k.cpus {
+		c.Unit.SetPSFD(on)
+	}
+}
+
+// NewProcess creates a process in the given security domain.
+func (k *Kernel) NewProcess(name string, d Domain) *Process {
+	k.nextID++
+	p := &Process{
+		ID:       k.nextID,
+		Name:     name,
+		Domain:   d,
+		AS:       mem.NewAddrSpace(),
+		kernel:   k,
+		nextMmap: 0x7f0000000000,
+	}
+	k.procs = append(k.procs, p)
+	return p
+}
+
+// switchTo performs the context-switch bookkeeping before p runs on cpu.
+func (k *Kernel) switchTo(cpu *CPU, p *Process) {
+	if cpu.current == p {
+		return
+	}
+	// The hardware flushes PSFP on every context switch; SSBP survives —
+	// that asymmetry is Vulnerability 1.
+	cpu.Unit.FlushPSFP()
+	if k.cfg.FlushSSBPOnSwitch {
+		cpu.Unit.FlushSSBP()
+	}
+	cpu.Core.FlushTLBs()
+	if k.cfg.RotateSalt {
+		cpu.epoch++
+		cpu.Unit.SetSelectionSalt(splitmix(uint64(k.cfg.Seed)*977 + cpu.epoch))
+	} else if k.cfg.SaltPerDomain {
+		cpu.Unit.SetSelectionSalt(cpu.salts[p.Domain])
+	}
+	cpu.current = p
+}
+
+// RunOn runs process p on hardware thread cpu from entry until it halts,
+// faults or exceeds maxInsts. Syscalls are serviced in the loop: every
+// syscall flushes PSFP (the paper observed the flush on syscalls and
+// yields); SysSleep additionally flushes SSBP.
+func (k *Kernel) RunOn(cpuIdx int, p *Process, entry uint64, maxInsts uint64) pipeline.RunResult {
+	cpu := k.cpus[cpuIdx]
+	k.switchTo(cpu, p)
+	var all []pipeline.StldEvent
+	var insts uint64
+	for {
+		res := cpu.Core.Run(p, entry, &p.Regs, maxInsts)
+		all = append(all, res.Stlds...)
+		insts += res.Insts
+		switch res.Stop {
+		case pipeline.StopSyscall:
+			cpu.Unit.FlushPSFP()
+			switch p.Regs[isa.RAX] {
+			case SysSleep:
+				cpu.Unit.FlushAll()
+			case SysYield:
+				// PSFP flush already done; the scheduler picks us again.
+			}
+			entry = res.EndPC
+		case pipeline.StopFault:
+			// Transparent copy-on-write handling: a write fault on a COW
+			// page copies the frame and retries the instruction.
+			if pte, ok := p.AS.Lookup(res.FaultVA); ok && pte.COW && pte.Perm&mem.PermW != 0 {
+				if err := p.BreakCOW(res.FaultVA); err == nil {
+					entry = res.FaultPC
+					continue
+				}
+			}
+			res.Stlds = all
+			res.Insts = insts
+			return res
+		default:
+			res.Stlds = all
+			res.Insts = insts
+			return res
+		}
+	}
+}
+
+// Run runs p on hardware thread 0.
+func (k *Kernel) Run(p *Process, entry uint64, maxInsts uint64) pipeline.RunResult {
+	return k.RunOn(0, p, entry, maxInsts)
+}
+
+func (k *Kernel) String() string {
+	return fmt.Sprintf("kernel{cpus=%d procs=%d}", len(k.cpus), len(k.procs))
+}

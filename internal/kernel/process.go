@@ -1,0 +1,224 @@
+package kernel
+
+import (
+	"fmt"
+
+	"zenspec/internal/isa"
+	"zenspec/internal/mem"
+)
+
+// Process is a schedulable context with a private address space.
+type Process struct {
+	ID     int
+	Name   string
+	Domain Domain
+	AS     *mem.AddrSpace
+	Regs   [isa.NumRegs]uint64
+
+	kernel   *Kernel
+	nextMmap uint64
+}
+
+// Translate implements pipeline.MMU.
+func (p *Process) Translate(va uint64, acc mem.Access) (uint64, mem.Fault) {
+	return p.AS.Translate(va, acc)
+}
+
+// MapCode maps code at va (read+exec) on freshly allocated frames.
+func (p *Process) MapCode(va uint64, code []byte) {
+	p.mapRange(va, uint64(len(code)), mem.PermR|mem.PermX, nil)
+	p.WriteBytes(va, code)
+}
+
+// MapCodeFrames maps code at va onto the given physical frames (one per
+// page) — the PTEditor-grade control the reverse-engineering harness uses to
+// construct instruction physical addresses with chosen hash values.
+func (p *Process) MapCodeFrames(va uint64, code []byte, pfns []uint64) error {
+	pages := int((uint64(len(code)) + mem.PageSize - 1) / mem.PageSize)
+	if pages > len(pfns) {
+		return fmt.Errorf("kernel: need %d frames, got %d", pages, len(pfns))
+	}
+	for i := 0; i < pages; i++ {
+		if !p.kernel.phys.Allocated(pfns[i]) {
+			if err := p.kernel.phys.AllocFrameAt(pfns[i]); err != nil {
+				return err
+			}
+		}
+		p.AS.Map(va+uint64(i)*mem.PageSize, pfns[i], mem.PermR|mem.PermX)
+	}
+	p.WriteBytes(va, code)
+	return nil
+}
+
+// MapData maps size bytes of read-write data at va.
+func (p *Process) MapData(va, size uint64) {
+	p.mapRange(va, size, mem.PermRW, nil)
+}
+
+// MapDataFrames maps data pages onto chosen frames.
+func (p *Process) MapDataFrames(va, size uint64, pfns []uint64) error {
+	pages := int((size + mem.PageSize - 1) / mem.PageSize)
+	if pages > len(pfns) {
+		return fmt.Errorf("kernel: need %d frames, got %d", pages, len(pfns))
+	}
+	for i := 0; i < pages; i++ {
+		if !p.kernel.phys.Allocated(pfns[i]) {
+			if err := p.kernel.phys.AllocFrameAt(pfns[i]); err != nil {
+				return err
+			}
+		}
+		p.AS.Map(va+uint64(i)*mem.PageSize, pfns[i], mem.PermRW)
+	}
+	return nil
+}
+
+func (p *Process) mapRange(va, size uint64, perm mem.Perm, pfns []uint64) {
+	end := va + size
+	for a := va &^ uint64(mem.PageMask); a < end; a += mem.PageSize {
+		if _, ok := p.AS.Lookup(a); !ok {
+			p.AS.Map(a, p.kernel.phys.AllocFrame(), perm)
+		}
+	}
+}
+
+// Mmap allocates a fresh anonymous mapping and returns its address.
+func (p *Process) Mmap(size uint64, perm mem.Perm) uint64 {
+	va := p.nextMmap
+	pages := (size + mem.PageSize - 1) / mem.PageSize
+	for i := uint64(0); i < pages; i++ {
+		p.AS.Map(va+i*mem.PageSize, p.kernel.phys.AllocFrame(), perm)
+	}
+	p.nextMmap += (pages + 1) * mem.PageSize
+	return va
+}
+
+// MmapShared maps the physical frames backing other's [otherVA, otherVA+size)
+// into p at va — the shared-memory setup of the in-place cross-domain
+// experiments (same IPA, possibly different IVA).
+func (p *Process) MmapShared(va uint64, other *Process, otherVA, size uint64, perm mem.Perm) error {
+	pages := (size + mem.PageSize - 1) / mem.PageSize
+	for i := uint64(0); i < pages; i++ {
+		pte, ok := other.AS.Lookup(otherVA + i*mem.PageSize)
+		if !ok {
+			return fmt.Errorf("kernel: source page %#x not mapped", otherVA+i*mem.PageSize)
+		}
+		p.AS.Map(va+i*mem.PageSize, pte.PFN, perm)
+	}
+	return nil
+}
+
+// Fork creates a child process sharing all frames copy-on-write, the
+// Section III-C1 experiment: parent and child stld share IVAs and IPAs
+// until the child writes.
+func (p *Process) Fork(name string) *Process {
+	child := p.kernel.NewProcess(name, p.Domain)
+	child.Regs = p.Regs
+	child.nextMmap = p.nextMmap
+	p.AS.Each(func(vpn uint64, pte mem.PTE) {
+		child.AS.MapCOW(vpn<<mem.PageShift, pte.PFN, pte.Perm)
+	})
+	return child
+}
+
+// BreakCOW gives the page containing va a private copy of its frame — what
+// the kernel does when a COW page is written (the paper triggers it with
+// mprotect + a dummy write, observing that the stld's IPA changes while its
+// IVA does not).
+func (p *Process) BreakCOW(va uint64) error {
+	pte, ok := p.AS.Lookup(va)
+	if !ok {
+		return fmt.Errorf("kernel: %#x not mapped", va)
+	}
+	if !pte.COW {
+		return nil
+	}
+	newPFN := p.kernel.phys.AllocFrame()
+	data := p.kernel.phys.ReadBytes(pte.PFN<<mem.PageShift, mem.PageSize)
+	p.kernel.phys.WriteBytes(newPFN<<mem.PageShift, data)
+	p.AS.Map(va, newPFN, pte.Perm)
+	return nil
+}
+
+// IPA translates an instruction virtual address to its physical address —
+// the PTEditor capability (root only in the paper's threat model).
+func (p *Process) IPA(va uint64) (uint64, error) {
+	pa, f := p.AS.Translate(va, mem.AccessExec)
+	if f != mem.FaultNone {
+		pa, f = p.AS.Translate(va, mem.AccessRead)
+	}
+	if f != mem.FaultNone {
+		return 0, fmt.Errorf("kernel: translate %#x: %v", va, f)
+	}
+	return pa, nil
+}
+
+// WriteBytes writes through the page table into physical memory.
+func (p *Process) WriteBytes(va uint64, b []byte) {
+	for i := 0; i < len(b); {
+		pa, f := p.AS.Translate(va+uint64(i), mem.AccessRead)
+		if f != mem.FaultNone {
+			panic(fmt.Sprintf("kernel: WriteBytes unmapped va %#x", va+uint64(i)))
+		}
+		chunk := int(mem.PageSize - mem.PageOffset(va+uint64(i)))
+		if chunk > len(b)-i {
+			chunk = len(b) - i
+		}
+		p.kernel.phys.WriteBytes(pa, b[i:i+chunk])
+		i += chunk
+	}
+}
+
+// ReadBytes reads through the page table.
+func (p *Process) ReadBytes(va uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; {
+		pa, f := p.AS.Translate(va+uint64(i), mem.AccessRead)
+		if f != mem.FaultNone {
+			panic(fmt.Sprintf("kernel: ReadBytes unmapped va %#x", va+uint64(i)))
+		}
+		chunk := int(mem.PageSize - mem.PageOffset(va+uint64(i)))
+		if chunk > n-i {
+			chunk = n - i
+		}
+		copy(out[i:i+chunk], p.kernel.phys.ReadBytes(pa, chunk))
+		i += chunk
+	}
+	return out
+}
+
+// Write64 writes an 8-byte value at va.
+func (p *Process) Write64(va, v uint64) {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	p.WriteBytes(va, b[:])
+}
+
+// Read64 reads an 8-byte value at va.
+func (p *Process) Read64(va uint64) uint64 {
+	b := p.ReadBytes(va, 8)
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// FlushLine flushes va's cache line (a host-side clflush for harness setup).
+func (p *Process) FlushLine(va uint64) {
+	if pa, f := p.AS.Translate(va, mem.AccessRead); f == mem.FaultNone {
+		p.kernel.caches.Flush(pa)
+	}
+}
+
+// WarmLine fills va's cache line.
+func (p *Process) WarmLine(va uint64) {
+	if pa, f := p.AS.Translate(va, mem.AccessRead); f == mem.FaultNone {
+		p.kernel.caches.Touch(pa)
+	}
+}
+
+func (p *Process) String() string {
+	return fmt.Sprintf("proc{%d %s %s}", p.ID, p.Name, p.Domain)
+}

@@ -1,0 +1,324 @@
+// Package mem models physical memory and per-process address translation.
+//
+// Physical memory is a sparse collection of 4 KiB frames addressed by a
+// 48-bit physical address, matching the paper's "the IPA is up to 48 bits".
+// Frames can be allocated at chosen frame numbers, which is how the
+// experiment harness plays the role of PTEditor: it constructs instruction
+// physical addresses with chosen predictor-hash values.
+package mem
+
+import "fmt"
+
+// Page geometry.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+	PageMask  = PageSize - 1
+	// PhysBits is the width of a physical address.
+	PhysBits = 48
+	// MaxFrame is the highest allocatable physical frame number.
+	MaxFrame = (uint64(1) << (PhysBits - PageShift)) - 1
+)
+
+// VPN returns the virtual page number of va.
+func VPN(va uint64) uint64 { return va >> PageShift }
+
+// PFNOf returns the physical frame number of pa.
+func PFNOf(pa uint64) uint64 { return pa >> PageShift }
+
+// PageOffset returns the offset of addr within its page.
+func PageOffset(addr uint64) uint64 { return addr & PageMask }
+
+// Perm is a page permission bitmask.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermR Perm = 1 << iota
+	PermW
+	PermX
+	// PermRW and PermRWX are common combinations.
+	PermRW  = PermR | PermW
+	PermRWX = PermR | PermW | PermX
+)
+
+func (p Perm) String() string {
+	s := []byte("---")
+	if p&PermR != 0 {
+		s[0] = 'r'
+	}
+	if p&PermW != 0 {
+		s[1] = 'w'
+	}
+	if p&PermX != 0 {
+		s[2] = 'x'
+	}
+	return string(s)
+}
+
+// Fault describes the outcome of a translation.
+type Fault uint8
+
+// Translation outcomes.
+const (
+	FaultNone Fault = iota
+	FaultNotMapped
+	FaultProtection
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultNotMapped:
+		return "not-mapped"
+	case FaultProtection:
+		return "protection"
+	}
+	return "fault?"
+}
+
+// Access is the kind of memory access being translated.
+type Access uint8
+
+// Access kinds.
+const (
+	AccessRead Access = iota
+	AccessWrite
+	AccessExec
+)
+
+// Physical is the machine's physical memory.
+type Physical struct {
+	frames   map[uint64]*[PageSize]byte
+	nextFree uint64
+}
+
+// NewPhysical returns empty physical memory. Frame 0 is reserved (never
+// allocated) so that physical address 0 is always invalid.
+func NewPhysical() *Physical {
+	return &Physical{frames: make(map[uint64]*[PageSize]byte), nextFree: 1}
+}
+
+// AllocFrame allocates the next free frame and returns its frame number.
+func (p *Physical) AllocFrame() uint64 {
+	for p.frames[p.nextFree] != nil {
+		p.nextFree++
+	}
+	pfn := p.nextFree
+	p.frames[pfn] = new([PageSize]byte)
+	p.nextFree++
+	return pfn
+}
+
+// AllocFrameAt allocates a frame at a specific frame number, the PTEditor-
+// style privilege the experiment harness uses to construct IPAs with chosen
+// hash values. It reports an error if the frame is taken or out of range.
+func (p *Physical) AllocFrameAt(pfn uint64) error {
+	if pfn == 0 || pfn > MaxFrame {
+		return fmt.Errorf("mem: frame %#x out of range", pfn)
+	}
+	if p.frames[pfn] != nil {
+		return fmt.Errorf("mem: frame %#x already allocated", pfn)
+	}
+	p.frames[pfn] = new([PageSize]byte)
+	return nil
+}
+
+// FreeFrame releases a frame.
+func (p *Physical) FreeFrame(pfn uint64) { delete(p.frames, pfn) }
+
+// Allocated reports whether a frame exists.
+func (p *Physical) Allocated(pfn uint64) bool { return p.frames[pfn] != nil }
+
+// NumFrames returns the number of allocated frames.
+func (p *Physical) NumFrames() int { return len(p.frames) }
+
+func (p *Physical) frame(pa uint64) *[PageSize]byte {
+	return p.frames[PFNOf(pa)]
+}
+
+// ReadBytes copies n bytes starting at physical address pa into a new slice.
+// Reads of unallocated memory return zeros, like reads of uninitialized RAM.
+// Accesses may cross frame boundaries (instruction fetch at arbitrary byte
+// offsets requires this).
+func (p *Physical) ReadBytes(pa uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; {
+		f := p.frame(pa + uint64(i))
+		off := int(PageOffset(pa + uint64(i)))
+		chunk := PageSize - off
+		if chunk > n-i {
+			chunk = n - i
+		}
+		if f != nil {
+			copy(out[i:i+chunk], f[off:off+chunk])
+		}
+		i += chunk
+	}
+	return out
+}
+
+// WriteBytes writes b starting at physical address pa. Writes to unallocated
+// frames allocate them, so the harness can treat physical memory as flat.
+func (p *Physical) WriteBytes(pa uint64, b []byte) {
+	for i := 0; i < len(b); {
+		pfn := PFNOf(pa + uint64(i))
+		f := p.frames[pfn]
+		if f == nil {
+			f = new([PageSize]byte)
+			p.frames[pfn] = f
+		}
+		off := int(PageOffset(pa + uint64(i)))
+		chunk := PageSize - off
+		if chunk > len(b)-i {
+			chunk = len(b) - i
+		}
+		copy(f[off:off+chunk], b[i:i+chunk])
+		i += chunk
+	}
+}
+
+// Read64 reads a little-endian 64-bit value at pa.
+func (p *Physical) Read64(pa uint64) uint64 {
+	b := p.ReadBytes(pa, 8)
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// Write64 writes a little-endian 64-bit value at pa.
+func (p *Physical) Write64(pa, v uint64) {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	p.WriteBytes(pa, b[:])
+}
+
+// PTE is a page-table entry.
+type PTE struct {
+	PFN  uint64
+	Perm Perm
+	// COW marks a copy-on-write mapping: it is readable/executable but a
+	// write must first be given a private copy by the kernel.
+	COW bool
+}
+
+// AddrSpace is a per-process page table.
+type AddrSpace struct {
+	pages map[uint64]PTE
+}
+
+// NewAddrSpace returns an empty address space.
+func NewAddrSpace() *AddrSpace {
+	return &AddrSpace{pages: make(map[uint64]PTE)}
+}
+
+// Map installs a mapping from the virtual page containing va to pfn.
+func (a *AddrSpace) Map(va, pfn uint64, perm Perm) {
+	a.pages[VPN(va)] = PTE{PFN: pfn, Perm: perm}
+}
+
+// MapCOW installs a copy-on-write mapping.
+func (a *AddrSpace) MapCOW(va, pfn uint64, perm Perm) {
+	a.pages[VPN(va)] = PTE{PFN: pfn, Perm: perm, COW: true}
+}
+
+// Unmap removes the mapping of the page containing va.
+func (a *AddrSpace) Unmap(va uint64) { delete(a.pages, VPN(va)) }
+
+// Lookup returns the PTE for the page containing va.
+func (a *AddrSpace) Lookup(va uint64) (PTE, bool) {
+	pte, ok := a.pages[VPN(va)]
+	return pte, ok
+}
+
+// Pages returns the number of mapped pages.
+func (a *AddrSpace) Pages() int { return len(a.pages) }
+
+// Each calls fn for every mapping.
+func (a *AddrSpace) Each(fn func(vpn uint64, pte PTE)) {
+	for vpn, pte := range a.pages {
+		fn(vpn, pte)
+	}
+}
+
+// Clone returns a deep copy of the address space (used by fork before COW
+// marking).
+func (a *AddrSpace) Clone() *AddrSpace {
+	c := NewAddrSpace()
+	for vpn, pte := range a.pages {
+		c.pages[vpn] = pte
+	}
+	return c
+}
+
+// Translate translates va for the given access kind. On success it returns
+// the physical address and FaultNone. A write to a COW page reports
+// FaultProtection; the kernel resolves it by copying the frame.
+func (a *AddrSpace) Translate(va uint64, acc Access) (uint64, Fault) {
+	pte, ok := a.pages[VPN(va)]
+	if !ok {
+		return 0, FaultNotMapped
+	}
+	switch acc {
+	case AccessRead:
+		if pte.Perm&PermR == 0 {
+			return 0, FaultProtection
+		}
+	case AccessWrite:
+		if pte.Perm&PermW == 0 || pte.COW {
+			return 0, FaultProtection
+		}
+	case AccessExec:
+		if pte.Perm&PermX == 0 {
+			return 0, FaultProtection
+		}
+	}
+	return pte.PFN<<PageShift | PageOffset(va), FaultNone
+}
+
+// TLB is a small fully-associative translation cache with FIFO replacement.
+// It exists for timing and the PMC instruction-TLB events; translations are
+// always verified against the page table by the caller on miss.
+type TLB struct {
+	size    int
+	order   []uint64 // FIFO of vpns
+	entries map[uint64]uint64
+}
+
+// NewTLB returns a TLB with the given number of entries.
+func NewTLB(size int) *TLB {
+	return &TLB{size: size, entries: make(map[uint64]uint64)}
+}
+
+// Lookup returns the cached pfn for va's page.
+func (t *TLB) Lookup(va uint64) (uint64, bool) {
+	pfn, ok := t.entries[VPN(va)]
+	return pfn, ok
+}
+
+// Insert caches a translation.
+func (t *TLB) Insert(va, pfn uint64) {
+	vpn := VPN(va)
+	if _, ok := t.entries[vpn]; ok {
+		t.entries[vpn] = pfn
+		return
+	}
+	if len(t.order) >= t.size {
+		oldest := t.order[0]
+		t.order = t.order[1:]
+		delete(t.entries, oldest)
+	}
+	t.order = append(t.order, vpn)
+	t.entries[vpn] = pfn
+}
+
+// Flush empties the TLB.
+func (t *TLB) Flush() {
+	t.order = t.order[:0]
+	t.entries = make(map[uint64]uint64)
+}
+
+// Len returns the number of cached translations.
+func (t *TLB) Len() int { return len(t.entries) }

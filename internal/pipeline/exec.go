@@ -1,0 +1,666 @@
+package pipeline
+
+import (
+	"zenspec/internal/isa"
+	"zenspec/internal/mem"
+	"zenspec/internal/pmc"
+	"zenspec/internal/predict"
+)
+
+type outKind uint8
+
+const (
+	oOK outKind = iota
+	oHalt
+	oSyscall
+	oFault
+)
+
+type outcome struct {
+	kind    outKind
+	fault   mem.Fault
+	faultVA uint64
+}
+
+// episodeCtx is present while executing inside a transient window.
+type episodeCtx struct {
+	verifyTime int64 // the squash point: no dispatch at or beyond this time
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// fetchInst translates and reads the instruction at st.pc, applying ITLB
+// timing and the Fig 2 instruction-fetch PMC event.
+func (c *Core) fetchInst(mmu MMU, st *runState) (isa.Inst, uint64, mem.Fault) {
+	pc := st.pc
+	pa, f := mmu.Translate(pc, mem.AccessExec)
+	if f != mem.FaultNone {
+		return isa.Inst{}, 0, f
+	}
+	if _, hit := c.itlb.Lookup(pc); hit {
+		c.pmcs.Inc(pmc.ITLBHit4K)
+	} else {
+		c.itlb.Insert(pc, mem.PFNOf(pa))
+		st.fetchCycle += int64(c.cfg.TLBMissPenalty)
+	}
+	var buf [isa.InstBytes]byte
+	first := mem.PageSize - mem.PageOffset(pc)
+	if first >= isa.InstBytes {
+		copy(buf[:], c.phys.ReadBytes(pa, isa.InstBytes))
+	} else {
+		copy(buf[:first], c.phys.ReadBytes(pa, int(first)))
+		pa2, f2 := mmu.Translate(pc+first, mem.AccessExec)
+		if f2 != mem.FaultNone {
+			return isa.Inst{}, 0, f2
+		}
+		copy(buf[first:], c.phys.ReadBytes(pa2, int(isa.InstBytes-first)))
+	}
+	return isa.Decode(buf[:]), pa, mem.FaultNone
+}
+
+func (c *Core) mainLoop(mmu MMU, st *runState, maxInsts uint64) RunResult {
+	start := st.lastRetire
+	var res RunResult
+	for {
+		if st.insts >= maxInsts {
+			res.Stop = StopInstLimit
+			break
+		}
+		in, ipa, f := c.fetchInst(mmu, st)
+		if f != mem.FaultNone {
+			res.Stop, res.Fault, res.FaultVA, res.FaultPC = StopFault, f, st.pc, st.pc
+			break
+		}
+		pc := st.pc
+		st.pc += isa.InstBytes
+		st.insts++
+		o := c.exec(mmu, st, in, pc, ipa, nil)
+		if c.tracer != nil {
+			c.tracer(TraceEntry{PC: pc, IPA: ipa, Inst: in, RetiredBy: st.lastRetire})
+		}
+		if o.kind == oOK {
+			continue
+		}
+		switch o.kind {
+		case oHalt:
+			res.Stop = StopHalt
+		case oSyscall:
+			res.Stop = StopSyscall
+		case oFault:
+			res.Stop, res.Fault, res.FaultVA, res.FaultPC = StopFault, o.fault, o.faultVA, pc
+		}
+		break
+	}
+	res.Cycles = st.lastRetire - start
+	res.EndPC = st.pc
+	res.Insts = st.insts
+	res.Stlds = st.stlds
+	return res
+}
+
+// runEpisode executes the transient window on a cloned state until the
+// squash point, the episode cap, or a terminal instruction. Cache fills,
+// TLB fills and predictor updates performed inside the episode persist; the
+// cloned architectural state is discarded by the caller. The episode's
+// store-load speculation events are returned marked transient.
+func (c *Core) runEpisode(mmu MMU, st *runState, verifyTime int64) []StldEvent {
+	ep := &episodeCtx{verifyTime: verifyTime}
+	for steps := 0; steps < c.cfg.EpisodeCap; steps++ {
+		if st.fetchCycle >= verifyTime {
+			break
+		}
+		in, ipa, f := c.fetchInst(mmu, st)
+		if f != mem.FaultNone {
+			break
+		}
+		pc := st.pc
+		st.pc += isa.InstBytes
+		o := c.exec(mmu, st, in, pc, ipa, ep)
+		if c.tracer != nil {
+			c.tracer(TraceEntry{PC: pc, IPA: ipa, Inst: in, RetiredBy: st.lastRetire, Transient: true})
+		}
+		if o.kind != oOK {
+			break
+		}
+	}
+	for i := range st.stlds {
+		st.stlds[i].Transient = true
+	}
+	return st.stlds
+}
+
+// translateData translates a data access and returns the extra DTLB-miss
+// latency.
+func (c *Core) translateData(mmu MMU, va uint64, write bool) (uint64, int64, mem.Fault) {
+	acc := mem.AccessRead
+	if write {
+		acc = mem.AccessWrite
+	}
+	pa, f := mmu.Translate(va, acc)
+	if f != mem.FaultNone {
+		return 0, 0, f
+	}
+	var extra int64
+	if _, hit := c.dtlb.Lookup(va); !hit {
+		extra = int64(c.cfg.TLBMissPenalty)
+		c.dtlb.Insert(va, mem.PFNOf(pa))
+	}
+	return pa, extra, mem.FaultNone
+}
+
+// transientRead returns the value a bypassing load observes at time t:
+// memory with every store whose address is still unresolved at t undone,
+// byte by byte (committed stores are already in physical memory; the
+// pre-image log reverts the in-flight ones, youngest first).
+func (c *Core) transientRead(st *runState, pa uint64, t int64) uint64 {
+	buf := c.phys.ReadBytes(pa, 8)
+	for i := len(st.stores) - 1; i >= 0; i-- {
+		s := &st.stores[i]
+		if s.addrTime <= t || !overlap8(s.pa, pa) {
+			continue
+		}
+		for b := 0; b < 8; b++ {
+			byteAddr := s.pa + uint64(b)
+			if byteAddr >= pa && byteAddr < pa+8 {
+				buf[byteAddr-pa] = byte(s.oldVal >> (8 * b))
+			}
+		}
+	}
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(buf[i])
+	}
+	return v
+}
+
+func evalALU(op isa.Op, a, b uint64, imm int32) uint64 {
+	switch op {
+	case isa.ADD:
+		return a + b
+	case isa.SUB:
+		return a - b
+	case isa.AND:
+		return a & b
+	case isa.OR:
+		return a | b
+	case isa.XOR:
+		return a ^ b
+	case isa.SHL:
+		return a << (b & 63)
+	case isa.SHR:
+		return a >> (b & 63)
+	case isa.ADDI:
+		return a + uint64(int64(imm))
+	case isa.SUBI:
+		return a - uint64(int64(imm))
+	case isa.ANDI:
+		return a & uint64(int64(imm))
+	case isa.ORI:
+		return a | uint64(int64(imm))
+	case isa.XORI:
+		return a ^ uint64(int64(imm))
+	case isa.SHLI:
+		return a << (uint32(imm) & 63)
+	case isa.SHRI:
+		return a >> (uint32(imm) & 63)
+	case isa.IMUL:
+		return a * b
+	}
+	return 0
+}
+
+// exec processes one instruction, updating the speculative machine state.
+// ep is non-nil inside a transient episode.
+func (c *Core) exec(mmu MMU, st *runState, in isa.Inst, pc, ipa uint64, ep *episodeCtx) outcome {
+	cfg := &c.cfg
+	d := st.dispatchSlot(*cfg)
+
+	switch in.Op {
+	case isa.NOP:
+		st.retire(d)
+		return outcome{}
+
+	case isa.MOVI:
+		issue := acquire(st.ports.alu, d)
+		done := issue + int64(cfg.ALULatency)
+		st.regs[in.Dst] = uint64(int64(in.Imm))
+		st.regTime[in.Dst] = done
+		st.bumpDone(done)
+		st.retire(done)
+		c.pmcs.Inc(pmc.RetiredOps)
+		return outcome{}
+
+	case isa.MOV:
+		issue := acquire(st.ports.alu, max64(d, st.regTime[in.Src1]))
+		done := issue + int64(cfg.ALULatency)
+		st.regs[in.Dst] = st.regs[in.Src1]
+		st.regTime[in.Dst] = done
+		st.bumpDone(done)
+		st.retire(done)
+		c.pmcs.Inc(pmc.RetiredOps)
+		return outcome{}
+
+	case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR:
+		ready := max64(d, max64(st.regTime[in.Src1], st.regTime[in.Src2]))
+		issue := acquire(st.ports.alu, ready)
+		done := issue + int64(cfg.ALULatency)
+		st.regs[in.Dst] = evalALU(in.Op, st.regs[in.Src1], st.regs[in.Src2], in.Imm)
+		st.regTime[in.Dst] = done
+		st.bumpDone(done)
+		st.retire(done)
+		c.pmcs.Inc(pmc.RetiredOps)
+		return outcome{}
+
+	case isa.ADDI, isa.SUBI, isa.ANDI, isa.ORI, isa.XORI, isa.SHLI, isa.SHRI:
+		issue := acquire(st.ports.alu, max64(d, st.regTime[in.Src1]))
+		done := issue + int64(cfg.ALULatency)
+		st.regs[in.Dst] = evalALU(in.Op, st.regs[in.Src1], 0, in.Imm)
+		st.regTime[in.Dst] = done
+		st.bumpDone(done)
+		st.retire(done)
+		c.pmcs.Inc(pmc.RetiredOps)
+		return outcome{}
+
+	case isa.IMUL:
+		ready := max64(d, max64(st.regTime[in.Src1], st.regTime[in.Src2]))
+		issue := acquire(st.ports.mul, ready)
+		done := issue + int64(cfg.MulLatency)
+		st.regs[in.Dst] = st.regs[in.Src1] * st.regs[in.Src2]
+		st.regTime[in.Dst] = done
+		st.bumpDone(done)
+		st.retire(done)
+		c.pmcs.Inc(pmc.RetiredOps)
+		return outcome{}
+
+	case isa.RDPRU:
+		// Reads the cycle counter once all older loads have completed —
+		// deterministic timing, like the paper's fenced RDPRU usage.
+		issue := acquire(st.ports.alu, max64(d, st.maxLoadDone))
+		v := issue
+		if j := cfg.TimerJitter; j > 0 {
+			v += c.jitter.Int63n(2*j+1) - j
+		}
+		if q := cfg.TimerQuantum; q > 1 {
+			v -= v % q
+		}
+		st.regs[in.Dst] = uint64(v)
+		st.regTime[in.Dst] = issue + 1
+		st.bumpDone(issue + 1)
+		st.retire(issue + 1)
+		c.pmcs.Inc(pmc.RetiredOps)
+		return outcome{}
+
+	case isa.CLFLUSH:
+		va := st.regs[in.Src1] + uint64(int64(in.Imm))
+		pa, extra, f := c.translateData(mmu, va, false)
+		if f != mem.FaultNone {
+			if ep != nil {
+				return outcome{kind: oFault}
+			}
+			return outcome{kind: oFault, fault: f, faultVA: va}
+		}
+		issue := max64(d, st.regTime[in.Src1]+int64(cfg.AGULatency)) + extra
+		c.cache.Flush(pa)
+		done := issue + 2
+		st.bumpMem(done)
+		st.retire(done)
+		c.pmcs.Inc(pmc.RetiredOps)
+		return outcome{}
+
+	case isa.MFENCE:
+		st.fetchCycle = max64(st.fetchCycle, st.maxMemDone)
+		st.fetchedInCy = 0
+		st.retire(max64(d, st.maxMemDone))
+		c.pmcs.Inc(pmc.RetiredOps)
+		return outcome{}
+
+	case isa.LFENCE:
+		st.fetchCycle = max64(st.fetchCycle, st.maxDone)
+		st.fetchedInCy = 0
+		st.retire(max64(d, st.maxDone))
+		c.pmcs.Inc(pmc.RetiredOps)
+		return outcome{}
+
+	case isa.SFENCE:
+		st.fetchCycle = max64(st.fetchCycle, st.maxStoreDone)
+		st.fetchedInCy = 0
+		st.retire(max64(d, st.maxStoreDone))
+		c.pmcs.Inc(pmc.RetiredOps)
+		return outcome{}
+
+	case isa.JMP:
+		target := uint64(uint32(in.Imm))
+		st.retire(d)
+		st.redirect(target, st.fetchCycle+1)
+		c.pmcs.Inc(pmc.RetiredOps)
+		return outcome{}
+
+	case isa.JZ, isa.JNZ:
+		return c.execBranch(mmu, st, in, pc, d, ep)
+
+	case isa.LOAD:
+		return c.execLoad(mmu, st, in, pc, ipa, d, ep)
+
+	case isa.STORE:
+		return c.execStore(mmu, st, in, pc, ipa, d, ep)
+
+	case isa.SYSCALL:
+		// Serializing trap into the kernel model.
+		done := max64(d, st.maxDone)
+		st.retire(done)
+		c.pmcs.Inc(pmc.RetiredOps)
+		return outcome{kind: oSyscall}
+
+	case isa.HALT:
+		st.retire(d)
+		c.pmcs.Inc(pmc.RetiredOps)
+		return outcome{kind: oHalt}
+
+	default: // BAD or unknown
+		if ep != nil {
+			return outcome{kind: oFault}
+		}
+		return outcome{kind: oFault, fault: mem.FaultProtection, faultVA: pc}
+	}
+}
+
+func (c *Core) execBranch(mmu MMU, st *runState, in isa.Inst, pc uint64, d int64, ep *episodeCtx) outcome {
+	cond := st.regs[in.Src1]
+	taken := (in.Op == isa.JZ) == (cond == 0)
+	target := uint64(uint32(in.Imm))
+	nextPC := pc + isa.InstBytes
+	resolve := max64(d, st.regTime[in.Src1]) + 1
+	st.retire(resolve)
+	st.bumpDone(resolve)
+	c.pmcs.Inc(pmc.RetiredOps)
+
+	if ep != nil {
+		// Inside a transient window: follow the (transient) actual
+		// direction; the direction predictor still trains.
+		c.bp.update(pc, taken)
+		if taken {
+			st.redirect(target, st.fetchCycle+1)
+		}
+		return outcome{}
+	}
+
+	predTaken := c.bp.predict(pc)
+	c.bp.update(pc, taken)
+	if predTaken == taken {
+		if taken {
+			st.redirect(target, st.fetchCycle+1)
+		}
+		return outcome{}
+	}
+
+	// Branch misprediction: run the wrong path transiently, then refetch.
+	c.pmcs.Inc(pmc.BranchMispredicts)
+	wrongPC := target
+	correctPC := nextPC
+	if taken {
+		wrongPC = nextPC
+		correctPC = target
+	}
+	clone := st.clone()
+	clone.pc = wrongPC
+	ev := c.runEpisode(mmu, clone, resolve)
+	st.stlds = append(st.stlds, ev...)
+	st.redirect(correctPC, resolve+int64(c.cfg.BranchMissPenalty))
+	return outcome{}
+}
+
+func (c *Core) execStore(mmu MMU, st *runState, in isa.Inst, pc, ipa uint64, d int64, ep *episodeCtx) outcome {
+	cfg := &c.cfg
+	va := st.regs[in.Src1] + uint64(int64(in.Imm))
+	data := st.regs[in.Src2]
+	d = st.sqSlot(d)
+	pa, extra, f := c.translateData(mmu, va, true)
+	if f != mem.FaultNone {
+		if ep != nil {
+			return outcome{kind: oFault}
+		}
+		return outcome{kind: oFault, fault: f, faultVA: va}
+	}
+	addrReady := max64(d, st.regTime[in.Src1])
+	addrTime := acquire(st.ports.st, addrReady) + int64(cfg.AGULatency) + extra
+	dataTime := max64(d, st.regTime[in.Src2])
+	complete := max64(addrTime, dataTime)
+	ret := st.retire(complete)
+	drain := ret + 2
+
+	rec := storeRec{
+		seq:      st.seq,
+		pa:       pa,
+		va:       va,
+		ipa:      ipa,
+		iva:      pc,
+		oldVal:   c.phys.Read64(pa),
+		newVal:   data,
+		addrTime: addrTime,
+		dataTime: dataTime,
+		drain:    drain,
+	}
+	st.seq++
+	st.stores = append(st.stores, rec)
+	st.sqPush(drain)
+	if ep == nil {
+		// Commit: the write becomes architectural; younger loads that must
+		// not see it yet read through the pre-image log.
+		c.phys.Write64(pa, data)
+		c.cache.Touch(pa)
+	}
+	st.bumpMem(complete)
+	if complete > st.maxStoreDone {
+		st.maxStoreDone = complete
+	}
+	c.pmcs.Inc(pmc.RetiredOps)
+	return outcome{}
+}
+
+func (c *Core) execLoad(mmu MMU, st *runState, in isa.Inst, pc, ipa uint64, d int64, ep *episodeCtx) outcome {
+	cfg := &c.cfg
+	va := st.regs[in.Src1] + uint64(int64(in.Imm))
+	pa, extra, f := c.translateData(mmu, va, false)
+	if f != mem.FaultNone {
+		return c.faultingLoad(mmu, st, in, va, d, ep, f)
+	}
+	d = st.lqSlot(d)
+	addrReady := max64(d, st.regTime[in.Src1]) + int64(cfg.AGULatency)
+	tA := acquire(st.ports.ld, addrReady) + extra
+	if ep != nil && tA >= ep.verifyTime {
+		// The squash arrives before this load could issue: it never executes
+		// and leaves no trace — the transient window's real boundary.
+		st.regs[in.Dst] = 0
+		st.regTime[in.Dst] = tA
+		return outcome{}
+	}
+	c.pmcs.Inc(pmc.LdDispatch)
+
+	var value uint64
+	var complete int64
+
+	S := st.youngestUnresolved(tA)
+	if S == nil {
+		value, complete = c.resolvedLoad(st, pa, tA)
+	} else {
+		// S is the pairing store the predictors are consulted for. U is the
+		// youngest *aliasing* unresolved store (usually S itself in the
+		// paper's single-store scenarios), which decides the ground truth.
+		q := predict.Query{StoreIPA: S.ipa, LoadIPA: ipa, StoreIVA: S.iva, LoadIVA: pc}
+		pred := c.dis.Predict(q)
+		U, uMaxAddr := st.unresolvedAliasing(pa, tA)
+		truth := U != nil
+		psfFires := pred.Aliasing && pred.PSF && S.dataTime < S.addrTime
+
+		switch {
+		case !pred.Aliasing:
+			value, complete = c.bypassLoad(mmu, st, in, q, S, U, uMaxAddr, va, pa, tA, ep)
+		case psfFires:
+			value, complete = c.psfLoad(mmu, st, in, q, S, U, uMaxAddr, va, pa, tA, ep)
+		default:
+			// Predicted aliasing without PSF: stall until all older store
+			// addresses are generated, then disambiguate architecturally.
+			tR := st.allUnresolvedAddrTime(tA)
+			if tR > tA {
+				c.pmcs.Add(pmc.SQStallCycles, uint64(tR-tA))
+			}
+			ty := c.dis.Verify(q, truth)
+			st.stlds = append(st.stlds, StldEvent{
+				StoreIPA: S.ipa, LoadIPA: ipa, StoreVA: S.va, LoadVA: va,
+				Type: ty, Cycle: S.addrTime,
+			})
+			value, complete = c.resolvedLoad(st, pa, tR+1)
+		}
+	}
+
+	st.regs[in.Dst] = value
+	st.regTime[in.Dst] = complete
+	if complete > st.maxLoadDone {
+		st.maxLoadDone = complete
+	}
+	st.lqPush(complete)
+	st.bumpMem(complete)
+	st.retire(complete)
+	c.pmcs.Inc(pmc.RetiredOps)
+	return outcome{}
+}
+
+// resolvedLoad performs the architectural (non-speculative) load path at
+// time t: forward from the youngest aliasing in-flight store or access the
+// cache. A partially overlapping store cannot forward (real cores fail the
+// forward and replay); the load waits for the store to drain and reads
+// memory, which already holds the committed bytes.
+func (c *Core) resolvedLoad(st *runState, pa uint64, t int64) (uint64, int64) {
+	if a := st.youngestAliasing(pa, t); a != nil {
+		if a.pa == pa {
+			c.pmcs.Inc(pmc.StoreToLoadForwarding)
+			return a.newVal, max64(t, a.dataTime) + int64(c.cfg.ForwardLatency)
+		}
+		// Forward fail: misaligned overlap.
+		lat, _ := c.cache.Access(pa)
+		return c.phys.Read64(pa), max64(t, a.drain) + int64(lat)
+	}
+	lat, _ := c.cache.Access(pa)
+	return c.phys.Read64(pa), t + int64(lat)
+}
+
+// bypassLoad handles a load predicted non-aliasing: it executes immediately
+// from the cache. If it in fact aliases an unresolved older store U, the
+// execution is transient — younger instructions consume the stale value
+// until U's address generation squashes them (type G).
+func (c *Core) bypassLoad(mmu MMU, st *runState, in isa.Inst, q predict.Query, S, U *storeRec, uMaxAddr int64, va, pa uint64, tA int64, ep *episodeCtx) (uint64, int64) {
+	c.pmcs.Inc(pmc.Bypasses)
+	lat, _ := c.cache.Access(pa)
+	tDone := tA + int64(lat)
+	stale := c.transientRead(st, pa, tA)
+
+	ty := c.dis.Verify(q, U != nil)
+	st.stlds = append(st.stlds, StldEvent{
+		StoreIPA: q.StoreIPA, LoadIPA: q.LoadIPA, StoreVA: S.va, LoadVA: va,
+		Type: ty, Cycle: S.addrTime,
+	})
+
+	if U == nil || ep != nil {
+		// Correct bypass (H) — or inside an episode, where the transient
+		// behaviour simply continues with the stale value.
+		return stale, tDone
+	}
+
+	// Type G: misprediction. Run the transient window, then roll back and
+	// replay the load with the conflicting stores resolved.
+	c.pmcs.Inc(pmc.Rollbacks)
+	verify := uMaxAddr + 1
+	clone := st.clone()
+	clone.regs[in.Dst] = stale
+	clone.regTime[in.Dst] = tDone
+	if tDone > clone.maxLoadDone {
+		clone.maxLoadDone = tDone
+	}
+	ev := c.runEpisode(mmu, clone, verify)
+	st.stlds = append(st.stlds, ev...)
+	return c.replayLoad(st, pa, verify)
+}
+
+// psfLoad handles predictive store forwarding: the store's data is forwarded
+// before its address is generated. A non-aliasing truth makes the forward
+// wrong (type D) and triggers a rollback.
+func (c *Core) psfLoad(mmu MMU, st *runState, in isa.Inst, q predict.Query, S, U *storeRec, uMaxAddr int64, va, pa uint64, tA int64, ep *episodeCtx) (uint64, int64) {
+	c.pmcs.Inc(pmc.PSFForwards)
+	fwdDone := max64(tA, S.dataTime) + int64(c.cfg.ForwardLatency)
+
+	ty := c.dis.Verify(q, U != nil)
+	st.stlds = append(st.stlds, StldEvent{
+		StoreIPA: q.StoreIPA, LoadIPA: q.LoadIPA, StoreVA: S.va, LoadVA: va,
+		Type: ty, Cycle: S.addrTime,
+	})
+
+	// The forward is correct only if S really is the store the load must
+	// read from — the youngest aliasing store overall — and the addresses
+	// match exactly (a partial overlap forwards the wrong bytes).
+	correct := U == S && S.pa == pa && st.youngestAliasing(pa, tA) == S
+	if correct || ep != nil {
+		// Correct forward (C) — or transient continuation with the
+		// (possibly wrong) forwarded value inside an episode.
+		return S.newVal, fwdDone
+	}
+
+	// Type D: forwarded the wrong store's data. Transient window with the
+	// forwarded value, then rollback and replay from the cache.
+	c.pmcs.Inc(pmc.Rollbacks)
+	verify := S.addrTime + 1
+	if uMaxAddr+1 > verify {
+		verify = uMaxAddr + 1
+	}
+	clone := st.clone()
+	clone.regs[in.Dst] = S.newVal
+	clone.regTime[in.Dst] = fwdDone
+	if fwdDone > clone.maxLoadDone {
+		clone.maxLoadDone = fwdDone
+	}
+	ev := c.runEpisode(mmu, clone, verify)
+	st.stlds = append(st.stlds, ev...)
+	return c.replayLoad(st, pa, verify)
+}
+
+// replayLoad re-executes a squashed load after the rollback penalty, with
+// all older stores now resolved.
+func (c *Core) replayLoad(st *runState, pa uint64, verify int64) (uint64, int64) {
+	redirect := verify + int64(c.cfg.RollbackPenalty)
+	// The refetch walks the front end again.
+	c.pmcs.Inc(pmc.ITLBHit4K)
+	c.pmcs.Inc(pmc.LdDispatch)
+	tA := acquire(st.ports.ld, redirect)
+	value, complete := c.resolvedLoad(st, pa, tA)
+	// Younger instructions refetch behind the load.
+	st.redirect(st.pc, redirect)
+	return value, complete
+}
+
+// faultingLoad models the transient window a faulting load opens: dependents
+// transiently consume zero (AMD cores do not forward faulting data), then
+// the fault retires and the run stops. Inside an episode the fault simply
+// ends the window.
+func (c *Core) faultingLoad(mmu MMU, st *runState, in isa.Inst, va uint64, d int64, ep *episodeCtx, f mem.Fault) outcome {
+	if ep != nil {
+		return outcome{kind: oFault}
+	}
+	addrReady := max64(d, st.regTime[in.Src1]) + int64(c.cfg.AGULatency)
+	tA := acquire(st.ports.ld, addrReady)
+	c.pmcs.Inc(pmc.LdDispatch)
+	complete := tA + 4
+	// The fault is raised at retirement; the page walk and the trap entry
+	// leave a window of a few dozen cycles for dependents to run.
+	retireAt := max64(st.lastRetire, complete) + 32
+	clone := st.clone()
+	clone.regs[in.Dst] = 0
+	clone.regTime[in.Dst] = complete
+	ev := c.runEpisode(mmu, clone, retireAt)
+	st.stlds = append(st.stlds, ev...)
+	st.retire(complete)
+	return outcome{kind: oFault, fault: f, faultVA: va}
+}

@@ -1,0 +1,102 @@
+package pipeline
+
+import (
+	"zenspec/internal/isa"
+	"zenspec/internal/mem"
+)
+
+// GoldenResult is the architectural outcome of a reference execution.
+type GoldenResult struct {
+	Stop    StopReason
+	EndPC   uint64
+	Fault   mem.Fault
+	FaultVA uint64
+	Insts   uint64
+}
+
+// Golden executes a program on a trivially correct in-order interpreter with
+// no speculation and no timing. It is the reference model for differential
+// testing: any program's architectural state (registers and memory) after
+// the out-of-order Core must match Golden exactly.
+//
+// RDPRU is the one deliberate exception — the whole point of the paper is
+// that time is architecturally visible — so Golden writes 0 to the RDPRU
+// destination and differential tests must not make other state depend on it.
+func Golden(phys *mem.Physical, mmu MMU, entry uint64, regs *[isa.NumRegs]uint64, maxInsts uint64) GoldenResult {
+	if maxInsts == 0 {
+		maxInsts = 1 << 20
+	}
+	pc := entry
+	var insts uint64
+	for insts < maxInsts {
+		pa, f := mmu.Translate(pc, mem.AccessExec)
+		if f != mem.FaultNone {
+			return GoldenResult{Stop: StopFault, EndPC: pc, Fault: f, FaultVA: pc, Insts: insts}
+		}
+		var buf [isa.InstBytes]byte
+		first := mem.PageSize - mem.PageOffset(pc)
+		if first >= isa.InstBytes {
+			copy(buf[:], phys.ReadBytes(pa, isa.InstBytes))
+		} else {
+			copy(buf[:first], phys.ReadBytes(pa, int(first)))
+			pa2, f2 := mmu.Translate(pc+first, mem.AccessExec)
+			if f2 != mem.FaultNone {
+				return GoldenResult{Stop: StopFault, EndPC: pc, Fault: f2, FaultVA: pc, Insts: insts}
+			}
+			copy(buf[first:], phys.ReadBytes(pa2, int(isa.InstBytes-first)))
+		}
+		in := isa.Decode(buf[:])
+		insts++
+		next := pc + isa.InstBytes
+
+		switch in.Op {
+		case isa.NOP, isa.MFENCE, isa.LFENCE, isa.SFENCE:
+		case isa.MOVI:
+			regs[in.Dst] = uint64(int64(in.Imm))
+		case isa.MOV:
+			regs[in.Dst] = regs[in.Src1]
+		case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR,
+			isa.ADDI, isa.SUBI, isa.ANDI, isa.ORI, isa.XORI, isa.SHLI, isa.SHRI, isa.IMUL:
+			regs[in.Dst] = evalALU(in.Op, regs[in.Src1], regs[in.Src2], in.Imm)
+		case isa.RDPRU:
+			regs[in.Dst] = 0
+		case isa.CLFLUSH:
+			va := regs[in.Src1] + uint64(int64(in.Imm))
+			if _, f := mmu.Translate(va, mem.AccessRead); f != mem.FaultNone {
+				return GoldenResult{Stop: StopFault, EndPC: next, Fault: f, FaultVA: va, Insts: insts}
+			}
+		case isa.LOAD:
+			va := regs[in.Src1] + uint64(int64(in.Imm))
+			dpa, f := mmu.Translate(va, mem.AccessRead)
+			if f != mem.FaultNone {
+				return GoldenResult{Stop: StopFault, EndPC: next, Fault: f, FaultVA: va, Insts: insts}
+			}
+			regs[in.Dst] = phys.Read64(dpa)
+		case isa.STORE:
+			va := regs[in.Src1] + uint64(int64(in.Imm))
+			dpa, f := mmu.Translate(va, mem.AccessWrite)
+			if f != mem.FaultNone {
+				return GoldenResult{Stop: StopFault, EndPC: next, Fault: f, FaultVA: va, Insts: insts}
+			}
+			phys.Write64(dpa, regs[in.Src2])
+		case isa.JMP:
+			next = uint64(uint32(in.Imm))
+		case isa.JZ:
+			if regs[in.Src1] == 0 {
+				next = uint64(uint32(in.Imm))
+			}
+		case isa.JNZ:
+			if regs[in.Src1] != 0 {
+				next = uint64(uint32(in.Imm))
+			}
+		case isa.SYSCALL:
+			return GoldenResult{Stop: StopSyscall, EndPC: next, Insts: insts}
+		case isa.HALT:
+			return GoldenResult{Stop: StopHalt, EndPC: next, Insts: insts}
+		default:
+			return GoldenResult{Stop: StopFault, EndPC: pc, Fault: mem.FaultProtection, FaultVA: pc, Insts: insts}
+		}
+		pc = next
+	}
+	return GoldenResult{Stop: StopInstLimit, EndPC: pc, Insts: insts}
+}

@@ -1,0 +1,210 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"zenspec/internal/asm"
+	"zenspec/internal/isa"
+	"zenspec/internal/mem"
+)
+
+// genProgram builds a random but well-formed program: ALU ops over r0..r7,
+// masked loads/stores into the data region (base in r15), forward branches,
+// fences and flushes. It always terminates (branches only jump forward).
+// RDPRU is excluded: the golden model defines its value as 0, so programs
+// containing it would diverge by design.
+func genProgram(r *rand.Rand, n int) *asm.Builder {
+	b := asm.NewBuilder()
+	labels := 0
+	pending := []string{}
+	reg := func() isa.Reg { return isa.Reg(r.Intn(8)) }
+	for i := 0; i < n; i++ {
+		// Resolve one pending forward label at random.
+		if len(pending) > 0 && r.Intn(4) == 0 {
+			b.Label(pending[0])
+			pending = pending[1:]
+		}
+		switch r.Intn(12) {
+		case 0:
+			b.Movi(reg(), int32(r.Uint32()))
+		case 1:
+			b.Add(reg(), reg(), reg())
+		case 2:
+			b.Sub(reg(), reg(), reg())
+		case 3:
+			b.Xor(reg(), reg(), reg())
+		case 4:
+			b.Imul(reg(), reg(), reg())
+		case 5:
+			b.Shri(reg(), reg(), int32(r.Intn(32)))
+		case 6: // store (possibly unaligned: partial-overlap coverage)
+			b.Andi(isa.R9, reg(), 0xff0)
+			b.Addi(isa.R9, isa.R9, int32(r.Intn(8)))
+			b.Add(isa.R9, isa.R9, isa.R15)
+			b.Store(isa.R9, 0, reg())
+		case 7: // load (possibly unaligned)
+			b.Andi(isa.R9, reg(), 0xff0)
+			b.Addi(isa.R9, isa.R9, int32(r.Intn(8)))
+			b.Add(isa.R9, isa.R9, isa.R15)
+			b.Load(reg(), isa.R9, 0)
+		case 8: // forward branch
+			labels++
+			name := "fwd" + string(rune('a'+labels%26)) + string(rune('0'+labels/26%10)) + string(rune('0'+labels/260))
+			pending = append(pending, name)
+			if r.Intn(2) == 0 {
+				b.Jz(reg(), name)
+			} else {
+				b.Jnz(reg(), name)
+			}
+		case 9:
+			b.Mfence()
+		case 10:
+			b.Andi(isa.R9, reg(), 0xff8)
+			b.Add(isa.R9, isa.R9, isa.R15)
+			b.Clflush(isa.R9, 0)
+		default:
+			b.Addi(reg(), reg(), int32(r.Intn(1000)))
+		}
+	}
+	for _, l := range pending {
+		b.Label(l)
+	}
+	b.Halt()
+	return b
+}
+
+// TestDifferentialVsGolden: for many random programs, the out-of-order core
+// with full memory speculation must produce exactly the architectural state
+// of the in-order golden interpreter — registers, memory, stop reason.
+func TestDifferentialVsGolden(t *testing.T) {
+	const dataBytes = mem.PageSize
+	for seed := int64(0); seed < 150; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		prog := genProgram(r, 60+r.Intn(80))
+		code, err := prog.Assemble(codeBase)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		// Out-of-order run.
+		eo := newEnv(t, Config{})
+		eo.mapCode(codeBase, code)
+		eo.mapData(dataBase, dataBytes)
+		var regsO [isa.NumRegs]uint64
+		regsO[isa.R15] = dataBase
+		resO := eo.run(codeBase, &regsO)
+
+		// Golden run on a fresh identical machine.
+		eg := newEnv(t, Config{})
+		eg.mapCode(codeBase, code)
+		eg.mapData(dataBase, dataBytes)
+		var regsG [isa.NumRegs]uint64
+		regsG[isa.R15] = dataBase
+		resG := Golden(eg.phys, eg.as, codeBase, &regsG, 0)
+
+		if resO.Stop.String() != resG.Stop.String() || resO.EndPC != resG.EndPC {
+			t.Fatalf("seed %d: stop %v@%#x vs golden %v@%#x",
+				seed, resO.Stop, resO.EndPC, resG.Stop, resG.EndPC)
+		}
+		if resO.Insts != resG.Insts {
+			t.Fatalf("seed %d: insts %d vs %d", seed, resO.Insts, resG.Insts)
+		}
+		if regsO != regsG {
+			t.Fatalf("seed %d: register divergence\nooo:    %v\ngolden: %v", seed, regsO, regsG)
+		}
+		for off := uint64(0); off < dataBytes; off += 8 {
+			if a, b := eo.read64(dataBase+off), eg.read64(dataBase+off); a != b {
+				t.Fatalf("seed %d: memory divergence at +%#x: %#x vs %#x", seed, off, a, b)
+			}
+		}
+	}
+}
+
+// TestDifferentialWithSlowStores stresses the memory-speculation machinery
+// specifically: random aliasing/non-aliasing store-load pairs with
+// multiply-delayed store addresses, which exercise every predictor path
+// including rollbacks, must still retire the architecturally correct values.
+func TestDifferentialWithSlowStores(t *testing.T) {
+	for seed := int64(0); seed < 120; seed++ {
+		r := rand.New(rand.NewSource(1000 + seed))
+		b := asm.NewBuilder()
+		b.Movi(isa.R12, 1)
+		n := 6 + r.Intn(10)
+		for i := 0; i < n; i++ {
+			storeOff := int32(r.Intn(64)*8 + r.Intn(8))
+			loadOff := storeOff
+			switch r.Intn(3) {
+			case 0:
+				loadOff = int32(r.Intn(64)*8 + r.Intn(8)) // anywhere
+			case 1:
+				loadOff = storeOff + int32(r.Intn(15)) - 7 // partial overlap
+				if loadOff < 0 {
+					loadOff = 0
+				}
+			}
+			imuls := r.Intn(12)
+			b.Mov(isa.RBX, isa.R15)
+			for j := 0; j < imuls; j++ {
+				b.Imul(isa.RBX, isa.RBX, isa.R12)
+			}
+			b.Movi(isa.R9, int32(r.Uint32()&0xffff))
+			b.Store(isa.RBX, storeOff, isa.R9)
+			b.Load(isa.Reg(r.Intn(8)), isa.R15, loadOff)
+		}
+		b.Halt()
+		code := b.MustAssemble(codeBase)
+
+		eo := newEnv(t, Config{})
+		eo.mapCode(codeBase, code)
+		eo.mapData(dataBase, mem.PageSize)
+		var regsO [isa.NumRegs]uint64
+		regsO[isa.R15] = dataBase
+		eo.run(codeBase, &regsO)
+
+		eg := newEnv(t, Config{})
+		eg.mapCode(codeBase, code)
+		eg.mapData(dataBase, mem.PageSize)
+		var regsG [isa.NumRegs]uint64
+		regsG[isa.R15] = dataBase
+		Golden(eg.phys, eg.as, codeBase, &regsG, 0)
+
+		if regsO != regsG {
+			t.Fatalf("seed %d: register divergence\nooo:    %v\ngolden: %v", seed, regsO, regsG)
+		}
+		for off := uint64(0); off < mem.PageSize-8; off++ {
+			if a, bb := eo.read64(dataBase+off), eg.read64(dataBase+off); a != bb {
+				t.Fatalf("seed %d: memory divergence at +%#x", seed, off)
+			}
+		}
+	}
+}
+
+// TestGoldenBasics sanity-checks the reference interpreter itself.
+func TestGoldenBasics(t *testing.T) {
+	e := newEnv(t, Config{})
+	b := asm.NewBuilder()
+	b.Movi(isa.RAX, 5)
+	b.Movi(isa.RCX, 3)
+	b.Imul(isa.RAX, isa.RAX, isa.RCX)
+	b.Store(isa.R15, 0, isa.RAX)
+	b.Load(isa.RDX, isa.R15, 0)
+	b.Halt()
+	e.mapCode(codeBase, b.MustAssemble(codeBase))
+	e.mapData(dataBase, mem.PageSize)
+	var regs [isa.NumRegs]uint64
+	regs[isa.R15] = dataBase
+	res := Golden(e.phys, e.as, codeBase, &regs, 0)
+	if res.Stop != StopHalt || regs[isa.RDX] != 15 {
+		t.Errorf("golden: stop %v rdx %d", res.Stop, regs[isa.RDX])
+	}
+	// Fault path.
+	regs[isa.R15] = 0xdead0000
+	b2 := asm.NewBuilder()
+	b2.Load(isa.RAX, isa.R15, 0).Halt()
+	e.mapCode(codeBase+0x1000, b2.MustAssemble(codeBase+0x1000))
+	res = Golden(e.phys, e.as, codeBase+0x1000, &regs, 0)
+	if res.Stop != StopFault || res.Fault != mem.FaultNotMapped {
+		t.Errorf("golden fault: %v %v", res.Stop, res.Fault)
+	}
+}

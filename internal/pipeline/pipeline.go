@@ -1,0 +1,308 @@
+// Package pipeline implements the cycle-level out-of-order core on which all
+// of the paper's experiments run.
+//
+// The model is a timestamp-based dataflow simulation: instructions are
+// processed in program order, each receiving issue/complete timestamps from
+// its operand readiness, port contention and memory behaviour, with in-order
+// retirement. Memory speculation follows the paper's machinery exactly: a
+// load that becomes address-ready while an older store's address is still
+// being generated consults the speculative memory access predictors
+// (predict.Disambiguator). Mispredictions open a transient episode — younger
+// instructions execute with the wrong value, leaving cache fills and
+// predictor updates behind — and then roll back, replaying from the load
+// after a configurable penalty. Predictor updates and cache state are never
+// rolled back, which is the paper's Vulnerability 4 and the engine behind
+// Spectre-STL and Spectre-CTL.
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"zenspec/internal/cache"
+	"zenspec/internal/isa"
+	"zenspec/internal/mem"
+	"zenspec/internal/pmc"
+	"zenspec/internal/predict"
+)
+
+// MMU translates virtual addresses for the running context. *mem.AddrSpace
+// satisfies it; the kernel model wraps it with COW handling.
+type MMU interface {
+	Translate(va uint64, acc mem.Access) (uint64, mem.Fault)
+}
+
+// Config sets the core's microarchitectural parameters. Zero values are
+// replaced by DefaultConfig's.
+type Config struct {
+	FetchWidth int // instructions dispatched per cycle
+	ROBSize    int // reorder-buffer window
+	SQSize     int // store-queue entries (48 on Zen 3 family 17h)
+	LQSize     int // load-queue entries (72 on Zen 3)
+	ALUPorts   int
+	MulPorts   int
+	LoadPorts  int
+	StorePorts int
+
+	ALULatency     int
+	MulLatency     int // the IMUL chains delaying store address generation
+	ForwardLatency int // store-queue forward (STLF and PSF)
+	AGULatency     int // address generation
+
+	BranchMissPenalty int
+	RollbackPenalty   int // extra refetch delay after a memory-speculation rollback
+	TLBMissPenalty    int
+	DTLBSize          int
+	ITLBSize          int
+
+	// EpisodeCap bounds how many instructions execute inside one transient
+	// episode (the hardware bound is the ROB size).
+	EpisodeCap int
+	// TimerQuantum, when > 1, quantizes RDPRU readings — the "secure timer"
+	// mitigation of Section VI-B (and the coarse browser timer of V-C2).
+	TimerQuantum int64
+	// TimerJitter, when > 0, adds deterministic pseudo-random noise in
+	// [-TimerJitter, +TimerJitter] to RDPRU readings — the measurement noise
+	// of a constructed browser timer.
+	TimerJitter int64
+	// TimerSeed seeds the jitter stream.
+	TimerSeed int64
+}
+
+// DefaultConfig approximates the paper's Zen 3 test machines.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:        4,
+		ROBSize:           256,
+		SQSize:            48,
+		LQSize:            72,
+		ALUPorts:          4,
+		MulPorts:          1,
+		LoadPorts:         2,
+		StorePorts:        1,
+		ALULatency:        1,
+		MulLatency:        3,
+		ForwardLatency:    8,
+		AGULatency:        1,
+		BranchMissPenalty: 16,
+		RollbackPenalty:   200,
+		TLBMissPenalty:    20,
+		DTLBSize:          64,
+		ITLBSize:          64,
+		EpisodeCap:        64,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.FetchWidth == 0 {
+		c.FetchWidth = d.FetchWidth
+	}
+	if c.ROBSize == 0 {
+		c.ROBSize = d.ROBSize
+	}
+	if c.SQSize == 0 {
+		c.SQSize = d.SQSize
+	}
+	if c.LQSize == 0 {
+		c.LQSize = d.LQSize
+	}
+	if c.ALUPorts == 0 {
+		c.ALUPorts = d.ALUPorts
+	}
+	if c.MulPorts == 0 {
+		c.MulPorts = d.MulPorts
+	}
+	if c.LoadPorts == 0 {
+		c.LoadPorts = d.LoadPorts
+	}
+	if c.StorePorts == 0 {
+		c.StorePorts = d.StorePorts
+	}
+	if c.ALULatency == 0 {
+		c.ALULatency = d.ALULatency
+	}
+	if c.MulLatency == 0 {
+		c.MulLatency = d.MulLatency
+	}
+	if c.ForwardLatency == 0 {
+		c.ForwardLatency = d.ForwardLatency
+	}
+	if c.AGULatency == 0 {
+		c.AGULatency = d.AGULatency
+	}
+	if c.BranchMissPenalty == 0 {
+		c.BranchMissPenalty = d.BranchMissPenalty
+	}
+	if c.RollbackPenalty == 0 {
+		c.RollbackPenalty = d.RollbackPenalty
+	}
+	if c.TLBMissPenalty == 0 {
+		c.TLBMissPenalty = d.TLBMissPenalty
+	}
+	if c.DTLBSize == 0 {
+		c.DTLBSize = d.DTLBSize
+	}
+	if c.ITLBSize == 0 {
+		c.ITLBSize = d.ITLBSize
+	}
+	if c.EpisodeCap == 0 {
+		c.EpisodeCap = d.EpisodeCap
+	}
+	return c
+}
+
+// StopReason says why a run ended.
+type StopReason uint8
+
+// Stop reasons.
+const (
+	StopHalt StopReason = iota
+	StopSyscall
+	StopFault
+	StopInstLimit
+)
+
+func (s StopReason) String() string {
+	switch s {
+	case StopHalt:
+		return "halt"
+	case StopSyscall:
+		return "syscall"
+	case StopFault:
+		return "fault"
+	case StopInstLimit:
+		return "inst-limit"
+	}
+	return "stop?"
+}
+
+// StldEvent records one verified store-load speculation, the ground truth
+// the reverse-engineering harness validates its timing classifier against.
+type StldEvent struct {
+	StoreIPA, LoadIPA uint64 // instruction physical addresses
+	StoreVA, LoadVA   uint64 // data virtual addresses
+	Type              predict.ExecType
+	Transient         bool // verified inside a transient episode
+	Cycle             int64
+}
+
+// RunResult reports one Run.
+type RunResult struct {
+	Stop    StopReason
+	Cycles  int64  // retirement time of the last instruction, relative to run start
+	EndPC   uint64 // pc after the stopping instruction
+	Fault   mem.Fault
+	FaultVA uint64
+	FaultPC uint64 // pc of the faulting instruction (for retry after COW break)
+	Insts   uint64 // retired instruction count
+	Stlds   []StldEvent
+}
+
+// TraceEntry records one executed instruction for the instruction tracer.
+type TraceEntry struct {
+	PC   uint64
+	IPA  uint64
+	Inst isa.Inst
+	// RetiredBy is the in-order retirement frontier after this instruction
+	// (absolute cycles).
+	RetiredBy int64
+	// Transient marks wrong-path execution inside a speculation window;
+	// transient entries never become architectural.
+	Transient bool
+}
+
+// Tracer receives one entry per executed instruction, including transient
+// ones. Tracing is for debugging gadgets; it does not perturb timing.
+type Tracer func(TraceEntry)
+
+// Core is one simulated hardware thread's execution resources. Caches and
+// physical memory may be shared between cores; the predictor unit is
+// per-thread (the paper found PSFP/SSBP duplicated across SMT threads).
+type Core struct {
+	cfg    Config
+	phys   *mem.Physical
+	cache  *cache.Hierarchy
+	dis    predict.Disambiguator
+	pmcs   *pmc.Counters
+	dtlb   *mem.TLB
+	itlb   *mem.TLB
+	bp     *branchPredictor
+	cycle  int64 // monotonic cycle counter across runs (what RDPRU reads)
+	jitter *rand.Rand
+	tracer Tracer
+}
+
+// SetTracer installs (or, with nil, removes) the instruction tracer.
+func (c *Core) SetTracer(t Tracer) { c.tracer = t }
+
+// New assembles a core. pmcs may be nil (a private counter set is created).
+func New(cfg Config, phys *mem.Physical, ch *cache.Hierarchy, dis predict.Disambiguator, pmcs *pmc.Counters) *Core {
+	if phys == nil || ch == nil || dis == nil {
+		panic("pipeline: nil component")
+	}
+	if pmcs == nil {
+		pmcs = &pmc.Counters{}
+	}
+	cfg = cfg.withDefaults()
+	return &Core{
+		cfg:    cfg,
+		phys:   phys,
+		cache:  ch,
+		dis:    dis,
+		pmcs:   pmcs,
+		dtlb:   mem.NewTLB(cfg.DTLBSize),
+		itlb:   mem.NewTLB(cfg.ITLBSize),
+		bp:     newBranchPredictor(),
+		jitter: rand.New(rand.NewSource(cfg.TimerSeed + 1)),
+	}
+}
+
+// Config returns the core configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// PMC returns the core's performance counters.
+func (c *Core) PMC() *pmc.Counters { return c.pmcs }
+
+// Disambiguator returns the attached predictor unit.
+func (c *Core) Disambiguator() predict.Disambiguator { return c.dis }
+
+// Cache returns the attached hierarchy.
+func (c *Core) Cache() *cache.Hierarchy { return c.cache }
+
+// Cycle returns the current absolute cycle count.
+func (c *Core) Cycle() int64 { return c.cycle }
+
+// FlushTLBs empties both TLBs (done on address-space switch).
+func (c *Core) FlushTLBs() {
+	c.dtlb.Flush()
+	c.itlb.Flush()
+}
+
+// SetTimerQuantum adjusts RDPRU resolution at run time (secure-timer
+// mitigation / browser profile).
+func (c *Core) SetTimerQuantum(q int64) { c.cfg.TimerQuantum = q }
+
+// Run executes from entry until HALT, SYSCALL, a fault, or maxInsts retired
+// instructions (0 means a default safety cap). The register file is read
+// from and written back to regs.
+func (c *Core) Run(mmu MMU, entry uint64, regs *[isa.NumRegs]uint64, maxInsts uint64) RunResult {
+	if maxInsts == 0 {
+		maxInsts = 1 << 20
+	}
+	st := newRunState(c, entry, *regs)
+	res := c.mainLoop(mmu, st, maxInsts)
+	*regs = st.regs
+	// Advance the global clock past everything this run did, with a small
+	// inter-run gap (pipeline drain).
+	end := st.maxDone
+	if st.lastRetire > end {
+		end = st.lastRetire
+	}
+	c.cycle = end + 8
+	return res
+}
+
+func (c *Core) String() string {
+	return fmt.Sprintf("core{dis=%s cycle=%d}", c.dis.Name(), c.cycle)
+}

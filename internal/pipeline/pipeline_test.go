@@ -1,0 +1,287 @@
+package pipeline
+
+import (
+	"testing"
+
+	"zenspec/internal/asm"
+	"zenspec/internal/cache"
+	"zenspec/internal/isa"
+	"zenspec/internal/mem"
+	"zenspec/internal/pmc"
+	"zenspec/internal/predict"
+)
+
+// env is a minimal single-process machine for pipeline tests.
+type env struct {
+	phys *mem.Physical
+	as   *mem.AddrSpace
+	ch   *cache.Hierarchy
+	unit *predict.Unit
+	core *Core
+}
+
+func newEnv(t testing.TB, cfg Config) *env {
+	t.Helper()
+	phys := mem.NewPhysical()
+	ch := cache.New(cache.DefaultConfig())
+	unit := predict.NewUnit(predict.Config{Seed: 1})
+	core := New(cfg, phys, ch, unit, &pmc.Counters{})
+	return &env{phys: phys, as: mem.NewAddrSpace(), ch: ch, unit: unit, core: core}
+}
+
+// mapCode maps code at va with fresh frames and returns the base.
+func (e *env) mapCode(va uint64, code []byte) {
+	for off := uint64(0); off < uint64(len(code))+mem.PageSize-1; off += mem.PageSize {
+		if _, ok := e.as.Lookup(va + off); !ok {
+			e.as.Map(va+off, e.phys.AllocFrame(), mem.PermR|mem.PermX)
+		}
+	}
+	for i, b := range code {
+		pa, f := e.as.Translate(va+uint64(i), mem.AccessRead)
+		if f != mem.FaultNone {
+			panic("mapCode translate")
+		}
+		e.phys.WriteBytes(pa, []byte{b})
+	}
+}
+
+// mapData maps n bytes of RW data at va.
+func (e *env) mapData(va, n uint64) {
+	for off := uint64(0); off < n+mem.PageSize-1; off += mem.PageSize {
+		if _, ok := e.as.Lookup(va + off); !ok {
+			e.as.Map(va+off, e.phys.AllocFrame(), mem.PermRW)
+		}
+	}
+}
+
+func (e *env) write64(va, v uint64) {
+	pa, f := e.as.Translate(va, mem.AccessWrite)
+	if f != mem.FaultNone {
+		panic("write64 translate")
+	}
+	e.phys.Write64(pa, v)
+}
+
+func (e *env) read64(va uint64) uint64 {
+	pa, f := e.as.Translate(va, mem.AccessRead)
+	if f != mem.FaultNone {
+		panic("read64 translate")
+	}
+	return e.phys.Read64(pa)
+}
+
+func (e *env) run(entry uint64, regs *[isa.NumRegs]uint64) RunResult {
+	return e.core.Run(e.as, entry, regs, 0)
+}
+
+const codeBase = 0x400000
+const dataBase = 0x10000
+
+func TestArithmeticProgram(t *testing.T) {
+	e := newEnv(t, Config{})
+	b := asm.NewBuilder()
+	b.Movi(isa.RAX, 6).Movi(isa.RCX, 7).Imul(isa.RDX, isa.RAX, isa.RCX)
+	b.Addi(isa.RDX, isa.RDX, 100)
+	b.Halt()
+	e.mapCode(codeBase, b.MustAssemble(codeBase))
+	var regs [isa.NumRegs]uint64
+	res := e.run(codeBase, &regs)
+	if res.Stop != StopHalt {
+		t.Fatalf("stop = %v", res.Stop)
+	}
+	if regs[isa.RDX] != 142 {
+		t.Errorf("rdx = %d, want 142", regs[isa.RDX])
+	}
+	if res.Insts != 5 {
+		t.Errorf("insts = %d", res.Insts)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	e := newEnv(t, Config{})
+	e.mapData(dataBase, mem.PageSize)
+	b := asm.NewBuilder()
+	b.Movi(isa.RDI, dataBase)
+	b.Movi(isa.RAX, 0x1234)
+	b.Store(isa.RDI, 8, isa.RAX)
+	b.Load(isa.RBX, isa.RDI, 8)
+	b.Halt()
+	e.mapCode(codeBase, b.MustAssemble(codeBase))
+	var regs [isa.NumRegs]uint64
+	res := e.run(codeBase, &regs)
+	if res.Stop != StopHalt {
+		t.Fatalf("stop = %v", res.Stop)
+	}
+	if regs[isa.RBX] != 0x1234 {
+		t.Errorf("rbx = %#x, want 0x1234 (store-to-load forward)", regs[isa.RBX])
+	}
+	if e.read64(dataBase+8) != 0x1234 {
+		t.Error("store not committed to memory")
+	}
+}
+
+func TestBranchLoop(t *testing.T) {
+	e := newEnv(t, Config{})
+	b := asm.NewBuilder()
+	b.Movi(isa.RCX, 10).Movi(isa.RAX, 0)
+	b.Label("loop")
+	b.Addi(isa.RAX, isa.RAX, 3)
+	b.Subi(isa.RCX, isa.RCX, 1)
+	b.Jnz(isa.RCX, "loop")
+	b.Halt()
+	e.mapCode(codeBase, b.MustAssemble(codeBase))
+	var regs [isa.NumRegs]uint64
+	res := e.run(codeBase, &regs)
+	if res.Stop != StopHalt {
+		t.Fatalf("stop = %v", res.Stop)
+	}
+	if regs[isa.RAX] != 30 {
+		t.Errorf("rax = %d, want 30", regs[isa.RAX])
+	}
+	if e.core.PMC().Get(pmc.BranchMispredicts) == 0 {
+		t.Error("a fresh predictor should mispredict at least once")
+	}
+}
+
+func TestSyscallStops(t *testing.T) {
+	e := newEnv(t, Config{})
+	b := asm.NewBuilder()
+	b.Movi(isa.RAX, 42).Syscall().Movi(isa.RAX, 99).Halt()
+	e.mapCode(codeBase, b.MustAssemble(codeBase))
+	var regs [isa.NumRegs]uint64
+	res := e.run(codeBase, &regs)
+	if res.Stop != StopSyscall {
+		t.Fatalf("stop = %v", res.Stop)
+	}
+	if regs[isa.RAX] != 42 {
+		t.Errorf("rax = %d", regs[isa.RAX])
+	}
+	if res.EndPC != codeBase+2*isa.InstBytes {
+		t.Errorf("EndPC = %#x", res.EndPC)
+	}
+	// Resume after the syscall.
+	res = e.run(res.EndPC, &regs)
+	if res.Stop != StopHalt || regs[isa.RAX] != 99 {
+		t.Errorf("resume failed: %v rax=%d", res.Stop, regs[isa.RAX])
+	}
+}
+
+func TestFaultOnUnmappedLoad(t *testing.T) {
+	e := newEnv(t, Config{})
+	b := asm.NewBuilder()
+	b.Movi(isa.RDI, 0x123456)
+	b.Load(isa.RAX, isa.RDI, 0)
+	b.Halt()
+	e.mapCode(codeBase, b.MustAssemble(codeBase))
+	var regs [isa.NumRegs]uint64
+	res := e.run(codeBase, &regs)
+	if res.Stop != StopFault || res.Fault != mem.FaultNotMapped {
+		t.Fatalf("stop = %v fault = %v", res.Stop, res.Fault)
+	}
+	if res.FaultVA != 0x123456 {
+		t.Errorf("FaultVA = %#x", res.FaultVA)
+	}
+}
+
+func TestBadOpcodeFaults(t *testing.T) {
+	e := newEnv(t, Config{})
+	e.mapCode(codeBase, make([]byte, 16)) // zeroed memory = BAD opcodes
+	var regs [isa.NumRegs]uint64
+	res := e.run(codeBase, &regs)
+	if res.Stop != StopFault {
+		t.Fatalf("stop = %v", res.Stop)
+	}
+}
+
+func TestInstLimit(t *testing.T) {
+	e := newEnv(t, Config{})
+	b := asm.NewBuilder()
+	b.Label("spin").Jmp("spin")
+	e.mapCode(codeBase, b.MustAssemble(codeBase))
+	var regs [isa.NumRegs]uint64
+	res := e.core.Run(e.as, codeBase, &regs, 100)
+	if res.Stop != StopInstLimit {
+		t.Fatalf("stop = %v", res.Stop)
+	}
+	if res.Insts != 100 {
+		t.Errorf("insts = %d", res.Insts)
+	}
+}
+
+func TestRDPRUMonotonicAcrossRuns(t *testing.T) {
+	e := newEnv(t, Config{})
+	b := asm.NewBuilder()
+	b.Rdpru(isa.RAX).Halt()
+	e.mapCode(codeBase, b.MustAssemble(codeBase))
+	var regs [isa.NumRegs]uint64
+	e.run(codeBase, &regs)
+	first := regs[isa.RAX]
+	e.run(codeBase, &regs)
+	if regs[isa.RAX] <= first {
+		t.Errorf("rdpru not monotonic: %d then %d", first, regs[isa.RAX])
+	}
+}
+
+func TestTimerQuantum(t *testing.T) {
+	e := newEnv(t, Config{TimerQuantum: 64})
+	b := asm.NewBuilder()
+	b.Rdpru(isa.RAX).Halt()
+	e.mapCode(codeBase, b.MustAssemble(codeBase))
+	var regs [isa.NumRegs]uint64
+	for i := 0; i < 5; i++ {
+		e.run(codeBase, &regs)
+		if regs[isa.RAX]%64 != 0 {
+			t.Fatalf("quantized rdpru returned %d", regs[isa.RAX])
+		}
+	}
+}
+
+func TestClflushEvicts(t *testing.T) {
+	e := newEnv(t, Config{})
+	e.mapData(dataBase, mem.PageSize)
+	pa, _ := e.as.Translate(dataBase, mem.AccessRead)
+	e.ch.Touch(pa)
+	b := asm.NewBuilder()
+	b.Movi(isa.RDI, dataBase).Clflush(isa.RDI, 0).Halt()
+	e.mapCode(codeBase, b.MustAssemble(codeBase))
+	var regs [isa.NumRegs]uint64
+	if res := e.run(codeBase, &regs); res.Stop != StopHalt {
+		t.Fatalf("stop = %v", res.Stop)
+	}
+	if e.ch.Cached(pa) {
+		t.Error("clflush did not evict the line")
+	}
+}
+
+func TestFlushReloadTimingVisible(t *testing.T) {
+	// The basic cache covert channel: a flushed line takes much longer to
+	// load than a cached one, and RDPRU sees it.
+	e := newEnv(t, Config{})
+	e.mapData(dataBase, mem.PageSize)
+	b := asm.NewBuilder()
+	b.Rdpru(isa.R10)
+	b.Load(isa.RAX, isa.RDI, 0)
+	b.Rdpru(isa.R11)
+	b.Sub(isa.RAX, isa.R11, isa.R10)
+	b.Halt()
+	e.mapCode(codeBase, b.MustAssemble(codeBase))
+
+	time := func() uint64 {
+		var regs [isa.NumRegs]uint64
+		regs[isa.RDI] = dataBase
+		e.run(codeBase, &regs)
+		return regs[isa.RAX]
+	}
+	cold := time() // first access misses
+	warm := time()
+	if warm >= cold {
+		t.Errorf("warm %d !< cold %d", warm, cold)
+	}
+	// Flush and measure again: must look cold.
+	pa, _ := e.as.Translate(dataBase, mem.AccessRead)
+	e.ch.Flush(pa)
+	flushed := time()
+	if flushed <= warm+50 {
+		t.Errorf("flushed %d not clearly slower than warm %d", flushed, warm)
+	}
+}

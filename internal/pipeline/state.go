@@ -1,0 +1,307 @@
+package pipeline
+
+import "zenspec/internal/isa"
+
+// storeRec is an in-flight or recently drained store within one run.
+type storeRec struct {
+	seq      int
+	pa       uint64 // data physical address
+	va       uint64 // data virtual address
+	ipa      uint64 // instruction physical address of the store
+	iva      uint64
+	oldVal   uint64 // memory value before this store (for transient reads)
+	newVal   uint64
+	addrTime int64 // when the data address is generated
+	dataTime int64 // when the store data is available
+	drain    int64 // when the store leaves the store queue
+}
+
+// overlap8 reports whether two 8-byte accesses overlap — the aliasing test.
+func overlap8(a, b uint64) bool {
+	d := a - b
+	return d < 8 || -d < 8
+}
+
+// ports tracks next-free cycles for each execution port group.
+type ports struct {
+	alu []int64
+	mul []int64
+	ld  []int64
+	st  []int64
+}
+
+func newPorts(cfg Config) ports {
+	return ports{
+		alu: make([]int64, cfg.ALUPorts),
+		mul: make([]int64, cfg.MulPorts),
+		ld:  make([]int64, cfg.LoadPorts),
+		st:  make([]int64, cfg.StorePorts),
+	}
+}
+
+func (p ports) clone() ports {
+	c := ports{
+		alu: append([]int64(nil), p.alu...),
+		mul: append([]int64(nil), p.mul...),
+		ld:  append([]int64(nil), p.ld...),
+		st:  append([]int64(nil), p.st...),
+	}
+	return c
+}
+
+// acquire picks the earliest-free port in group, no earlier than ready, and
+// books it. It returns the issue time.
+func acquire(group []int64, ready int64) int64 {
+	best := 0
+	for i := 1; i < len(group); i++ {
+		if group[i] < group[best] {
+			best = i
+		}
+	}
+	issue := ready
+	if group[best] > issue {
+		issue = group[best]
+	}
+	group[best] = issue + 1
+	return issue
+}
+
+// runState is the complete speculative machine state of one run; transient
+// episodes deep-copy it and throw the copy away at rollback.
+type runState struct {
+	regs    [isa.NumRegs]uint64
+	regTime [isa.NumRegs]int64
+	pc      uint64
+
+	fetchCycle  int64 // cycle the next instruction dispatches in
+	fetchedInCy int   // instructions already dispatched this cycle
+
+	retireRing []int64 // retire times of the last ROBSize instructions
+	retireLen  int
+	retireIdx  int
+	lastRetire int64
+
+	sqRing []int64 // drain times of the last SQSize stores
+	sqLen  int
+	sqIdx  int
+
+	lqRing []int64 // completion times of the last LQSize loads
+	lqLen  int
+	lqIdx  int
+
+	ports ports
+
+	stores []storeRec
+
+	maxDone      int64 // completion time of everything so far (LFENCE)
+	maxMemDone   int64 // completion of memory ops (MFENCE)
+	maxStoreDone int64 // completion of stores (SFENCE)
+	maxLoadDone  int64 // completion of loads (RDPRU serializes on this)
+
+	seq   int
+	insts uint64
+
+	stlds []StldEvent
+}
+
+func newRunState(c *Core, entry uint64, regs [isa.NumRegs]uint64) *runState {
+	st := &runState{
+		regs:       regs,
+		pc:         entry,
+		fetchCycle: c.cycle,
+		lastRetire: c.cycle,
+		retireRing: make([]int64, c.cfg.ROBSize),
+		sqRing:     make([]int64, c.cfg.SQSize),
+		lqRing:     make([]int64, c.cfg.LQSize),
+		ports:      newPorts(c.cfg),
+	}
+	for i := range st.regTime {
+		st.regTime[i] = c.cycle
+	}
+	for i := range st.ports.alu {
+		st.ports.alu[i] = c.cycle
+	}
+	for i := range st.ports.mul {
+		st.ports.mul[i] = c.cycle
+	}
+	for i := range st.ports.ld {
+		st.ports.ld[i] = c.cycle
+	}
+	for i := range st.ports.st {
+		st.ports.st[i] = c.cycle
+	}
+	st.maxDone = c.cycle
+	st.maxMemDone = c.cycle
+	st.maxStoreDone = c.cycle
+	st.maxLoadDone = c.cycle
+	return st
+}
+
+func (st *runState) clone() *runState {
+	c := *st
+	c.retireRing = append([]int64(nil), st.retireRing...)
+	c.sqRing = append([]int64(nil), st.sqRing...)
+	c.lqRing = append([]int64(nil), st.lqRing...)
+	c.ports = st.ports.clone()
+	c.stores = append([]storeRec(nil), st.stores...)
+	c.stlds = nil // episode events are appended to the parent by the caller
+	return &c
+}
+
+// dispatchSlot returns the dispatch time for the next instruction, modeling
+// fetch width and the ROB window, and advances the fetch bookkeeping.
+func (st *runState) dispatchSlot(cfg Config) int64 {
+	if st.fetchedInCy >= cfg.FetchWidth {
+		st.fetchCycle++
+		st.fetchedInCy = 0
+	}
+	d := st.fetchCycle
+	if st.retireLen == cfg.ROBSize {
+		// The window is full: we cannot dispatch before the oldest retires.
+		if oldest := st.retireRing[st.retireIdx]; oldest+1 > d {
+			d = oldest + 1
+			st.fetchCycle = d
+			st.fetchedInCy = 0
+		}
+	}
+	st.fetchedInCy++
+	return d
+}
+
+// redirect moves the fetch point (branch redirect, rollback refetch).
+func (st *runState) redirect(pc uint64, when int64) {
+	st.pc = pc
+	if when > st.fetchCycle {
+		st.fetchCycle = when
+	}
+	st.fetchedInCy = 0
+}
+
+// retire records an in-order retirement and returns its time.
+func (st *runState) retire(complete int64) int64 {
+	t := complete
+	if st.lastRetire > t {
+		t = st.lastRetire
+	}
+	st.lastRetire = t
+	if st.retireLen < len(st.retireRing) {
+		st.retireRing[(st.retireIdx+st.retireLen)%len(st.retireRing)] = t
+		st.retireLen++
+	} else {
+		st.retireRing[st.retireIdx] = t
+		st.retireIdx = (st.retireIdx + 1) % len(st.retireRing)
+	}
+	return t
+}
+
+// sqSlot models store-queue occupancy: a new store cannot dispatch before
+// the oldest of the last SQSize stores drained.
+func (st *runState) sqSlot(d int64) int64 {
+	if st.sqLen == len(st.sqRing) {
+		if oldest := st.sqRing[st.sqIdx]; oldest > d {
+			d = oldest
+		}
+	}
+	return d
+}
+
+// lqSlot models load-queue occupancy: a new load cannot dispatch before the
+// oldest of the last LQSize loads completed.
+func (st *runState) lqSlot(d int64) int64 {
+	if st.lqLen == len(st.lqRing) {
+		if oldest := st.lqRing[st.lqIdx]; oldest > d {
+			d = oldest
+		}
+	}
+	return d
+}
+
+func (st *runState) lqPush(done int64) {
+	if st.lqLen < len(st.lqRing) {
+		st.lqRing[(st.lqIdx+st.lqLen)%len(st.lqRing)] = done
+		st.lqLen++
+		return
+	}
+	st.lqRing[st.lqIdx] = done
+	st.lqIdx = (st.lqIdx + 1) % len(st.lqRing)
+}
+
+func (st *runState) sqPush(drain int64) {
+	if st.sqLen < len(st.sqRing) {
+		st.sqRing[(st.sqIdx+st.sqLen)%len(st.sqRing)] = drain
+		st.sqLen++
+		return
+	}
+	st.sqRing[st.sqIdx] = drain
+	st.sqIdx = (st.sqIdx + 1) % len(st.sqRing)
+}
+
+// youngestUnresolved returns the youngest older store whose address is not
+// yet generated at time t, or nil.
+func (st *runState) youngestUnresolved(t int64) *storeRec {
+	for i := len(st.stores) - 1; i >= 0; i-- {
+		if st.stores[i].addrTime > t {
+			return &st.stores[i]
+		}
+	}
+	return nil
+}
+
+// youngestAliasing returns the youngest older store overlapping pa that is
+// still in the store queue at time t (not yet drained), or nil.
+func (st *runState) youngestAliasing(pa uint64, t int64) *storeRec {
+	for i := len(st.stores) - 1; i >= 0; i-- {
+		s := &st.stores[i]
+		if s.drain > t && overlap8(s.pa, pa) {
+			return s
+		}
+	}
+	return nil
+}
+
+// unresolvedAliasing returns the youngest older store overlapping pa whose
+// address is unresolved at time t, and the latest address-generation time
+// over all such stores (the point where a conflict is certain to have been
+// detected).
+func (st *runState) unresolvedAliasing(pa uint64, t int64) (*storeRec, int64) {
+	var youngest *storeRec
+	var maxAddr int64
+	for i := len(st.stores) - 1; i >= 0; i-- {
+		s := &st.stores[i]
+		if s.addrTime > t && overlap8(s.pa, pa) {
+			if youngest == nil {
+				youngest = s
+			}
+			if s.addrTime > maxAddr {
+				maxAddr = s.addrTime
+			}
+		}
+	}
+	return youngest, maxAddr
+}
+
+// allUnresolvedAddrTime returns the latest address-generation time over all
+// older stores unresolved at t (what a stalled load waits for), or t if
+// there are none.
+func (st *runState) allUnresolvedAddrTime(t int64) int64 {
+	out := t
+	for i := range st.stores {
+		if a := st.stores[i].addrTime; a > out {
+			out = a
+		}
+	}
+	return out
+}
+
+func (st *runState) bumpDone(t int64) {
+	if t > st.maxDone {
+		st.maxDone = t
+	}
+}
+
+func (st *runState) bumpMem(t int64) {
+	st.bumpDone(t)
+	if t > st.maxMemDone {
+		st.maxMemDone = t
+	}
+}

@@ -1,0 +1,49 @@
+package predict
+
+import "testing"
+
+// FuzzStateMachine: arbitrary input sequences keep every counter inside its
+// saturation bounds and every emitted type consistent with the
+// prediction/truth derivation, with or without a PSFP entry present.
+func FuzzStateMachine(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 1, 1, 1, 0})
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1})
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, seq []byte) {
+		if len(seq) > 4096 {
+			seq = seq[:4096]
+		}
+		c := Counters{}
+		for i, b := range seq {
+			aliasing := b&1 == 1
+			present := b&2 == 0
+			predA := c.PredictAliasing()
+			n, ty := c.UpdateWithPresence(aliasing, present)
+			if !n.Valid() {
+				t.Fatalf("step %d: invalid counters %+v from %+v", i, n, c)
+			}
+			if ty.PredictedAliasing() != predA {
+				t.Fatalf("step %d: type %v but prediction %v", i, ty, predA)
+			}
+			if ty.TruthAliasing() != aliasing {
+				t.Fatalf("step %d: type %v but truth %v", i, ty, aliasing)
+			}
+			c = n
+		}
+	})
+}
+
+// FuzzHash: linearity and page-offset identity hold for arbitrary inputs.
+func FuzzHash(f *testing.F) {
+	f.Add(uint64(0), uint64(1))
+	f.Add(uint64(0xfff), uint64(0x1000))
+	f.Fuzz(func(t *testing.T, a, b uint64) {
+		if Hash48(a^b) != Hash48(a)^Hash48(b) {
+			t.Fatalf("hash not linear at %#x, %#x", a, b)
+		}
+		off := a & 0xfff
+		if Hash48(off) != uint16(off) {
+			t.Fatalf("in-page offsets must hash to themselves: %#x -> %#x", off, Hash48(off))
+		}
+	})
+}

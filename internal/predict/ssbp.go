@@ -1,0 +1,109 @@
+package predict
+
+import "math/rand"
+
+// SSBPWays is the modeled physical capacity of the SSB predictor. The paper
+// could not determine the exact size (Fig 5 shows no abrupt change, only a
+// gradual eviction curve exceeding 50% at set size 16 and reaching ~90% at
+// 32). A 10-way fully-associative store with random replacement reproduces
+// that curve: replacement begins once the store is full, so after k distinct
+// fills the base entry survives with probability (9/10)^(k-9), giving an
+// eviction rate of 52% at k=16 and 91% at k=32.
+const SSBPWays = 10
+
+type ssbpEntry struct {
+	tag    uint16
+	c3, c4 int
+}
+
+// SSBP is the Speculative Store Bypass Predictor: a logical space of 4096
+// entries selected by the hashed load IPA (Section III-C), physically backed
+// by a small store with random replacement. Missing entries read as zeros.
+// Unlike PSFP it survives context switches — the root of Vulnerability 1.
+type SSBP struct {
+	ways    int
+	entries []ssbpEntry
+	rng     *rand.Rand
+}
+
+// NewSSBP returns an empty SSBP. ways == 0 selects the default capacity; the
+// rng drives victim selection and must be seeded by the caller for
+// reproducible experiments.
+func NewSSBP(ways int, rng *rand.Rand) *SSBP {
+	if ways == 0 {
+		ways = SSBPWays
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &SSBP{ways: ways, entries: make([]ssbpEntry, 0, ways), rng: rng}
+}
+
+func (s *SSBP) find(tag uint16) int {
+	for i := range s.entries {
+		if s.entries[i].tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns the C3, C4 counters for the hashed load IPA.
+func (s *SSBP) Get(tag uint16) (c3, c4 int) {
+	if i := s.find(tag); i >= 0 {
+		return s.entries[i].c3, s.entries[i].c4
+	}
+	return 0, 0
+}
+
+// Put stores the counters for the tag, allocating (with random replacement
+// when full) if the tag is absent and the counters are non-zero.
+func (s *SSBP) Put(tag uint16, c3, c4 int) {
+	if i := s.find(tag); i >= 0 {
+		s.entries[i].c3 = c3
+		s.entries[i].c4 = c4
+		return
+	}
+	if c3 == 0 && c4 == 0 {
+		return
+	}
+	e := ssbpEntry{tag: tag, c3: c3, c4: c4}
+	if len(s.entries) < s.ways {
+		s.entries = append(s.entries, e)
+		return
+	}
+	s.entries[s.rng.Intn(len(s.entries))] = e
+}
+
+// Contains reports whether the tag currently has a physical entry.
+func (s *SSBP) Contains(tag uint16) bool { return s.find(tag) >= 0 }
+
+// Len returns the number of live entries.
+func (s *SSBP) Len() int { return len(s.entries) }
+
+// Ways returns the physical capacity.
+func (s *SSBP) Ways() int { return s.ways }
+
+// Flush empties the predictor. The hardware only does this when a process
+// sleeps (Section IV-A); the flush-on-context-switch mitigation of Section
+// VI-B calls it on every switch.
+func (s *SSBP) Flush() { s.entries = s.entries[:0] }
+
+// Snapshot returns the live (tag, C3, C4) triples, most useful to tests and
+// the fingerprinting analysis tooling.
+func (s *SSBP) Snapshot() []struct {
+	Tag    uint16
+	C3, C4 int
+} {
+	out := make([]struct {
+		Tag    uint16
+		C3, C4 int
+	}, len(s.entries))
+	for i, e := range s.entries {
+		out[i] = struct {
+			Tag    uint16
+			C3, C4 int
+		}{e.tag, e.c3, e.c4}
+	}
+	return out
+}

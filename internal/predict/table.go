@@ -1,0 +1,57 @@
+package predict
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TransitionTable renders the implemented state machine as the paper's
+// TABLE I: for every named state, the emitted execution type and counter
+// updates for a non-aliasing (n) and an aliasing (a) input, generated from
+// the actual Update implementation so documentation can never drift from
+// the code.
+func TransitionTable() string {
+	representatives := []Counters{
+		{},                                     // Initialize
+		{C0: 2, C1: 16},                        // Block
+		{C2: 2, C4: 1},                         // Load From Cache
+		{C0: 3, C1: 8, C2: 2},                  // PSF Enabled S1
+		{C0: 3, C1: 16, C2: 2},                 // PSF Disabled S1
+		{C1: 16, C3: 5},                        // PSF Disabled S2
+		{C0: 3, C1: 8, C2: 2, C3: 5},           // PSF Enabled S2
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %-28s | %-4s %-34s | %-4s %-34s\n",
+		"state", "example counters", "n", "update", "a", "update")
+	for _, c := range representatives {
+		nNew, nType := c.Update(false)
+		aNew, aType := c.Update(true)
+		fmt.Fprintf(&sb, "%-16s %-28s | %-4s %-34s | %-4s %-34s\n",
+			c.State(), counterString(c),
+			nType, deltaString(c, nNew), aType, deltaString(c, aNew))
+	}
+	return sb.String()
+}
+
+func counterString(c Counters) string {
+	return fmt.Sprintf("C0=%d C1=%d C2=%d C3=%d C4=%d", c.C0, c.C1, c.C2, c.C3, c.C4)
+}
+
+// deltaString prints only the counters an update changed.
+func deltaString(old, new Counters) string {
+	var parts []string
+	add := func(name string, o, n int) {
+		if o != n {
+			parts = append(parts, fmt.Sprintf("%s:%d->%d", name, o, n))
+		}
+	}
+	add("C0", old.C0, new.C0)
+	add("C1", old.C1, new.C1)
+	add("C2", old.C2, new.C2)
+	add("C3", old.C3, new.C3)
+	add("C4", old.C4, new.C4)
+	if len(parts) == 0 {
+		return "no change"
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,211 @@
+package predict
+
+import "math/rand"
+
+// Query identifies the store-load pair consulting the disambiguator. AMD
+// selects by instruction physical addresses; the Intel and ARM baselines
+// select by instruction virtual addresses (TABLE IV), so both are carried.
+type Query struct {
+	StoreIPA, LoadIPA uint64
+	StoreIVA, LoadIVA uint64
+}
+
+// Prediction is the disambiguator's answer for a load younger than an
+// address-unresolved store.
+type Prediction struct {
+	// Aliasing predicts the load and store target the same address: the load
+	// must wait for the store (and may receive its data by forwarding).
+	Aliasing bool
+	// PSF additionally predicts that the store's data can be forwarded to
+	// the load before the store's address is generated.
+	PSF bool
+	// Counters is the combined state snapshot behind the prediction (AMD
+	// unit only; zero for baselines).
+	Counters Counters
+}
+
+// Disambiguator is the interface between the pipeline's load-store unit and
+// a store bypass predictor, satisfied by the AMD Unit and by the Intel/ARM
+// baselines.
+type Disambiguator interface {
+	// Predict is consulted when a load is ready but an older store's address
+	// is not. It must not mutate predictor state.
+	Predict(q Query) Prediction
+	// Verify is called once the store's address resolves, with the ground
+	// truth; it applies the training update and returns the execution type.
+	Verify(q Query, aliasing bool) ExecType
+	// FlushPredictor models a context switch flush.
+	FlushPredictor()
+	// Name identifies the design for reports.
+	Name() string
+}
+
+// Stats counts predictor events.
+type Stats struct {
+	Predicts uint64
+	Verifies uint64
+	Types    [numTypes]uint64
+	Flushes  uint64
+}
+
+// TypeCount returns how many executions of type t were verified.
+func (s Stats) TypeCount(t ExecType) uint64 { return s.Types[t] }
+
+// Config configures the AMD unit.
+type Config struct {
+	// PSFPSize and SSBPWays override the reverse-engineered defaults when
+	// non-zero.
+	PSFPSize int
+	SSBPWays int
+	// Seed drives SSBP victim selection.
+	Seed int64
+	// SSBD is Speculative Store Bypass Disable (SPEC_CTRL bit 2): every load
+	// serializes behind unresolved stores; all entries behave as the Block
+	// state and training stops (Section VI-A).
+	SSBD bool
+	// PSFD is Predictive Store Forwarding Disable (SPEC_CTRL bit 7). The
+	// paper found the predictors continue to function with PSFD set on every
+	// tested platform, so the flag is recorded but — faithfully to the
+	// measured hardware — has no effect on behavior.
+	PSFD bool
+	// SelectionSalt, when non-zero, is XORed into IPAs before hashing — the
+	// "randomize selection" mitigation sketched in Section VI-B. The kernel
+	// model gives each security domain its own salt, making cross-domain
+	// collision finding infeasible.
+	SelectionSalt uint64
+}
+
+// Unit is the combined AMD Zen 3 speculative memory access predictor: PSFP
+// (C0,C1,C2) and SSBP (C3,C4) behind the TABLE I state machine. One Unit
+// models the predictor resources of one SMT hardware thread; the paper found
+// the resources are duplicated, not shared, between threads.
+type Unit struct {
+	cfg   Config
+	psfp  *PSFP
+	ssbp  *SSBP
+	stats Stats
+}
+
+var _ Disambiguator = (*Unit)(nil)
+
+// NewUnit returns a fresh predictor unit.
+func NewUnit(cfg Config) *Unit {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Unit{
+		cfg:  cfg,
+		psfp: NewPSFP(cfg.PSFPSize),
+		ssbp: NewSSBP(cfg.SSBPWays, rng),
+	}
+}
+
+// Name implements Disambiguator.
+func (u *Unit) Name() string { return "amd-psfp-ssbp" }
+
+func (u *Unit) hash(ipa uint64) uint16 { return Hash48(ipa ^ u.cfg.SelectionSalt) }
+
+// HashIPA exposes the unit's selector hash (including any salt) so harnesses
+// can reason about collisions the way PTEditor-equipped attackers do.
+func (u *Unit) HashIPA(ipa uint64) uint16 { return u.hash(ipa) }
+
+// counters gathers the combined 5-counter state for a pair.
+func (u *Unit) counters(q Query) Counters {
+	st, lt := u.hash(q.StoreIPA), u.hash(q.LoadIPA)
+	var c Counters
+	c.C0, c.C1, c.C2 = u.psfp.Get(st, lt)
+	c.C3, c.C4 = u.ssbp.Get(lt)
+	return c
+}
+
+// Predict implements Disambiguator.
+func (u *Unit) Predict(q Query) Prediction {
+	u.stats.Predicts++
+	if u.cfg.SSBD {
+		// Block state everywhere: always alias-predicted, never PSF.
+		return Prediction{Aliasing: true, PSF: false}
+	}
+	c := u.counters(q)
+	return Prediction{Aliasing: c.PredictAliasing(), PSF: c.PSFEnabled(), Counters: c}
+}
+
+// Verify implements Disambiguator: it applies the TABLE I update for the
+// pair and returns the execution type. With SSBD set, entries are pinned and
+// the outcome is the Block-state behaviour (φ(n)=E, φ(a)=A).
+func (u *Unit) Verify(q Query, aliasing bool) ExecType {
+	u.stats.Verifies++
+	if u.cfg.SSBD {
+		t := TypeE
+		if aliasing {
+			t = TypeA
+		}
+		u.stats.Types[t]++
+		return t
+	}
+	st, lt := u.hash(q.StoreIPA), u.hash(q.LoadIPA)
+	present := u.psfp.Contains(st, lt)
+	c := u.counters(q)
+	n, t := c.UpdateWithPresence(aliasing, present)
+	// PSFP entries are created only by a type-G rollback (the hard retrain);
+	// other execution types update an existing entry in place but never
+	// allocate — which is why the paper's (40 n_0^j) drain sequences clear
+	// C3 without disturbing the PSFP eviction experiments.
+	if present || t == TypeG {
+		u.psfp.Put(st, lt, n.C0, n.C1, n.C2)
+	}
+	if n.C3 != c.C3 || n.C4 != c.C4 || u.ssbp.Contains(lt) {
+		u.ssbp.Put(lt, n.C3, n.C4)
+	}
+	u.stats.Types[t]++
+	return t
+}
+
+// FlushPredictor implements Disambiguator; for the AMD unit a context switch
+// flushes PSFP only (Section IV-A).
+func (u *Unit) FlushPredictor() { u.FlushPSFP() }
+
+// FlushPSFP empties PSFP — performed by the hardware on every context
+// switch, syscall and yield.
+func (u *Unit) FlushPSFP() {
+	u.stats.Flushes++
+	u.psfp.Flush()
+}
+
+// FlushAll empties both predictors — performed when the process sleeps.
+func (u *Unit) FlushAll() {
+	u.stats.Flushes++
+	u.psfp.Flush()
+	u.ssbp.Flush()
+}
+
+// FlushSSBP empties SSBP only; no hardware event does this, but the
+// flush-on-switch mitigation (Section VI-B) uses it.
+func (u *Unit) FlushSSBP() { u.ssbp.Flush() }
+
+// PeekCounters returns the combined counter state for a pair without
+// recording a prediction — introspection for tests and experiment reports.
+func (u *Unit) PeekCounters(q Query) Counters { return u.counters(q) }
+
+// PSFP exposes the PSF predictor for white-box experiments.
+func (u *Unit) PSFP() *PSFP { return u.psfp }
+
+// SSBP exposes the SSB predictor for white-box experiments.
+func (u *Unit) SSBP() *SSBP { return u.ssbp }
+
+// Stats returns a copy of the event counters.
+func (u *Unit) Stats() Stats { return u.stats }
+
+// SetSSBD toggles Speculative Store Bypass Disable at run time, as the OS
+// does via SPEC_CTRL.
+func (u *Unit) SetSSBD(on bool) { u.cfg.SSBD = on }
+
+// SSBD reports whether Speculative Store Bypass Disable is set.
+func (u *Unit) SSBD() bool { return u.cfg.SSBD }
+
+// SetPSFD toggles Predictive Store Forwarding Disable. Faithful to the
+// paper's measurement, it changes nothing in the predictor behaviour.
+func (u *Unit) SetPSFD(on bool) { u.cfg.PSFD = on }
+
+// PSFD reports whether the (ineffective) PSFD bit is set.
+func (u *Unit) PSFD() bool { return u.cfg.PSFD }
+
+// SetSelectionSalt installs a hash salt (randomized-selection mitigation).
+func (u *Unit) SetSelectionSalt(s uint64) { u.cfg.SelectionSalt = s }

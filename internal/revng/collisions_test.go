@@ -1,0 +1,86 @@
+package revng
+
+import "testing"
+
+func TestFig4StrideXOR(t *testing.T) {
+	res := Fig4(baseCfg(), 5)
+	if res.Pairs == 0 {
+		t.Fatal("no colliding pairs mined")
+	}
+	if res.StrideXORok != res.Pairs {
+		t.Errorf("%d/%d pairs satisfy the stride-12 XOR property, want all", res.StrideXORok, res.Pairs)
+	}
+	if res.String() == "" {
+		t.Error("empty report")
+	}
+}
+
+func TestFig5EvictionCurves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eviction curves are slow")
+	}
+	res := Fig5(baseCfg(), []int{8, 11, 12, 16, 32}, 12)
+	point := func(ps []EvictionPoint, size int) float64 {
+		for _, p := range ps {
+			if p.SetSize == size {
+				return p.Rate
+			}
+		}
+		t.Fatalf("size %d missing", size)
+		return 0
+	}
+	// PSFP: sharp step between 11 and 12.
+	if r := point(res.PSFP, 8); r != 0 {
+		t.Errorf("PSFP eviction at 8 = %v, want 0", r)
+	}
+	if r := point(res.PSFP, 11); r != 0 {
+		t.Errorf("PSFP eviction at 11 = %v, want 0", r)
+	}
+	if r := point(res.PSFP, 12); r != 1 {
+		t.Errorf("PSFP eviction at 12 = %v, want 1", r)
+	}
+	// SSBP: gradual, >50% at 16, high at 32.
+	if r := point(res.SSBP, 16); r <= 0.4 {
+		t.Errorf("SSBP eviction at 16 = %v, want > 0.4", r)
+	}
+	if r := point(res.SSBP, 32); r < 0.7 {
+		t.Errorf("SSBP eviction at 32 = %v, want >= 0.7", r)
+	}
+	if a, b := point(res.SSBP, 8), point(res.SSBP, 32); a >= b {
+		t.Errorf("SSBP curve not increasing: %v at 8, %v at 32", a, b)
+	}
+	if res.String() == "" {
+		t.Error("empty report")
+	}
+}
+
+func TestFig7CollisionFinding(t *testing.T) {
+	if testing.Short() {
+		t.Skip("collision sweeps are slow")
+	}
+	res := Fig7(baseCfg(), 8, 4)
+	if len(res.SSBPAttempts) < 6 {
+		t.Fatalf("only %d/8 SSBP searches succeeded", len(res.SSBPAttempts))
+	}
+	// Attempts are bounded by the constructive-existence proof: at most 4096
+	// per page, and with byte sliding the window is 2 pages.
+	for _, a := range res.SSBPAttempts {
+		if a <= 0 || a > 2*4096 {
+			t.Errorf("attempts %d out of range", a)
+		}
+	}
+	if res.SSBPMean < 200 || res.SSBPMean > 5000 {
+		t.Errorf("SSBP mean attempts %.0f implausible (paper: ~2200)", res.SSBPMean)
+	}
+	// PSFP: equal distance mostly findable; different distance mostly not.
+	if res.PSFPSameDistanceFound < res.PSFPSameDistanceTried-1 {
+		t.Errorf("same-distance PSFP collisions: %d/%d", res.PSFPSameDistanceFound, res.PSFPSameDistanceTried)
+	}
+	if res.PSFPDiffDistanceFound != 0 {
+		t.Errorf("different-distance PSFP collisions: %d/%d, want 0",
+			res.PSFPDiffDistanceFound, res.PSFPDiffDistanceTried)
+	}
+	if res.String() == "" {
+		t.Error("empty report")
+	}
+}

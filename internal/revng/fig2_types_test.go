@@ -1,0 +1,20 @@
+package revng
+
+import (
+	"testing"
+
+	"zenspec/internal/predict"
+)
+
+func TestFig2AllEightTypes(t *testing.T) {
+	res := Fig2(baseCfg())
+	seen := map[predict.ExecType]bool{}
+	for _, row := range res.Rows {
+		seen[row.Type] = true
+	}
+	for ty := predict.TypeA; ty <= predict.TypeH; ty++ {
+		if !seen[ty] {
+			t.Errorf("type %v not observed in repeated (40n,40a)", ty)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package revng
+
+import (
+	"fmt"
+	"strings"
+
+	"zenspec/internal/kernel"
+)
+
+// InferredParams are the design constants of Section III, recovered from
+// timing observations alone — the condensed form of the paper's iterative
+// state-machine fitting. Each field corresponds to a number the paper had to
+// discover without documentation.
+type InferredParams struct {
+	// C0Init is how many stalls follow a single rollback before the pair
+	// reads fast again (the paper: C0 is set to 4 by a type G).
+	C0Init int
+	// C3Saturated is the stall count after the predictor's hard retrain
+	// threshold is crossed (the paper: C3 jumps to 15 when C4 reaches 3).
+	C3Saturated int
+	// RollbacksToSaturate is how many rollbacks it takes before the long
+	// drain appears (the paper: C4 counts to 3).
+	RollbacksToSaturate int
+	// AliasRunsToPSF is how many aliasing executions enable predictive
+	// store forwarding from a trained state (C1: 16 down past 12).
+	AliasRunsToPSF int
+	// PSFPEvictionThreshold is the smallest eviction set that always evicts
+	// a trained entry (the paper: 12).
+	PSFPEvictionThreshold int
+}
+
+func (p InferredParams) String() string {
+	var sb strings.Builder
+	sb.WriteString("Inferred predictor parameters (from timing alone):\n")
+	fmt.Fprintf(&sb, "  stalls after one rollback (C0 init)        %d\n", p.C0Init)
+	fmt.Fprintf(&sb, "  rollbacks until hard retrain (C4 limit)    %d\n", p.RollbacksToSaturate)
+	fmt.Fprintf(&sb, "  stalls after hard retrain (C3 value)       %d\n", p.C3Saturated)
+	fmt.Fprintf(&sb, "  aliasing runs to enable PSF (C1 window)    %d\n", p.AliasRunsToPSF)
+	fmt.Fprintf(&sb, "  PSFP eviction threshold (capacity)         %d\n", p.PSFPEvictionThreshold)
+	return sb.String()
+}
+
+// Infer recovers the predictor's design constants the way Section III-B
+// does: drive chosen sequences, observe only timing classes, and count.
+func Infer(cfg kernel.Config) InferredParams {
+	var out InferredParams
+	l := NewLab(cfg)
+
+	// C0Init: one rollback, then count stalls until fast.
+	s := l.PlaceStld()
+	s.Run(true) // G
+	out.C0Init = countStallsUntilFast(s, 40)
+
+	// RollbacksToSaturate and C3Saturated: repeat (rollback, drain) and
+	// watch for the drain length to jump.
+	s2 := l.PlaceStld()
+	base := -1
+	for round := 1; round <= 8; round++ {
+		s2.Run(true) // G (from a drained state)
+		n := countStallsUntilFast(s2, 64)
+		if base == -1 {
+			base = n
+			continue
+		}
+		if n > base+4 {
+			out.RollbacksToSaturate = round
+			// The long drain includes the C0 component; the C3 value is the
+			// total stall count observed.
+			out.C3Saturated = n
+			break
+		}
+	}
+
+	// AliasRunsToPSF: train, then count aliasing runs until the timing
+	// drops to the forward level.
+	s3 := l.PlaceStld()
+	s3.Phi(Seq(7, -1)) // trained, PSF off (C1=16)
+	for i := 1; i <= 16; i++ {
+		if s3.Run(true).Class == ClassForward {
+			out.AliasRunsToPSF = i
+			break
+		}
+	}
+
+	// PSFP capacity: the Fig 5 step.
+	for k := 2; k <= 24; k++ {
+		if fig5PSFPTrial(cfg, k, 1) == 1 {
+			out.PSFPEvictionThreshold = k
+			break
+		}
+	}
+	return out
+}
+
+// countStallsUntilFast counts consecutive non-fast runs before two fast
+// reads in a row, bounded by maxRuns.
+func countStallsUntilFast(s *Stld, maxRuns int) int {
+	stalls, fast := 0, 0
+	for i := 0; i < maxRuns && fast < 2; i++ {
+		if s.Run(false).Class == ClassFast {
+			fast++
+		} else {
+			fast = 0
+			stalls++
+		}
+	}
+	return stalls
+}

@@ -1,0 +1,29 @@
+package revng
+
+import "testing"
+
+// TestInferRecoversPaperConstants: the timing-only inference recovers the
+// Section III design constants of TABLE I and Fig 5.
+func TestInferRecoversPaperConstants(t *testing.T) {
+	p := Infer(baseCfg())
+	if p.C0Init != 4 {
+		t.Errorf("C0 init inferred %d, want 4", p.C0Init)
+	}
+	if p.RollbacksToSaturate != 3 {
+		t.Errorf("C4 limit inferred %d, want 3", p.RollbacksToSaturate)
+	}
+	if p.C3Saturated != 15 {
+		t.Errorf("C3 value inferred %d, want 15", p.C3Saturated)
+	}
+	// C1 starts at 16 and PSF enables below 12: the 6th aliasing run is the
+	// first type C.
+	if p.AliasRunsToPSF != 6 {
+		t.Errorf("PSF window inferred %d, want 6", p.AliasRunsToPSF)
+	}
+	if p.PSFPEvictionThreshold != 12 {
+		t.Errorf("PSFP capacity inferred %d, want 12", p.PSFPEvictionThreshold)
+	}
+	if p.String() == "" {
+		t.Error("empty report")
+	}
+}

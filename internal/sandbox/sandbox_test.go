@@ -1,0 +1,84 @@
+package sandbox
+
+import (
+	"testing"
+
+	"zenspec/internal/kernel"
+)
+
+func TestHeapMaskingConfinesArchitecturalReads(t *testing.T) {
+	env, err := New(kernel.Config{Seed: 1}, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.PlantSecret([]byte{0x5e})
+	env.WriteHeap(8, 0x1234)
+	// A script that tries to read far outside the heap gets wrapped back in.
+	m, err := env.Compile(func(b *Builder) {
+		b.Move(T0, Arg0)
+		b.LoadHeap(Ret, T0)
+		b.Return()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := m.Call(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in != 0x1234 {
+		t.Errorf("in-bounds read %#x", in)
+	}
+	// Index = heap size + 8 wraps to slot 1 (mask), never reaches the secret.
+	wrapped, err := m.Call(1<<16 + 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrapped != 0x1234 {
+		t.Errorf("out-of-bounds read returned %#x, want the wrapped slot", wrapped)
+	}
+}
+
+func TestCompileSlidesInstructionAddresses(t *testing.T) {
+	env, err := New(kernel.Config{Seed: 1}, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := env.Compile(probeGadget)
+	b, _ := env.Compile(probeGadget)
+	if a.Entry == b.Entry {
+		t.Error("modules share an entry")
+	}
+	if _, err := a.Call(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Call(1, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRejectsBadHeap(t *testing.T) {
+	if _, err := New(kernel.Config{}, 1000); err == nil {
+		t.Error("non-power-of-two heap accepted")
+	}
+	if _, err := New(kernel.Config{}, 0); err == nil {
+		t.Error("zero heap accepted")
+	}
+}
+
+// TestEscape is the headline: sandboxed code — masked memory, no flush
+// instruction, coarse timer — leaks renderer memory through SSBP.
+func TestEscape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("escape run is slow")
+	}
+	secret := []byte{0x5e, 0xc1}
+	res, err := Escape(kernel.Config{Seed: 5}, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s (leaked %x)", res, res.Leaked)
+	if res.Correct < len(secret) {
+		t.Errorf("leaked %x, want %x", res.Leaked, secret)
+	}
+}

@@ -1,0 +1,82 @@
+package sidechannel
+
+import (
+	"fmt"
+
+	"zenspec/internal/cache"
+	"zenspec/internal/kernel"
+	"zenspec/internal/mem"
+)
+
+// EvictReload is the clflush-free variant of the cache covert channel — the
+// one browser attackers must use when CLFLUSH is unavailable, and the
+// channel the paper's Section V-C2 replaces with SSBP probing. Instead of
+// flushing, each probe slot is evicted by walking an eviction set: enough
+// same-set lines to push the slot out of every cache level.
+type EvictReload struct {
+	*FlushReload
+	evictVA   uint64
+	evictWays int
+	levels    cache.Config
+}
+
+// NewEvictReload builds the channel: probe slots as in FlushReload, plus an
+// eviction buffer large enough to evict any L3 set.
+func NewEvictReload(k *kernel.Kernel, p *kernel.Process, cpu int, probeVA uint64, entries int, codeVA uint64) *EvictReload {
+	fr := New(k, p, cpu, probeVA, entries, codeVA)
+	cfg := k.Caches().Config()
+	e := &EvictReload{
+		FlushReload: fr,
+		evictVA:     0x70000000,
+		evictWays:   cfg.L3.Ways + 1,
+		levels:      cfg,
+	}
+	// The eviction buffer must span enough pages that every L3 set can be
+	// filled: ways+1 lines per set, sets*lineSize apart.
+	span := uint64(e.evictWays) * uint64(cfg.L3.Sets) * cache.LineSize
+	p.MapData(e.evictVA, span+mem.PageSize)
+	return e
+}
+
+// Evict pushes va's line out of the hierarchy by touching ways+1 lines that
+// map to the same L3 set (the inclusive hierarchy evicts the inner copies
+// with it). It uses host-side warms for the eviction set — the timing of
+// the eviction itself is not part of the measurement.
+func (e *EvictReload) Evict(va uint64) error {
+	pa, f := e.P.AS.Translate(va, mem.AccessRead)
+	if f != mem.FaultNone {
+		return fmt.Errorf("sidechannel: evict target unmapped: %v", f)
+	}
+	setStride := uint64(e.levels.L3.Sets) * cache.LineSize
+	target := pa % setStride // set-selecting bits
+	count := 0
+	for i := uint64(0); count < e.evictWays; i++ {
+		candidate := e.evictVA + i*cache.LineSize
+		cpa, f := e.P.AS.Translate(candidate, mem.AccessRead)
+		if f != mem.FaultNone {
+			return fmt.Errorf("sidechannel: eviction buffer too small")
+		}
+		if cpa%setStride != target {
+			continue
+		}
+		// A real attacker loads these; driving each through the pipeline
+		// would work identically but slowly, so the harness touches the
+		// hierarchy directly.
+		e.K.Caches().Access(cpa)
+		count++
+	}
+	if count < e.evictWays {
+		return fmt.Errorf("sidechannel: found only %d/%d eviction lines", count, e.evictWays)
+	}
+	return nil
+}
+
+// EvictAll evicts every probe slot (the Evict phase).
+func (e *EvictReload) EvictAll() error {
+	for v := 0; v < e.Entries; v++ {
+		if err := e.Evict(e.slot(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

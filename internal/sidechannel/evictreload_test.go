@@ -1,0 +1,53 @@
+package sidechannel
+
+import (
+	"testing"
+
+	"zenspec/internal/kernel"
+	"zenspec/internal/mem"
+)
+
+func setupER(t *testing.T) (*kernel.Process, *EvictReload) {
+	t.Helper()
+	k := kernel.New(kernel.Config{Seed: 1})
+	p := k.NewProcess("er", kernel.DomainUser)
+	const probeVA = 0x2000000
+	p.MapData(probeVA, 64*mem.PageSize)
+	return p, NewEvictReload(k, p, 0, probeVA, 64, 0x400000)
+}
+
+func TestEvictRemovesLine(t *testing.T) {
+	p, er := setupER(t)
+	va := er.ProbeVA + 5*er.Stride
+	p.WarmLine(va)
+	if got := er.Time(va); got >= er.Threshold() {
+		t.Fatalf("warm line timed %d", got)
+	}
+	if err := er.Evict(va); err != nil {
+		t.Fatal(err)
+	}
+	if got := er.Time(va); got < er.Threshold() {
+		t.Errorf("evicted line timed %d < threshold %d", got, er.Threshold())
+	}
+}
+
+func TestEvictReloadRecovers(t *testing.T) {
+	p, er := setupER(t)
+	for _, secret := range []int{3, 17, 63} {
+		if err := er.EvictAll(); err != nil {
+			t.Fatal(err)
+		}
+		p.WarmLine(er.ProbeVA + uint64(secret)*er.Stride)
+		got, ok := er.Recover(nil)
+		if !ok || got != secret {
+			t.Errorf("recovered %d (ok=%v), want %d", got, ok, secret)
+		}
+	}
+}
+
+func TestEvictUnmappedFails(t *testing.T) {
+	_, er := setupER(t)
+	if err := er.Evict(0xdead0000); err == nil {
+		t.Error("evicting an unmapped address should fail")
+	}
+}

@@ -1,0 +1,117 @@
+// Package sidechannel implements the cache covert channels the paper's
+// attacks use to recover transiently accessed data: Flush+Reload [50] over
+// the simulated cache hierarchy, with an RDPRU-timed reload loop running on
+// the simulated CPU (so timer mitigations degrade it realistically).
+package sidechannel
+
+import (
+	"fmt"
+
+	"zenspec/internal/asm"
+	"zenspec/internal/isa"
+	"zenspec/internal/kernel"
+	"zenspec/internal/mem"
+	"zenspec/internal/pipeline"
+)
+
+// FlushReload probes a region of `entries` slots, each one page apart (the
+// paper's array2[value * 4096] encoding), and recovers which slot a victim
+// touched.
+type FlushReload struct {
+	K       *kernel.Kernel
+	P       *kernel.Process
+	CPU     int
+	ProbeVA uint64
+	Entries int
+	Stride  uint64
+
+	codeVA    uint64
+	threshold uint64
+}
+
+// New maps the timing routine into p and calibrates the hit/miss threshold.
+// The probe region itself must already be mapped (it is usually the victim's
+// array, shared with or reachable by the attacker).
+func New(k *kernel.Kernel, p *kernel.Process, cpu int, probeVA uint64, entries int, codeVA uint64) *FlushReload {
+	f := &FlushReload{
+		K: k, P: p, CPU: cpu,
+		ProbeVA: probeVA, Entries: entries, Stride: mem.PageSize,
+		codeVA: codeVA,
+	}
+	b := asm.NewBuilder()
+	b.Rdpru(isa.R10)
+	b.Load(isa.R8, isa.RDI, 0)
+	b.Rdpru(isa.R11)
+	b.Sub(isa.RAX, isa.R11, isa.R10)
+	b.Halt()
+	p.MapCode(codeVA, b.MustAssemble(codeVA))
+	f.calibrate()
+	return f
+}
+
+// Time measures one access to va on the simulated CPU.
+func (f *FlushReload) Time(va uint64) uint64 {
+	f.P.Regs = [isa.NumRegs]uint64{}
+	f.P.Regs[isa.RDI] = va
+	res := f.K.RunOn(f.CPU, f.P, f.codeVA, 0)
+	if res.Stop != pipeline.StopHalt {
+		panic(fmt.Sprintf("sidechannel: timing routine stopped with %v", res.Stop))
+	}
+	return f.P.Regs[isa.RAX]
+}
+
+func (f *FlushReload) calibrate() {
+	va := f.ProbeVA
+	f.P.WarmLine(va)
+	f.Time(va) // warm the code path / ITLB
+	hit := f.Time(va)
+	f.P.FlushLine(va)
+	miss := f.Time(va)
+	f.P.FlushLine(va)
+	f.threshold = (hit + miss) / 2
+	if f.threshold <= hit {
+		f.threshold = hit + 1
+	}
+}
+
+// Threshold returns the calibrated hit/miss boundary in cycles.
+func (f *FlushReload) Threshold() uint64 { return f.threshold }
+
+// slot returns the address of probe slot v.
+func (f *FlushReload) slot(v int) uint64 { return f.ProbeVA + uint64(v)*f.Stride }
+
+// FlushAll evicts every probe slot (the Flush phase).
+func (f *FlushReload) FlushAll() {
+	for v := 0; v < f.Entries; v++ {
+		f.P.FlushLine(f.slot(v))
+	}
+}
+
+// Reload times every slot and returns the indices that hit (the Reload
+// phase). The scan itself refills lines, so each round must FlushAll first.
+func (f *FlushReload) Reload() []int {
+	var hits []int
+	for v := 0; v < f.Entries; v++ {
+		if f.Time(f.slot(v)) < f.threshold {
+			hits = append(hits, v)
+		}
+	}
+	return hits
+}
+
+// Recover runs Reload and returns the best candidate, ignoring the indices
+// in exclude (slots known to be architecturally polluted). ok is false when
+// no non-excluded slot hit.
+func (f *FlushReload) Recover(exclude map[int]bool) (int, bool) {
+	best, bestTime := -1, ^uint64(0)
+	for v := 0; v < f.Entries; v++ {
+		if exclude[v] {
+			continue
+		}
+		t := f.Time(f.slot(v))
+		if t < f.threshold && t < bestTime {
+			best, bestTime = v, t
+		}
+	}
+	return best, best >= 0
+}

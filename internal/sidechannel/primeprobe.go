@@ -1,0 +1,120 @@
+package sidechannel
+
+import (
+	"fmt"
+
+	"zenspec/internal/cache"
+	"zenspec/internal/kernel"
+	"zenspec/internal/mem"
+)
+
+// PrimeProbe is the classic no-shared-memory cache channel: the attacker
+// fills (primes) a cache set with its own lines, lets the victim run, and
+// re-times its own lines (probes) — a slow probe means the victim touched a
+// line mapping to the monitored set. It needs neither CLFLUSH nor any
+// shared pages, only knowledge of set-index bits.
+type PrimeProbe struct {
+	K   *kernel.Kernel
+	P   *kernel.Process
+	CPU int
+
+	bufVA     uint64
+	ways      int
+	setStride uint64
+	timerVA   uint64
+	threshold uint64
+}
+
+// NewPrimeProbe maps the attacker's priming buffer and timing routine.
+// The monitored structure is the L1 set (fastest signal); the buffer spans
+// enough lines to prime any L1 set.
+func NewPrimeProbe(k *kernel.Kernel, p *kernel.Process, cpu int, bufVA, codeVA uint64) *PrimeProbe {
+	cfg := k.Caches().Config()
+	pp := &PrimeProbe{
+		K: k, P: p, CPU: cpu,
+		bufVA:     bufVA,
+		ways:      cfg.L1.Ways,
+		setStride: uint64(cfg.L1.Sets) * cache.LineSize,
+		timerVA:   codeVA,
+	}
+	// ways+1 lines per set-congruence class; sequential physical frames give
+	// every class.
+	span := uint64(pp.ways+2) * pp.setStride
+	p.MapData(bufVA, span+mem.PageSize)
+	// Map the timing routine (reusing the FlushReload code path).
+	New(k, p, cpu, bufVA, 1, codeVA)
+	pp.calibrate()
+	return pp
+}
+
+// calibrate distinguishes an L1 hit from the next-level hit: the attacker
+// times a line, self-evicts it from L1 by walking its own congruent lines,
+// and times it again. The threshold sits between the two readings.
+func (pp *PrimeProbe) calibrate() {
+	base := pp.bufVA
+	pp.time(base) // pull in (and warm the code path)
+	l1 := pp.time(base)
+	// Self-evict: touch `ways` other congruent lines.
+	for i := 1; i <= pp.ways; i++ {
+		pp.time(base + uint64(i)*pp.setStride)
+	}
+	l2 := pp.time(base)
+	pp.threshold = (l1 + l2) / 2
+	if pp.threshold <= l1 {
+		pp.threshold = l1 + 1
+	}
+}
+
+// linesFor returns the attacker lines congruent with pa's L1 set.
+func (pp *PrimeProbe) linesFor(pa uint64) ([]uint64, error) {
+	target := pa % pp.setStride
+	var out []uint64
+	for i := uint64(0); len(out) < pp.ways; i++ {
+		va := pp.bufVA + i*cache.LineSize
+		cpa, f := pp.P.AS.Translate(va, mem.AccessRead)
+		if f != mem.FaultNone {
+			return nil, fmt.Errorf("sidechannel: priming buffer too small")
+		}
+		if cpa%pp.setStride == target {
+			out = append(out, va)
+		}
+	}
+	return out, nil
+}
+
+// Prime fills the set that pa maps to with attacker lines.
+func (pp *PrimeProbe) Prime(pa uint64) error {
+	lines, err := pp.linesFor(pa)
+	if err != nil {
+		return err
+	}
+	for _, va := range lines {
+		pp.time(va) // architectural loads pull the lines in
+	}
+	return nil
+}
+
+// Probe re-times the attacker lines for pa's set and reports how many now
+// miss — nonzero means the victim displaced something.
+func (pp *PrimeProbe) Probe(pa uint64) (int, error) {
+	lines, err := pp.linesFor(pa)
+	if err != nil {
+		return 0, err
+	}
+	misses := 0
+	for _, va := range lines {
+		if pp.time(va) >= pp.threshold {
+			misses++
+		}
+	}
+	return misses, nil
+}
+
+// time measures one load through the simulated CPU.
+func (pp *PrimeProbe) time(va uint64) uint64 {
+	fr := FlushReload{K: pp.K, P: pp.P, CPU: pp.CPU, codeVA: pp.timerVA}
+	return fr.Time(va)
+}
+
+// Threshold returns the hit/miss boundary.
+func (pp *PrimeProbe) Threshold() uint64 { return pp.threshold }

@@ -1,0 +1,74 @@
+package sidechannel
+
+import (
+	"testing"
+
+	"zenspec/internal/kernel"
+	"zenspec/internal/mem"
+)
+
+func TestPrimeProbeDetectsVictimAccess(t *testing.T) {
+	k := kernel.New(kernel.Config{Seed: 1})
+	attacker := k.NewProcess("attacker", kernel.DomainUser)
+	victim := k.NewProcess("victim", kernel.DomainUser)
+	const victimVA = 0x5000000
+	victim.MapData(victimVA, mem.PageSize)
+	vpa, _ := victim.AS.Translate(victimVA, mem.AccessRead)
+
+	pp := NewPrimeProbe(k, attacker, 0, 0x2000000, 0x400000)
+
+	// Prime, victim idle, probe: no misses.
+	if err := pp.Prime(vpa); err != nil {
+		t.Fatal(err)
+	}
+	misses, err := pp.Probe(vpa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if misses != 0 {
+		t.Errorf("idle probe saw %d misses", misses)
+	}
+
+	// Prime, victim touches its line, probe: at least one miss.
+	if err := pp.Prime(vpa); err != nil {
+		t.Fatal(err)
+	}
+	victim.WarmLine(victimVA) // the victim access
+	misses, err = pp.Probe(vpa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if misses == 0 {
+		t.Error("victim access went undetected")
+	}
+	if pp.Threshold() == 0 {
+		t.Error("threshold not calibrated")
+	}
+}
+
+func TestPrimeProbeDistinguishesSets(t *testing.T) {
+	k := kernel.New(kernel.Config{Seed: 1})
+	attacker := k.NewProcess("attacker", kernel.DomainUser)
+	victim := k.NewProcess("victim", kernel.DomainUser)
+	const victimVA = 0x5000000
+	victim.MapData(victimVA, 2*mem.PageSize)
+	paA, _ := victim.AS.Translate(victimVA, mem.AccessRead)
+	paB, _ := victim.AS.Translate(victimVA+2048, mem.AccessRead) // different L1 set
+
+	pp := NewPrimeProbe(k, attacker, 0, 0x2000000, 0x400000)
+	if err := pp.Prime(paA); err != nil {
+		t.Fatal(err)
+	}
+	if err := pp.Prime(paB); err != nil {
+		t.Fatal(err)
+	}
+	victim.WarmLine(victimVA + 2048) // touch set B only
+	missesA, _ := pp.Probe(paA)
+	missesB, _ := pp.Probe(paB)
+	if missesB == 0 {
+		t.Error("touched set not detected")
+	}
+	if missesA != 0 {
+		t.Errorf("untouched set reported %d misses", missesA)
+	}
+}

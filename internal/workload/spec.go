@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"zenspec/internal/asm"
+	"zenspec/internal/isa"
+	"zenspec/internal/kernel"
+	"zenspec/internal/mem"
+	"zenspec/internal/pipeline"
+)
+
+// SpecKernel is a synthetic stand-in for one SPECrate 2017 benchmark. The
+// knobs that matter for the SSBD study are the density of store→load
+// sequences whose store address resolves late (SSBD serializes exactly
+// those) relative to independent compute.
+type SpecKernel struct {
+	Name string
+	// Pairs is the number of store-load pairs per loop iteration.
+	Pairs int
+	// AliasEvery makes every n-th pair aliasing (0 = none): aliasing pairs
+	// stall with and without SSBD, diluting the overhead.
+	AliasEvery int
+	// Delay is the multiply-chain length in front of each store address.
+	Delay int
+	// Compute is the number of independent ALU ops per iteration.
+	Compute int
+	// Iterations of the main loop.
+	Iterations int
+	// PointerChase adds a serial dependent-load chain per iteration
+	// (memory-latency-bound code, insensitive to SSBD).
+	PointerChase int
+}
+
+// SpecKernels returns the ten SPECrate benchmarks evaluated in Fig 12,
+// parameterized so that the store-to-load-heavy ones (perlbench, exchange2)
+// suffer the >20% SSBD penalty the paper reports while compute- and
+// memory-bound ones stay in the single digits.
+func SpecKernels() []SpecKernel {
+	return []SpecKernel{
+		{Name: "perlbench", Pairs: 6, AliasEvery: 0, Delay: 8, Compute: 170, Iterations: 160},
+		{Name: "gcc", Pairs: 3, AliasEvery: 3, Delay: 6, Compute: 170, Iterations: 160},
+		{Name: "mcf", Pairs: 2, AliasEvery: 0, Delay: 5, Compute: 110, Iterations: 120, PointerChase: 3},
+		{Name: "omnetpp", Pairs: 2, AliasEvery: 2, Delay: 6, Compute: 150, Iterations: 160},
+		{Name: "xalancbmk", Pairs: 3, AliasEvery: 4, Delay: 6, Compute: 160, Iterations: 160},
+		{Name: "x264", Pairs: 1, AliasEvery: 0, Delay: 4, Compute: 200, Iterations: 160},
+		{Name: "deepsjeng", Pairs: 2, AliasEvery: 3, Delay: 6, Compute: 160, Iterations: 160},
+		{Name: "leela", Pairs: 2, AliasEvery: 0, Delay: 5, Compute: 140, Iterations: 160},
+		{Name: "exchange2", Pairs: 7, AliasEvery: 0, Delay: 8, Compute: 190, Iterations: 160},
+		{Name: "xz", Pairs: 2, AliasEvery: 0, Delay: 6, Compute: 110, Iterations: 160},
+	}
+}
+
+// Build assembles the kernel. The program expects R15 = data base (at least
+// 4 pages mapped) and runs to HALT. Store addresses are produced by a load
+// plus a short dependent ALU chain — the pattern (indexing through a table,
+// then storing) that makes SSBD expensive on real code, without saturating
+// the multiply port.
+func (k SpecKernel) Build(base uint64) []byte {
+	b := asm.NewBuilder()
+	b.Movi(isa.R14, int32(k.Iterations))
+	b.Movi(isa.R9, 0x77) // store data
+	b.Label("loop")
+	// Serial compute chain: the kernel's critical path when SSBD is off.
+	for i := 0; i < k.Compute; i++ {
+		b.Addi(isa.RAX, isa.RAX, 1)
+	}
+	// Pointer chase: serial loads through a self-referencing cell.
+	for i := 0; i < k.PointerChase; i++ {
+		b.Load(isa.R10, isa.R15, 256)
+		b.Add(isa.R10, isa.R10, isa.R15)
+		b.Load(isa.R10, isa.R10, 256)
+	}
+	// Store-load pairs: the store's address comes from an index load plus a
+	// dependent chain, so younger loads reach the disambiguator first.
+	for i := 0; i < k.Pairs; i++ {
+		b.Load(isa.RBX, isa.R15, 8) // index cell (zero, warm)
+		for j := 0; j < k.Delay; j++ {
+			b.Addi(isa.RBX, isa.RBX, 0)
+		}
+		b.Add(isa.RBX, isa.RBX, isa.R15)
+		storeOff := int32(64 + i*128)
+		loadOff := storeOff + 64
+		if k.AliasEvery > 0 && i%k.AliasEvery == 0 {
+			loadOff = storeOff
+		}
+		b.Store(isa.RBX, storeOff, isa.R9)
+		b.Load(isa.R11, isa.R15, loadOff)
+	}
+	b.Subi(isa.R14, isa.R14, 1)
+	b.Jnz(isa.R14, "loop")
+	b.Halt()
+	return b.MustAssemble(base)
+}
+
+// OverheadRow is one Fig 12 bar pair.
+type OverheadRow struct {
+	Name         string
+	BaseCycles   int64
+	SSBDCycles   int64
+	OverheadFrac float64 // (ssbd-base)/base
+}
+
+// SSBDOverheadResult reproduces Fig 12.
+type SSBDOverheadResult struct {
+	Rows []OverheadRow
+}
+
+// runKernel executes one kernel on a fresh machine and returns its cycles.
+func runKernel(cfg kernel.Config, k SpecKernel) int64 {
+	kn := kernel.New(cfg)
+	p := kn.NewProcess(k.Name, kernel.DomainUser)
+	const base = 0x400000
+	const dataVA = 0x10000
+	code := k.Build(base)
+	p.MapCode(base, code)
+	p.MapData(dataVA, 4*mem.PageSize)
+	p.Regs[isa.R15] = dataVA
+	res := kn.Run(p, base, 1<<22)
+	if res.Stop != pipeline.StopHalt {
+		panic(fmt.Sprintf("workload: %s stopped with %v", k.Name, res.Stop))
+	}
+	return res.Cycles
+}
+
+// SSBDOverhead measures each kernel with SSBD disabled and enabled.
+func SSBDOverhead(cfg kernel.Config, kernels []SpecKernel) SSBDOverheadResult {
+	var out SSBDOverheadResult
+	for _, k := range kernels {
+		base := runKernel(cfg, k)
+		scfg := cfg
+		scfg.SSBD = true
+		ssbd := runKernel(scfg, k)
+		out.Rows = append(out.Rows, OverheadRow{
+			Name:         k.Name,
+			BaseCycles:   base,
+			SSBDCycles:   ssbd,
+			OverheadFrac: float64(ssbd-base) / float64(base),
+		})
+	}
+	return out
+}
+
+func (r SSBDOverheadResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Fig 12 — SSBD performance overhead on SPECrate-like kernels\n")
+	fmt.Fprintf(&sb, "%-12s %10s %10s %9s\n", "benchmark", "base", "ssbd", "overhead")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-12s %10d %10d %8.1f%%\n", row.Name, row.BaseCycles, row.SSBDCycles, 100*row.OverheadFrac)
+	}
+	return sb.String()
+}

@@ -1,0 +1,291 @@
+// Package zenspec is a full reproduction, as a Go library, of "Uncovering
+// and Exploiting AMD Speculative Memory Access Predictors for Fun and
+// Profit" (HPCA 2024).
+//
+// It provides a cycle-level out-of-order CPU simulator with the paper's
+// reverse-engineered speculative memory access predictors (PSFP and SSBP), a
+// small OS model with the paper's context-switch flush semantics, the
+// reverse-engineering toolkit (timing-classified φ sequences, code sliding,
+// eviction probing), the attacks (out-of-place Spectre-STL, Spectre-CTL and
+// its browser variant, SSBP process fingerprinting), and the defense
+// evaluation (SSBD, PSFD, and the Section VI-B mitigation sketches).
+//
+// The package is the public facade: experiment and attack entry points take
+// a Config (platform preset plus mitigation knobs) and return self-printing
+// result structs, one per table or figure in the paper. Lower-level access —
+// building programs, placing store-load pairs at chosen instruction physical
+// addresses, peeking at predictor counters — is available through Machine
+// and Lab.
+package zenspec
+
+import (
+	"zenspec/internal/asm"
+	"zenspec/internal/attack"
+	"zenspec/internal/gadget"
+	"zenspec/internal/kernel"
+	"zenspec/internal/pipeline"
+	"zenspec/internal/predict"
+	"zenspec/internal/revng"
+	"zenspec/internal/sandbox"
+	"zenspec/internal/workload"
+)
+
+// Platform identifies one of the paper's TABLE III test machines. All four
+// share the same PSFP/SSBP design; the store-queue size follows the CPU
+// family.
+type Platform struct {
+	Name      string
+	CPU       string
+	Microcode string
+	Kernel    string
+	SQSize    int
+}
+
+// Platforms returns the TABLE III machines.
+func Platforms() []Platform {
+	return []Platform{
+		{Name: "ryzen9-5900x", CPU: "AMD Ryzen 9 5900X (Zen 3)", Microcode: "0xA201205", Kernel: "Linux 5.15.0-76-generic", SQSize: 48},
+		{Name: "epyc-7543", CPU: "AMD EPYC 7543 (Zen 3)", Microcode: "0xA001173", Kernel: "Linux 6.1.0-rc4-snp-host", SQSize: 48},
+		{Name: "ryzen5-5600g", CPU: "AMD Ryzen 5 5600G (Zen 3)", Microcode: "0xA50000D", Kernel: "Linux 5.15.0-76-generic", SQSize: 48},
+		{Name: "ryzen7-7735hs", CPU: "AMD Ryzen 7 7735HS (Zen 3+)", Microcode: "0xA404102", Kernel: "Linux 5.4.0-153-generic", SQSize: 64},
+	}
+}
+
+// PlatformByName finds a TABLE III preset; ok is false for unknown names.
+func PlatformByName(name string) (Platform, bool) {
+	for _, p := range Platforms() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Platform{}, false
+}
+
+// Config selects the machine and its mitigation posture.
+type Config struct {
+	// Platform is a TABLE III preset; the zero value selects the Ryzen 9
+	// 5900X.
+	Platform Platform
+	// SSBD enables Speculative Store Bypass Disable (SPEC_CTRL bit 2).
+	SSBD bool
+	// PSFD sets the Predictive Store Forwarding Disable bit — which the
+	// paper found ineffective, and so is it here.
+	PSFD bool
+	// FlushSSBPOnSwitch, SaltPerDomain and RotateSalt are the Section VI-B
+	// mitigation sketches.
+	FlushSSBPOnSwitch bool
+	SaltPerDomain     bool
+	RotateSalt        bool
+	// TimerQuantum and TimerJitter shape RDPRU (secure-timer mitigation and
+	// the browser profile).
+	TimerQuantum int64
+	TimerJitter  int64
+	// Seed makes every randomized structure reproducible.
+	Seed int64
+}
+
+// kernelConfig lowers the public Config onto the OS model.
+func (c Config) kernelConfig() kernel.Config {
+	sq := c.Platform.SQSize
+	if sq == 0 {
+		sq = 48
+	}
+	return kernel.Config{
+		SSBD:              c.SSBD,
+		PSFD:              c.PSFD,
+		FlushSSBPOnSwitch: c.FlushSSBPOnSwitch,
+		SaltPerDomain:     c.SaltPerDomain,
+		RotateSalt:        c.RotateSalt,
+		TimerQuantum:      c.TimerQuantum,
+		TimerJitter:       c.TimerJitter,
+		Seed:              c.Seed,
+		Pipeline:          pipeline.Config{SQSize: sq},
+	}
+}
+
+// Re-exported building blocks. Consumers name these through the facade; the
+// implementations live in internal packages.
+type (
+	// Machine is a booted simulated machine: hardware threads with private
+	// predictor units, shared caches and memory, and the OS model.
+	Machine = kernel.Kernel
+	// Process is a schedulable context with a private address space.
+	Process = kernel.Process
+	// Domain is a security domain (user, VM, kernel).
+	Domain = kernel.Domain
+	// Lab is the reverse-engineering fixture: timing-calibrated stld
+	// placement and the φ notation.
+	Lab = revng.Lab
+	// Stld is a placed store-load microbenchmark instance.
+	Stld = revng.Stld
+	// Counters is the combined 5-counter predictor state of one pair.
+	Counters = predict.Counters
+	// ExecType is one of the Fig 2 execution types A–H.
+	ExecType = predict.ExecType
+	// AttackResult reports a leak attack run.
+	AttackResult = attack.Result
+)
+
+// Security domains.
+const (
+	DomainUser   = kernel.DomainUser
+	DomainVM     = kernel.DomainVM
+	DomainKernel = kernel.DomainKernel
+)
+
+// RunResult reports one program run on a Machine.
+type RunResult = pipeline.RunResult
+
+// TraceEntry is one instruction-tracer record (see Machine.CPU(i).Core.SetTracer).
+type TraceEntry = pipeline.TraceEntry
+
+// NewMachine boots a machine.
+func NewMachine(cfg Config) *Machine { return kernel.New(cfg.kernelConfig()) }
+
+// Assemble parses assembly text into machine code linked at base. The
+// syntax is one instruction per line with amd64 register names:
+//
+//	movi rax, 42
+//	loop:
+//	  sub rax, rax, 1
+//	  jnz rax, loop
+//	  halt
+func Assemble(src string, base uint64) ([]byte, error) {
+	b, err := asm.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return b.Assemble(base)
+}
+
+// Disassemble renders machine code as text, one instruction per line.
+func Disassemble(code []byte, base uint64) []string { return asm.Disassemble(code, base) }
+
+// GadgetCandidate is one potential speculative store-bypass gadget found by
+// ScanGadgets.
+type GadgetCandidate = gadget.Candidate
+
+// ScanGadgets statically scans machine code for the store→load→dependent
+// load→transmitter shape the paper's attacks need (Listings 2 and 3).
+func ScanGadgets(code []byte) []GadgetCandidate {
+	return gadget.Scan(code, gadget.Options{})
+}
+
+// NewLab boots a machine wrapped in the reverse-engineering fixture.
+func NewLab(cfg Config) *Lab { return revng.NewLab(cfg.kernelConfig()) }
+
+// Seq builds a φ input sequence: positive counts are non-aliasing (n) runs,
+// negative counts aliasing (a) runs — Seq(7, -1) is the paper's "(7n, a)".
+func Seq(counts ...int) []bool { return revng.Seq(counts...) }
+
+// ParseSeq parses the paper's textual φ notation, e.g. "7n 1a 7n 1a".
+func ParseSeq(s string) ([]bool, error) { return revng.ParseSeq(s) }
+
+// --- Experiments: one entry point per table/figure ---
+
+// Fig2 reproduces the execution-type timing/PMC analysis.
+func Fig2(cfg Config) revng.Fig2Result { return revng.Fig2(cfg.kernelConfig()) }
+
+// Table1 validates the TABLE I state machine on random sequences.
+func Table1(cfg Config, sequences, length int, seed int64) revng.Table1Result {
+	return revng.Table1(cfg.kernelConfig(), sequences, length, seed)
+}
+
+// Table2 reproduces the counter-organization dependence matrix.
+func Table2(cfg Config) revng.Table2Result { return revng.Table2(cfg.kernelConfig()) }
+
+// Fig4 checks the stride-12 XOR property of mined colliding IPA pairs.
+func Fig4(cfg Config, targets int) revng.Fig4Result {
+	return revng.Fig4(cfg.kernelConfig(), targets)
+}
+
+// Fig5 measures the PSFP/SSBP eviction-rate curves.
+func Fig5(cfg Config, sizes []int, trials int) revng.Fig5Result {
+	return revng.Fig5(cfg.kernelConfig(), sizes, trials)
+}
+
+// Fig7 measures collision-finding attempts (SSBP) and the PSFP distance
+// dependence.
+func Fig7(cfg Config, ssbpTrials, psfpTrials int) revng.Fig7Result {
+	return revng.Fig7(cfg.kernelConfig(), ssbpTrials, psfpTrials)
+}
+
+// Isolation runs the Section IV-A cross-domain matrix (Vulnerability 1).
+func Isolation(cfg Config) revng.IsolationResult { return revng.Isolation(cfg.kernelConfig()) }
+
+// SMTMode runs the Section III-D3 SMT-vs-single-thread eviction comparison.
+func SMTMode(cfg Config) revng.SMTModeResult { return revng.SMTMode(cfg.kernelConfig()) }
+
+// Infer recovers the Section III design constants (C0 init, C4 limit, C3
+// value, the PSF window, the PSFP capacity) from timing observations alone.
+func Infer(cfg Config) revng.InferredParams { return revng.Infer(cfg.kernelConfig()) }
+
+// AddrLeak runs the Section V-D physical-address-relation leak experiment.
+func AddrLeak(cfg Config, pages int) revng.AddrLeakResult {
+	return revng.AddrLeak(cfg.kernelConfig(), pages)
+}
+
+// PSFPSizeAblation sweeps the PSFP capacity against the Fig 5 eviction
+// threshold (design-choice ablation).
+func PSFPSizeAblation(cfg Config, sizes []int) []revng.AblationPoint {
+	return revng.PSFPSizeAblation(cfg.kernelConfig(), sizes)
+}
+
+// MDUCharacterization returns TABLE IV (Intel/ARM/AMD designs).
+func MDUCharacterization() []predict.Characterization { return predict.CharacterizationTable() }
+
+// TransitionTable renders the implemented TABLE I state machine, generated
+// from the live Update code so it can never drift from the implementation.
+func TransitionTable() string { return predict.TransitionTable() }
+
+// --- Attacks ---
+
+// STLOptions configures SpectreSTL.
+type STLOptions = attack.STLOptions
+
+// CTLOptions configures SpectreCTL.
+type CTLOptions = attack.CTLOptions
+
+// FingerprintOptions configures Fingerprint.
+type FingerprintOptions = attack.FingerprintOptions
+
+// SpectreSTL runs the out-of-place Spectre-STL attack (Section V-B).
+func SpectreSTL(cfg Config, secret []byte, opts STLOptions) AttackResult {
+	return attack.SpectreSTL(cfg.kernelConfig(), secret, opts)
+}
+
+// SpectreSTLInPlace runs the classic in-place Spectre-STL baseline the
+// paper improves on: training happens through repeated victim executions.
+func SpectreSTLInPlace(cfg Config, secret []byte) AttackResult {
+	return attack.SpectreSTLInPlace(cfg.kernelConfig(), secret)
+}
+
+// SpectreCTL runs the Spectre-CTL attack (Section V-C1).
+func SpectreCTL(cfg Config, secret []byte, opts CTLOptions) AttackResult {
+	return attack.SpectreCTL(cfg.kernelConfig(), secret, opts)
+}
+
+// SpectreCTLBrowser runs the browser-timer variant (Section V-C2).
+func SpectreCTLBrowser(cfg Config, secret []byte) AttackResult {
+	return attack.SpectreCTLBrowser(cfg.kernelConfig(), secret)
+}
+
+// Fingerprint runs the Fig 11 CNN-model fingerprinting experiment.
+func Fingerprint(cfg Config, opts FingerprintOptions) (attack.FingerprintResult, error) {
+	return attack.Fingerprint(cfg.kernelConfig(), opts)
+}
+
+// SandboxEscape runs the Section V-C2 browser model end to end: JIT-only
+// code generation, bounds-masked linear memory, no CLFLUSH, a coarse
+// quantized timer — and a leak of renderer memory through SSBP anyway.
+func SandboxEscape(cfg Config, secret []byte) (sandbox.EscapeResult, error) {
+	return sandbox.Escape(cfg.kernelConfig(), secret)
+}
+
+// --- Defense ---
+
+// SSBDOverhead runs the Fig 12 performance study over the SPECrate-like
+// kernels.
+func SSBDOverhead(cfg Config) workload.SSBDOverheadResult {
+	return workload.SSBDOverhead(cfg.kernelConfig(), workload.SpecKernels())
+}

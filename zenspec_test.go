@@ -1,0 +1,176 @@
+package zenspec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlatforms(t *testing.T) {
+	ps := Platforms()
+	if len(ps) != 4 {
+		t.Fatalf("%d platforms, want TABLE III's 4", len(ps))
+	}
+	if p, ok := PlatformByName("epyc-7543"); !ok || p.SQSize != 48 {
+		t.Error("epyc preset")
+	}
+	if p, ok := PlatformByName("ryzen7-7735hs"); !ok || p.SQSize != 64 {
+		t.Error("zen3+ preset should have the 64-entry store queue")
+	}
+	if _, ok := PlatformByName("pentium"); ok {
+		t.Error("unknown platform found")
+	}
+}
+
+func TestFacadeLabPhi(t *testing.T) {
+	l := NewLab(Config{Seed: 1})
+	s := l.PlaceStld()
+	obs := s.Phi(Seq(1, -1, 7))
+	if len(obs) != 9 {
+		t.Fatalf("phi length %d", len(obs))
+	}
+	if obs[1].TrueType.String() != "G" {
+		t.Errorf("second execution %v, want G", obs[1].TrueType)
+	}
+}
+
+func TestFacadeMachine(t *testing.T) {
+	m := NewMachine(Config{Seed: 1, SSBD: true})
+	if !m.CPU(0).Unit.SSBD() {
+		t.Error("SSBD not applied")
+	}
+	p := m.NewProcess("x", DomainVM)
+	if p.Domain != DomainVM {
+		t.Error("domain")
+	}
+}
+
+// TestPlatformMatrix runs the headline state-machine validation on every
+// TABLE III platform: all four share one design.
+func TestPlatformMatrix(t *testing.T) {
+	for _, p := range Platforms() {
+		res := Table1(Config{Platform: p, Seed: 3}, 6, 32, 5)
+		if res.MatchRate < 0.99 {
+			t.Errorf("%s: state machine match rate %.3f", p.Name, res.MatchRate)
+		}
+	}
+}
+
+func TestMDUCharacterization(t *testing.T) {
+	rows := MDUCharacterization()
+	if len(rows) != 3 {
+		t.Fatalf("TABLE IV rows: %d", len(rows))
+	}
+	if !strings.Contains(rows[2].Selection, "12-bit hash") {
+		t.Error("AMD selection description")
+	}
+}
+
+// TestEndToEndThroughFacade leaks a short secret via both attacks using only
+// the public API.
+func TestEndToEndThroughFacade(t *testing.T) {
+	secret := []byte("zen3")
+	if res := SpectreSTL(Config{Seed: 5}, secret, STLOptions{}); res.Accuracy != 1 {
+		t.Errorf("facade spectre-stl accuracy %.2f (%q)", res.Accuracy, res.Leaked)
+	}
+	if res := SpectreCTL(Config{Seed: 5}, secret, CTLOptions{}); res.Accuracy != 1 {
+		t.Errorf("facade spectre-ctl accuracy %.2f (%q)", res.Accuracy, res.Leaked)
+	}
+}
+
+func TestFacadeIsolationAndOverhead(t *testing.T) {
+	if !Isolation(Config{Seed: 42}).Vulnerability1() {
+		t.Error("Vulnerability 1 not reproduced through the facade")
+	}
+	rows := SSBDOverhead(Config{Seed: 1}).Rows
+	if len(rows) != 10 {
+		t.Errorf("Fig 12 rows: %d", len(rows))
+	}
+}
+
+func TestFacadeAssembleRun(t *testing.T) {
+	code, err := Assemble(`
+		movi rax, 40
+		add  rax, rax, 2
+		halt
+	`, 0x400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := Disassemble(code, 0x400000); len(lines) != 3 {
+		t.Errorf("disassembly lines: %d", len(lines))
+	}
+	m := NewMachine(Config{Seed: 1})
+	p := m.NewProcess("t", DomainUser)
+	p.MapCode(0x400000, code)
+	res := m.Run(p, 0x400000, 0)
+	if res.Stop.String() != "halt" || p.Regs[0] != 42 {
+		t.Errorf("stop %v rax %d", res.Stop, p.Regs[0])
+	}
+	if _, err := Assemble("bogus", 0); err == nil {
+		t.Error("bad source should error")
+	}
+}
+
+func TestFacadeInfer(t *testing.T) {
+	p := Infer(Config{Seed: 42})
+	if p.C0Init != 4 || p.C3Saturated != 15 || p.PSFPEvictionThreshold != 12 {
+		t.Errorf("inferred %+v", p)
+	}
+}
+
+func TestFacadeSMTAndAblation(t *testing.T) {
+	if res := SMTMode(Config{Seed: 42}); !res.Duplicated() {
+		t.Error("SMT duplication not reproduced through the facade")
+	}
+	points := PSFPSizeAblation(Config{Seed: 42}, []int{8, 12})
+	if len(points) != 2 || points[1].Threshold != 12 {
+		t.Errorf("ablation points %+v", points)
+	}
+}
+
+func TestFacadeAddrLeak(t *testing.T) {
+	res := AddrLeak(Config{Seed: 42}, 3)
+	if res.Pages > 0 && res.Recovered != res.Pages {
+		t.Errorf("addr leak %d/%d", res.Recovered, res.Pages)
+	}
+}
+
+func TestFacadeInPlaceSTL(t *testing.T) {
+	res := SpectreSTLInPlace(Config{Seed: 5}, []byte("ab"))
+	if res.Accuracy != 1 {
+		t.Errorf("in-place accuracy %.2f", res.Accuracy)
+	}
+	if res.VictimCalls <= 2 {
+		t.Error("in-place must burn victim calls on training")
+	}
+}
+
+// TestFacadeExperimentWrappers smoke-tests the remaining experiment entry
+// points through the public API.
+func TestFacadeExperimentWrappers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full wrapper sweep")
+	}
+	cfg := Config{Seed: 42}
+	if res := Fig2(cfg); res.TimingAgree < 0.99 {
+		t.Errorf("Fig2 agreement %.3f", res.TimingAgree)
+	}
+	if res := Table2(cfg); len(res.Rows) != 5 {
+		t.Errorf("Table2 rows %d", len(res.Rows))
+	}
+	if res := Fig4(cfg, 2); res.StrideXORok != res.Pairs {
+		t.Errorf("Fig4 %d/%d", res.StrideXORok, res.Pairs)
+	}
+	if res := Fig5(cfg, []int{11, 12}, 4); res.PSFP[1].Rate != 1 {
+		t.Errorf("Fig5 psfp@12 %.2f", res.PSFP[1].Rate)
+	}
+	if res := Fig7(cfg, 3, 1); len(res.SSBPAttempts) == 0 {
+		t.Error("Fig7 found nothing")
+	}
+	if res := SpectreCTLBrowser(Config{Seed: 5}, []byte("hi")); res.Bytes != 2 {
+		t.Errorf("browser bytes %d", res.Bytes)
+	}
+	if res, err := SandboxEscape(Config{Seed: 5}, []byte{0x5e}); err != nil || res.Correct != 1 {
+		t.Errorf("sandbox escape: %v %+v", err, res)
+	}
+}
