@@ -12,6 +12,18 @@ func FuzzParse(f *testing.F) {
 	f.Add("bogus garbage !!!")
 	f.Add("movi rax 42")
 	f.Add("jmp")
+	// Paper Listing 2 shape: slow store address, bypassing load, dependent
+	// chain transmitting through the cache.
+	f.Add("movi r12, 1\nmov rbx, rdi\nimul rbx, rbx, r12\nimul rbx, rbx, r12\n" +
+		"store [rbx], r9\nload r8, [rsi]\nshl r13, r8, 6\nadd r13, r13, rbp\n" +
+		"load r14, [r13]\nhalt")
+	// Paper Listing 3 shape: the double-dereference STL gadget — the bypassed
+	// load yields a pointer that is dereferenced and transmitted.
+	f.Add("store [rcx], rax\nload rdx, [r14]\nadd rbx, rdx, r11\nload r8, [rbx]\n" +
+		"and r8, r8, 0xff\nshl r9, r8, 3\nadd r9, r9, r13\nload r10, [r9]\nhalt")
+	// Spectre-CTL shape: a guard branch over a secret load and its transmitter.
+	f.Add("jnz rdi, out\nload rdx, [rsi]\nand rdx, rdx, 0x3f\nshl rdx, rdx, 6\n" +
+		"add rdx, rdx, rbp\nload r8, [rdx]\nout:\nhalt")
 	f.Fuzz(func(t *testing.T, src string) {
 		b, err := Parse(src)
 		if err != nil {

@@ -4,20 +4,25 @@
 // whose value flows into the address of a second load, whose value in turn
 // flows into the address of a third memory access (the transmitter).
 //
-// The scan is a straight-line taint walk: registers written by a candidate
-// load are tainted; ALU ops propagate taint; a load whose address is
-// tainted deepens the chain. Branches end the window (a transient window
-// does not survive an unrelated redirect for this pattern). The scanner
-// over-approximates — it cannot know whether the store's address will
-// resolve late or whether the predictors can be mistrained — which is the
-// right default for an audit tool.
+// The scan delegates to internal/speccheck, the repository's one analysis
+// core, run in its legacy straight-line mode: a linear taint walk from each
+// store in which any control flow or fence ends the window. For the full
+// CFG-based always-mispredict analysis (branch windows explored, taint
+// through memory, Spectre-CTL shapes), use speccheck.Analyze directly or
+// the speccheck command.
 package gadget
 
 import (
 	"fmt"
 
 	"zenspec/internal/isa"
+	"zenspec/internal/speccheck"
 )
+
+// DefaultWindow is the default transient-window reach in instructions. It
+// aliases speccheck.DefaultWindow so the straight-line scan and the CFG
+// analyzer cannot drift apart.
+const DefaultWindow = speccheck.DefaultWindow
 
 // Candidate is one potential gadget.
 type Candidate struct {
@@ -39,7 +44,7 @@ func (c Candidate) String() string {
 // Options tunes the scan.
 type Options struct {
 	// Window is the maximum instruction distance from the store to the
-	// transmitter (a transient window's reach). 0 means 48.
+	// transmitter (a transient window's reach). 0 means DefaultWindow.
 	Window int
 }
 
@@ -47,105 +52,26 @@ type Options struct {
 func Scan(code []byte, opts Options) []Candidate {
 	window := opts.Window
 	if window == 0 {
-		window = 48
+		window = DefaultWindow
 	}
-	insts := make([]isa.Inst, 0, len(code)/isa.InstBytes)
-	for off := 0; off+isa.InstBytes <= len(code); off += isa.InstBytes {
-		insts = append(insts, isa.Decode(code[off:]))
-	}
-	var out []Candidate
-	for i, in := range insts {
-		if !in.IsStore() {
-			continue
+	findings := speccheck.Analyze(code, speccheck.Options{
+		Window:       window,
+		STL:          true,
+		StraightLine: true,
+		Stride:       isa.InstBytes,
+	})
+	out := make([]Candidate, 0, len(findings))
+	for _, f := range findings {
+		if len(f.LoadOffs) < 2 {
+			continue // straight-line STL findings always carry ld1 and ld2
 		}
-		if c, ok := chase(insts, i, window); ok {
-			out = append(out, c)
-		}
+		out = append(out, Candidate{
+			StoreOff:    f.SourceOff,
+			Ld1Off:      f.LoadOffs[0],
+			Ld2Off:      f.LoadOffs[1],
+			TransmitOff: f.TransmitOff,
+			Depth:       f.Depth,
+		})
 	}
 	return out
-}
-
-// taint tracks which registers carry values derived from a speculative load.
-type taint struct {
-	level [isa.NumRegs]int // 0 = clean, 1 = ld1-derived, 2 = ld2-derived
-}
-
-// chase walks forward from the store at index s looking for the
-// load-chain pattern.
-func chase(insts []isa.Inst, s, window int) (Candidate, bool) {
-	var t taint
-	ld1, ld2 := -1, -1
-	end := s + window
-	if end > len(insts) {
-		end = len(insts)
-	}
-	for i := s + 1; i < end; i++ {
-		in := insts[i]
-		switch {
-		case in.Op == isa.BAD, in.Op == isa.HALT, in.Op == isa.SYSCALL:
-			return Candidate{}, false
-		case in.IsBranch():
-			// A branch ends the straight-line window.
-			return Candidate{}, false
-		case in.IsFence():
-			// A fence serializes: the chain cannot continue transiently.
-			return Candidate{}, false
-		case in.IsLoad():
-			base := t.level[in.Src1]
-			switch {
-			case ld1 < 0:
-				// Any load after the store can be the bypassing load.
-				ld1 = i
-				t.set(in.Dst, 1)
-			case base >= 1 && ld2 < 0:
-				ld2 = i
-				t.set(in.Dst, 2)
-			case base >= 2:
-				return Candidate{
-					StoreOff:    s * isa.InstBytes,
-					Ld1Off:      ld1 * isa.InstBytes,
-					Ld2Off:      ld2 * isa.InstBytes,
-					TransmitOff: i * isa.InstBytes,
-					Depth:       2,
-				}, true
-			default:
-				// An unrelated load clears its destination's taint.
-				t.set(in.Dst, 0)
-			}
-		case in.IsStore():
-			// A tainted-address store is also a transmitter (it moves the
-			// secret into a cache-visible location).
-			if t.level[in.Src1] >= 2 && ld2 >= 0 {
-				return Candidate{
-					StoreOff:    s * isa.InstBytes,
-					Ld1Off:      ld1 * isa.InstBytes,
-					Ld2Off:      ld2 * isa.InstBytes,
-					TransmitOff: i * isa.InstBytes,
-					Depth:       2,
-				}, true
-			}
-		case in.WritesReg():
-			t.propagate(in)
-		}
-	}
-	return Candidate{}, false
-}
-
-// set assigns a taint level to a register.
-func (t *taint) set(r isa.Reg, level int) { t.level[r] = level }
-
-// propagate computes the destination's taint from the sources.
-func (t *taint) propagate(in isa.Inst) {
-	srcs, n := in.SrcRegs()
-	max := 0
-	for i := 0; i < n; i++ {
-		if l := t.level[srcs[i]]; l > max {
-			max = l
-		}
-	}
-	switch in.Op {
-	case isa.MOVI, isa.RDPRU:
-		max = 0 // constants and timestamps clear taint
-	}
-	t.level[in.Dst] = max
 }

@@ -31,6 +31,65 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestEveryOpcodeRoundTrip drives one representative instruction per opcode
+// through encode → decode → re-encode and requires the decoded struct to
+// match and the re-encoded bytes to be identical. The completeness check
+// against numOps makes adding an opcode without a round-trip case a test
+// failure.
+func TestEveryOpcodeRoundTrip(t *testing.T) {
+	cases := map[Op]Inst{
+		BAD:     {Op: BAD},
+		MOVI:    {Op: MOVI, Dst: RAX, Imm: -1},
+		MOV:     {Op: MOV, Dst: R15, Src1: RDI},
+		ADD:     {Op: ADD, Dst: R8, Src1: R9, Src2: R10},
+		SUB:     {Op: SUB, Dst: RCX, Src1: RCX, Src2: RDX},
+		AND:     {Op: AND, Dst: RBX, Src1: RBX, Src2: RSI},
+		OR:      {Op: OR, Dst: RSP, Src1: RBP, Src2: R11},
+		XOR:     {Op: XOR, Dst: R12, Src1: R12, Src2: R12},
+		SHL:     {Op: SHL, Dst: RAX, Src1: RAX, Src2: RCX},
+		SHR:     {Op: SHR, Dst: R14, Src1: R14, Src2: RCX},
+		ADDI:    {Op: ADDI, Dst: RAX, Src1: RAX, Imm: 0x7fffffff},
+		SUBI:    {Op: SUBI, Dst: RCX, Src1: RCX, Imm: -0x80000000},
+		ANDI:    {Op: ANDI, Dst: RDX, Src1: RDX, Imm: 0x3f},
+		ORI:     {Op: ORI, Dst: RBX, Src1: RBX, Imm: 1},
+		XORI:    {Op: XORI, Dst: RSI, Src1: RSI, Imm: -1},
+		SHLI:    {Op: SHLI, Dst: R9, Src1: R9, Imm: 6},
+		SHRI:    {Op: SHRI, Dst: R10, Src1: R10, Imm: 63},
+		IMUL:    {Op: IMUL, Dst: RBX, Src1: RBX, Src2: R12},
+		LOAD:    {Op: LOAD, Dst: RAX, Src1: RSI, Imm: 16},
+		STORE:   {Op: STORE, Src1: RDI, Src2: RAX, Imm: -8},
+		RDPRU:   {Op: RDPRU, Dst: R11},
+		CLFLUSH: {Op: CLFLUSH, Src1: RBX, Imm: 64},
+		MFENCE:  {Op: MFENCE},
+		LFENCE:  {Op: LFENCE},
+		SFENCE:  {Op: SFENCE},
+		JMP:     {Op: JMP, Imm: 0x401000},
+		JZ:      {Op: JZ, Src1: RCX, Imm: 0x400008},
+		JNZ:     {Op: JNZ, Src1: RAX, Imm: 0x400010},
+		NOP:     {Op: NOP},
+		SYSCALL: {Op: SYSCALL},
+		HALT:    {Op: HALT},
+	}
+	for op := Op(0); op < numOps; op++ {
+		if _, ok := cases[op]; !ok {
+			t.Errorf("no round-trip case for opcode %d (%v)", op, Inst{Op: op})
+		}
+	}
+	var first, second [InstBytes]byte
+	for op, in := range cases {
+		in.Encode(first[:])
+		got := Decode(first[:])
+		if got != in {
+			t.Errorf("%v: decode mismatch %v", op, got)
+			continue
+		}
+		got.Encode(second[:])
+		if first != second {
+			t.Errorf("%v: re-encode not byte-identical: % x vs % x", op, first, second)
+		}
+	}
+}
+
 func TestDecodeInvalidOpcodeIsBAD(t *testing.T) {
 	var buf [InstBytes]byte
 	buf[0] = 0xff

@@ -12,13 +12,13 @@ import (
 // the code.
 func TransitionTable() string {
 	representatives := []Counters{
-		{},                                     // Initialize
-		{C0: 2, C1: 16},                        // Block
-		{C2: 2, C4: 1},                         // Load From Cache
-		{C0: 3, C1: 8, C2: 2},                  // PSF Enabled S1
-		{C0: 3, C1: 16, C2: 2},                 // PSF Disabled S1
-		{C1: 16, C3: 5},                        // PSF Disabled S2
-		{C0: 3, C1: 8, C2: 2, C3: 5},           // PSF Enabled S2
+		{},                           // Initialize
+		{C0: 2, C1: 16},              // Block
+		{C2: 2, C4: 1},               // Load From Cache
+		{C0: 3, C1: 8, C2: 2},        // PSF Enabled S1
+		{C0: 3, C1: 16, C2: 2},       // PSF Disabled S1
+		{C1: 16, C3: 5},              // PSF Disabled S2
+		{C0: 3, C1: 8, C2: 2, C3: 5}, // PSF Enabled S2
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-16s %-28s | %-4s %-34s | %-4s %-34s\n",

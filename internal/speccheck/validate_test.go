@@ -1,0 +1,191 @@
+package speccheck_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"zenspec/internal/asm"
+	"zenspec/internal/isa"
+	"zenspec/internal/speccheck"
+)
+
+// stlConfirmable emits a dynamically real STL gadget in the Fig 8 shape: the
+// store address resolves through a long multiply chain, the load aliases it
+// (every pointer register is seeded with the same scratch address), and the
+// dependent chain stays inside the validator's mapped low region by masking
+// each loaded value before using it as an index.
+func stlConfirmable(b *asm.Builder) (store, ld1, ld2, tx int) {
+	b.Movi(isa.R12, 1)
+	b.Mov(isa.RBX, isa.RDI)
+	for i := 0; i < 24; i++ {
+		b.Imul(isa.RBX, isa.RBX, isa.R12) // slow address generation
+	}
+	store = b.Offset()
+	b.Store(isa.RBX, 0, isa.R9)
+	ld1 = b.Offset()
+	b.Load(isa.RDX, isa.RSI, 0) // aliases the store; bypasses it
+	b.Andi(isa.RDX, isa.RDX, 0x3f)
+	b.Shli(isa.RDX, isa.RDX, 3)
+	b.Add(isa.RDX, isa.RDX, isa.RBP)
+	ld2 = b.Offset()
+	b.Load(isa.R8, isa.RDX, 0)
+	b.Andi(isa.R8, isa.R8, 0x3f)
+	b.Shli(isa.R8, isa.R8, 6)
+	b.Add(isa.R8, isa.R8, isa.RBP)
+	tx = b.Offset()
+	b.Load(isa.R10, isa.R8, 0)
+	return
+}
+
+// stlOverApprox emits a statically identical chain whose store and load can
+// never alias (disjoint displacements off the same scratch pointer), so no
+// replay produces a bypass event.
+func stlOverApprox(b *asm.Builder) (store int) {
+	store = b.Offset()
+	b.Store(isa.RBX, 0x2000, isa.R9)
+	b.Load(isa.RDX, isa.RSI, 0)
+	b.Andi(isa.RDX, isa.RDX, 0x3f)
+	b.Add(isa.RDX, isa.RDX, isa.RBP)
+	b.Load(isa.R8, isa.RDX, 0)
+	b.Andi(isa.R8, isa.R8, 0x3f)
+	b.Add(isa.R8, isa.R8, isa.RBP)
+	b.Load(isa.R10, isa.R8, 0)
+	return
+}
+
+func TestValidateConfirmsSTL(t *testing.T) {
+	b := asm.NewBuilder()
+	store, ld1, _, tx := stlConfirmable(b)
+	b.Halt()
+	code := b.MustAssemble(0)
+
+	findings := speccheck.Analyze(code, speccheck.Options{STL: true})
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want 1", findings)
+	}
+	f := findings[0]
+	if f.SourceOff != store || f.LoadOffs[0] != ld1 || f.TransmitOff != tx {
+		t.Fatalf("finding %+v does not match the emitted gadget", f)
+	}
+	v := speccheck.Validate(code, f, speccheck.ValidateOptions{})
+	if v.Verdict != speccheck.VerdictConfirmed || !v.Confirmed {
+		t.Fatalf("verdict = %v (%s), want confirmed", v.Verdict, v.Detail)
+	}
+	if v.Runs == 0 {
+		t.Error("no simulator runs recorded")
+	}
+	if !strings.Contains(v.Detail, "bypass event") {
+		t.Errorf("detail = %q, want bypass evidence", v.Detail)
+	}
+}
+
+func TestValidateConfirmsCTL(t *testing.T) {
+	// The guard condition comes from memory and resolves through a multiply
+	// chain, so the misprediction window is wide. With the pointer-filled
+	// memory schedule the branch is taken for the first time with untrained
+	// counters — a guaranteed mispredict whose wrong path is the leak body.
+	b := asm.NewBuilder()
+	b.Load(isa.R11, isa.RDI, 0)
+	b.Movi(isa.R12, 1)
+	for i := 0; i < 12; i++ {
+		b.Imul(isa.R11, isa.R11, isa.R12)
+	}
+	branch := b.Offset()
+	b.Jnz(isa.R11, "out")
+	ld1 := b.Offset()
+	b.Load(isa.RDX, isa.RSI, 0)
+	b.Andi(isa.RDX, isa.RDX, 0x3f)
+	b.Shli(isa.RDX, isa.RDX, 6)
+	b.Add(isa.RDX, isa.RDX, isa.RBP)
+	tx := b.Offset()
+	b.Load(isa.R8, isa.RDX, 0)
+	b.Label("out")
+	b.Halt()
+	code := b.MustAssemble(0)
+
+	findings := speccheck.Analyze(code, speccheck.Options{CTL: true})
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want 1", findings)
+	}
+	f := findings[0]
+	if f.SourceOff != branch || f.LoadOffs[0] != ld1 || f.TransmitOff != tx {
+		t.Fatalf("finding %+v does not match the emitted gadget", f)
+	}
+	v := speccheck.Validate(code, f, speccheck.ValidateOptions{})
+	if v.Verdict != speccheck.VerdictConfirmed || !v.Confirmed {
+		t.Fatalf("verdict = %v (%s), want confirmed", v.Verdict, v.Detail)
+	}
+	if !strings.Contains(v.Detail, "mispredict") {
+		t.Errorf("detail = %q, want misprediction evidence", v.Detail)
+	}
+}
+
+func TestValidateOverApproximation(t *testing.T) {
+	b := asm.NewBuilder()
+	stlOverApprox(b)
+	b.Halt()
+	code := b.MustAssemble(0)
+
+	findings := speccheck.Analyze(code, speccheck.Options{STL: true})
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want 1", findings)
+	}
+	v := speccheck.Validate(code, findings[0], speccheck.ValidateOptions{})
+	if v.Verdict != speccheck.VerdictOverApprox || v.Confirmed {
+		t.Fatalf("verdict = %v (%s), want over-approximation", v.Verdict, v.Detail)
+	}
+	if v.Runs == 0 {
+		t.Error("over-approximation verdict reached without any simulator runs")
+	}
+}
+
+// TestValidateAllClassifies runs the full differential loop on a program
+// containing one real and one unrealizable gadget: every static finding gets
+// a verdict and the report's precision reflects the split.
+func TestValidateAllClassifies(t *testing.T) {
+	b := asm.NewBuilder()
+	realStore, _, _, _ := stlConfirmable(b)
+	fakeStore := stlOverApprox(b)
+	b.Halt()
+	code := b.MustAssemble(0)
+
+	findings := speccheck.Analyze(code, speccheck.Options{STL: true})
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v, want 2", findings)
+	}
+	rep := speccheck.ValidateAll(code, findings, speccheck.ValidateOptions{})
+	if len(rep.Results) != len(findings) {
+		t.Fatalf("classified %d of %d findings", len(rep.Results), len(findings))
+	}
+	for _, v := range rep.Results {
+		switch v.Finding.SourceOff {
+		case realStore:
+			if v.Verdict != speccheck.VerdictConfirmed {
+				t.Errorf("real gadget not confirmed: %s", v.Detail)
+			}
+		case fakeStore:
+			if v.Verdict != speccheck.VerdictOverApprox {
+				t.Errorf("unrealizable gadget confirmed: %s", v.Detail)
+			}
+		default:
+			t.Errorf("finding with unexpected source %#x", v.Finding.SourceOff)
+		}
+	}
+	if rep.Confirmed() != 1 {
+		t.Errorf("confirmed = %d, want 1", rep.Confirmed())
+	}
+	if got := rep.Precision(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("precision = %v, want 0.5", got)
+	}
+	if s := rep.String(); !strings.Contains(s, "precision: 1/2") {
+		t.Errorf("report string missing precision line:\n%s", s)
+	}
+}
+
+func TestReportPrecisionEmpty(t *testing.T) {
+	var rep speccheck.Report
+	if rep.Precision() != 1 {
+		t.Errorf("empty report precision = %v, want 1", rep.Precision())
+	}
+}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# verify.sh — the repository's full local gate: formatting, vet, build, and
+# the test suite under the race detector. CI and pre-commit both run this.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "verify: OK"

@@ -27,6 +27,7 @@ import (
 	"zenspec/internal/predict"
 	"zenspec/internal/revng"
 	"zenspec/internal/sandbox"
+	"zenspec/internal/speccheck"
 	"zenspec/internal/workload"
 )
 
@@ -169,6 +170,36 @@ type GadgetCandidate = gadget.Candidate
 // load→transmitter shape the paper's attacks need (Listings 2 and 3).
 func ScanGadgets(code []byte) []GadgetCandidate {
 	return gadget.Scan(code, gadget.Options{})
+}
+
+// SpecFinding is one speculative-leak candidate (Spectre-STL or -CTL) found
+// by the CFG-based analyzer, with its instruction-offset witness chain.
+type SpecFinding = speccheck.Finding
+
+// SpecCheckOptions tunes SpecCheck (window, stride, kind selection).
+type SpecCheckOptions = speccheck.Options
+
+// SpecValidation is the simulator verdict on one static finding.
+type SpecValidation = speccheck.Validation
+
+// SpecReport aggregates validations with a precision summary.
+type SpecReport = speccheck.Report
+
+// SpecCheck runs the CFG-based always-mispredict taint analysis over machine
+// code: every conditional branch forks a bounded transient window, every
+// store is assumed bypassable, and taint flows through registers and a finite
+// abstract store. It subsumes ScanGadgets (which is its straight-line mode)
+// and additionally reports Spectre-CTL shapes and gadgets reached across
+// branches or through memory.
+func SpecCheck(code []byte, opts SpecCheckOptions) []SpecFinding {
+	return speccheck.Analyze(code, opts)
+}
+
+// SpecValidate replays static findings through the pipeline simulator with
+// mistrained predictors and classifies each as dynamically confirmed or a
+// static over-approximation.
+func SpecValidate(code []byte, findings []SpecFinding) SpecReport {
+	return speccheck.ValidateAll(code, findings, speccheck.ValidateOptions{})
 }
 
 // NewLab boots a machine wrapped in the reverse-engineering fixture.
