@@ -41,7 +41,7 @@ func BenchmarkFig2ExecutionTypes(b *testing.B) {
 func BenchmarkTable1StateMachine(b *testing.B) {
 	var res revng.Table1Result
 	for i := 0; i < b.N; i++ {
-		res = Table1(Config{Seed: 42}, 20, 48, 7)
+		res = Table1(Config{Seed: 42}, 20, 48)
 	}
 	b.ReportMetric(100*res.MatchRate, "match-%")
 }

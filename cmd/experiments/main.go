@@ -1,187 +1,142 @@
-// Command experiments runs the complete per-experiment index of DESIGN.md —
-// every table and figure of the paper — and prints a consolidated
-// paper-vs-measured report (the source of EXPERIMENTS.md's numbers).
+// Command experiments reproduces every table and figure of the paper through
+// the harness registry: one descriptor per DESIGN.md index row, rendered as a
+// consolidated text report or as JSON from the same metrics. The process exit
+// code reports whether every experiment landed inside its paper band.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
-	"time"
+	"strings"
 
 	"zenspec"
 )
 
-func section(title string) {
-	fmt.Printf("\n===== %s =====\n", title)
-}
-
 func main() {
-	seed := flag.Int64("seed", 42, "simulation seed")
-	quick := flag.Bool("quick", false, "smaller trial counts")
-	asJSON := flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
+	seed := flag.Int64("seed", 42, "simulation seed (results are deterministic per seed)")
+	quick := flag.Bool("quick", false, "reduced trial counts and secret sizes")
+	jsonOut := flag.Bool("json", false, "emit the suite report as JSON instead of text")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all; see -list)")
+	parallel := flag.Int("parallel", 0, "trial-runner workers; 0 means GOMAXPROCS (results are identical at any value)")
+	benchJSON := flag.String("bench-json", "", "run serial then parallel, write a speedup report to this path, and exit")
+	validate := flag.String("validate", "", "validate a suite JSON file written by -json: well-formed, bands consistent, all pass")
+	list := flag.Bool("list", false, "list the registered experiments and exit")
 	flag.Parse()
-	cfg := zenspec.Config{Seed: *seed}
-	start := time.Now()
 
-	if *asJSON {
-		emitJSON(cfg, *seed, *quick)
+	if *list {
+		for _, e := range zenspec.Experiments() {
+			fmt.Printf("%-20s [%s] %s\n", e.ID, strings.Join(e.Tags, ","), e.Title)
+		}
 		return
 	}
 
-	trials, leakBytes, fpSamples := 20, 256, 10
-	if *quick {
-		trials, leakBytes, fpSamples = 8, 32, 6
+	if *validate != "" {
+		os.Exit(validateFile(*validate))
 	}
 
-	section("TABLE III — platforms (all share one predictor design)")
-	for _, p := range zenspec.Platforms() {
-		res := zenspec.Table1(zenspec.Config{Platform: p, Seed: *seed}, 10, 48, *seed)
-		fmt.Printf("%-14s %-28s SQ=%d  state-machine match %.2f%%\n",
-			p.Name, p.CPU, p.SQSize, 100*res.MatchRate)
+	cfg := zenspec.Config{Seed: *seed, Parallelism: *parallel}
+	var ids []string
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
 	}
 
-	section("Fig 2 — execution types")
-	fmt.Print(zenspec.Fig2(cfg))
-
-	section("TABLE I — state machine validation (paper: >99.8%)")
-	fmt.Println(zenspec.Table1(cfg, 50, 64, *seed))
-
-	section("TABLE II — counter organization")
-	fmt.Print(zenspec.Table2(cfg))
-
-	section("Fig 4 — hash characteristics")
-	fmt.Println(zenspec.Fig4(cfg, 8))
-
-	section("Fig 5 — eviction rates (paper: PSFP step at 12; SSBP >50% @16, ~90% @32)")
-	fmt.Print(zenspec.Fig5(cfg, []int{4, 8, 10, 11, 12, 16, 24, 32, 48}, trials))
-
-	section("Fig 7 — collision finding (paper: SSBP ~2200 attempts; PSFP needs equal distance)")
-	fmt.Print(zenspec.Fig7(cfg, trials, 4))
-
-	section("Section IV-A — isolation matrix (Vulnerability 1)")
-	fmt.Print(zenspec.Isolation(cfg))
-
-	section("Section III-D3 — SMT vs single-thread mode")
-	fmt.Println(zenspec.SMTMode(cfg))
-
-	section("Section V-D — physical-address relation leak through the hash")
-	fmt.Println(zenspec.AddrLeak(cfg, 5))
-
-	section("TABLE IV — MDU characterization")
-	for _, row := range zenspec.MDUCharacterization() {
-		fmt.Printf("%-14s state machine: %-24s selection: %s\n", row.Design, row.StateMachineBits, row.Selection)
+	if *benchJSON != "" {
+		bench, err := zenspec.BenchExperiments(cfg, *quick, ids)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		b, err := bench.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*benchJSON, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("bench: %d experiments, %d cores, %d workers: serial %.2fs, parallel %.2fs, speedup %.2fx, deterministic %v -> %s\n",
+			len(bench.Experiments), bench.Cores, bench.Workers,
+			bench.TotalSerialMS/1000, bench.TotalParallelMS/1000, bench.Speedup,
+			bench.Deterministic, *benchJSON)
+		if !bench.Deterministic {
+			fmt.Fprintln(os.Stderr, "experiments: serial and parallel runs disagree")
+			os.Exit(1)
+		}
+		return
 	}
 
-	secret := make([]byte, leakBytes)
-	rand.New(rand.NewSource(*seed)).Read(secret)
-
-	section("Section V-B — out-of-place Spectre-STL (paper: 99.95%, 416 B/s)")
-	fmt.Println(zenspec.SpectreSTL(cfg, secret, zenspec.STLOptions{}))
-
-	section("Section V-C1 — Spectre-CTL (paper: 99.97%, 384 B/s)")
-	fmt.Println(zenspec.SpectreCTL(cfg, secret, zenspec.CTLOptions{}))
-
-	section("Section V-C2 — Spectre-CTL in the browser (paper: 81.1%, ~170 B/s)")
-	fmt.Println(zenspec.SpectreCTLBrowser(cfg, secret))
-
-	section("Fig 11 — CNN fingerprinting (paper: >95.5%)")
-	fp, err := zenspec.Fingerprint(cfg, zenspec.FingerprintOptions{
-		ScanRange: 128, Rounds: 14, TrainSamples: fpSamples, TestSamples: fpSamples / 2, Seed: *seed,
-	})
+	suite, err := zenspec.RunExperiments(cfg, *quick, ids)
 	if err != nil {
-		fmt.Println("fingerprint error:", err)
-	} else {
-		fmt.Print(fp)
-	}
-
-	section("Fig 12 — SSBD overhead (paper: >20% on perlbench and exchange2)")
-	fmt.Print(zenspec.SSBDOverhead(zenspec.Config{Seed: 1}))
-
-	section("Section VI — defenses")
-	for _, row := range []struct {
-		name string
-		acc  float64
-	}{
-		{"spectre-stl under SSBD", zenspec.SpectreSTL(zenspec.Config{Seed: *seed, SSBD: true}, secret[:16], zenspec.STLOptions{}).Accuracy},
-		{"spectre-stl under PSFD (paper: ineffective)", zenspec.SpectreSTL(zenspec.Config{Seed: *seed, PSFD: true}, secret[:16], zenspec.STLOptions{}).Accuracy},
-		{"spectre-ctl under SSBD", zenspec.SpectreCTL(zenspec.Config{Seed: *seed, SSBD: true}, secret[:8], zenspec.CTLOptions{Sweeps: 1}).Accuracy},
-		{"spectre-ctl with SSBP flush on switch", zenspec.SpectreCTL(zenspec.Config{Seed: *seed, FlushSSBPOnSwitch: true}, secret[:8], zenspec.CTLOptions{Sweeps: 1}).Accuracy},
-		{"spectre-ctl with rotating selection salt", zenspec.SpectreCTL(zenspec.Config{Seed: *seed, RotateSalt: true}, secret[:8], zenspec.CTLOptions{Sweeps: 1, VictimDomain: zenspec.DomainKernel}).Accuracy},
-		{"spectre-stl with 4096-cycle secure timer", zenspec.SpectreSTL(zenspec.Config{Seed: *seed, TimerQuantum: 4096}, secret[:16], zenspec.STLOptions{}).Accuracy},
-	} {
-		fmt.Printf("%-48s accuracy %.1f%%\n", row.name, 100*row.acc)
-	}
-
-	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
-}
-
-// jsonReport is the machine-readable form of the per-experiment index.
-type jsonReport struct {
-	Seed             int64              `json:"seed"`
-	StateMachineRate float64            `json:"table1_match_rate"`
-	Fig5PSFP         map[string]float64 `json:"fig5_psfp_eviction"`
-	Fig5SSBP         map[string]float64 `json:"fig5_ssbp_eviction"`
-	Fig7SSBPMean     float64            `json:"fig7_ssbp_mean_attempts"`
-	Vulnerability1   bool               `json:"vulnerability1"`
-	SMTDuplicated    bool               `json:"smt_duplicated"`
-	Inferred         map[string]int     `json:"inferred_constants"`
-	STLAccuracy      float64            `json:"spectre_stl_accuracy"`
-	CTLAccuracy      float64            `json:"spectre_ctl_accuracy"`
-	BrowserAccuracy  float64            `json:"spectre_ctl_browser_accuracy"`
-	Fig12Overheads   map[string]float64 `json:"fig12_overheads"`
-	Defenses         map[string]float64 `json:"defense_attack_accuracy"`
-}
-
-func emitJSON(cfg zenspec.Config, seed int64, quick bool) {
-	leakBytes := 64
-	trials := 12
-	if quick {
-		leakBytes, trials = 16, 6
-	}
-	secret := make([]byte, leakBytes)
-	rand.New(rand.NewSource(seed)).Read(secret)
-
-	rep := jsonReport{
-		Seed:           seed,
-		Fig5PSFP:       map[string]float64{},
-		Fig5SSBP:       map[string]float64{},
-		Fig12Overheads: map[string]float64{},
-		Defenses:       map[string]float64{},
-		Inferred:       map[string]int{},
-	}
-	rep.StateMachineRate = zenspec.Table1(cfg, 30, 48, seed).MatchRate
-	ev := zenspec.Fig5(cfg, []int{11, 12, 16, 32}, trials)
-	for i := range ev.PSFP {
-		key := fmt.Sprintf("%d", ev.PSFP[i].SetSize)
-		rep.Fig5PSFP[key] = ev.PSFP[i].Rate
-		rep.Fig5SSBP[key] = ev.SSBP[i].Rate
-	}
-	rep.Fig7SSBPMean = zenspec.Fig7(cfg, trials, 2).SSBPMean
-	rep.Vulnerability1 = zenspec.Isolation(cfg).Vulnerability1()
-	rep.SMTDuplicated = zenspec.SMTMode(cfg).Duplicated()
-	inf := zenspec.Infer(cfg)
-	rep.Inferred["c0_init"] = inf.C0Init
-	rep.Inferred["c3_saturated"] = inf.C3Saturated
-	rep.Inferred["c4_limit"] = inf.RollbacksToSaturate
-	rep.Inferred["psf_window"] = inf.AliasRunsToPSF
-	rep.Inferred["psfp_capacity"] = inf.PSFPEvictionThreshold
-	rep.STLAccuracy = zenspec.SpectreSTL(cfg, secret, zenspec.STLOptions{}).Accuracy
-	rep.CTLAccuracy = zenspec.SpectreCTL(cfg, secret, zenspec.CTLOptions{}).Accuracy
-	rep.BrowserAccuracy = zenspec.SpectreCTLBrowser(cfg, secret).Accuracy
-	for _, row := range zenspec.SSBDOverhead(zenspec.Config{Seed: 1}).Rows {
-		rep.Fig12Overheads[row.Name] = row.OverheadFrac
-	}
-	rep.Defenses["ssbd_stl"] = zenspec.SpectreSTL(zenspec.Config{Seed: seed, SSBD: true}, secret[:8], zenspec.STLOptions{}).Accuracy
-	rep.Defenses["psfd_stl"] = zenspec.SpectreSTL(zenspec.Config{Seed: seed, PSFD: true}, secret[:8], zenspec.STLOptions{}).Accuracy
-	rep.Defenses["flush_ssbp_ctl"] = zenspec.SpectreCTL(zenspec.Config{Seed: seed, FlushSSBPOnSwitch: true}, secret[:8], zenspec.CTLOptions{Sweeps: 1}).Accuracy
-
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		b, err := suite.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(b))
+	} else {
+		fmt.Print(suite.Text())
+	}
+	if !suite.AllPass() {
+		fmt.Fprintf(os.Stderr, "experiments: outside paper band: %s\n", strings.Join(suite.Failed(), ", "))
 		os.Exit(1)
 	}
+}
+
+// validateFile re-checks a suite report written by -json: the file must be
+// valid JSON of the suite shape, every metric's stored pass flag must match
+// its own band, every experiment's verdict must match its metrics, and the
+// whole suite must pass. Returns the process exit code.
+func validateFile(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		return 2
+	}
+	var suite zenspec.ExperimentSuite
+	if err := json.Unmarshal(data, &suite); err != nil {
+		fmt.Fprintln(os.Stderr, "validate: invalid JSON:", err)
+		return 2
+	}
+	if len(suite.Experiments) == 0 {
+		fmt.Fprintln(os.Stderr, "validate: no experiments in report")
+		return 2
+	}
+	bad := 0
+	for _, exp := range suite.Experiments {
+		pass := true
+		for _, m := range exp.Metrics {
+			inBand := m.Value >= m.Min && m.Value <= m.Max
+			if m.Pass != inBand {
+				fmt.Fprintf(os.Stderr, "validate: %s/%s: stored pass=%v but value %g vs band [%g, %g]\n",
+					exp.ID, m.Name, m.Pass, m.Value, m.Min, m.Max)
+				bad++
+			}
+			pass = pass && inBand
+		}
+		if exp.Pass != pass {
+			fmt.Fprintf(os.Stderr, "validate: %s: stored verdict %v inconsistent with metrics\n", exp.ID, exp.Pass)
+			bad++
+		}
+		if !pass {
+			fmt.Fprintf(os.Stderr, "validate: %s outside paper band\n", exp.ID)
+			bad++
+		}
+	}
+	if bad > 0 {
+		return 1
+	}
+	fmt.Printf("validate: %d experiments, all in paper band (seed %d, quick %v)\n",
+		len(suite.Experiments), suite.Seed, suite.Quick)
+	return 0
 }

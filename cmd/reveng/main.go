@@ -1,59 +1,60 @@
 // Command reveng regenerates the reverse-engineering results of Sections
-// III and IV: Fig 2 (execution types), TABLE I (state-machine validation),
-// TABLE II (counter organization), Fig 4 (hash characteristics), Fig 5
-// (eviction curves), Fig 7 (collision finding) and the Section IV-A
-// isolation matrix.
+// III–V from the harness registry: every experiment tagged "revng" — Fig 2
+// (execution types), TABLE I (state-machine validation), TABLE II (counter
+// organization), Fig 4 (hash characteristics), Fig 5 (eviction curves),
+// Fig 7 (collision finding), the Section IV-A isolation matrix, the SMT
+// probe, the address leak, the inferred design constants, and the ablations.
+// Positional arguments select individual experiments by ID.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"strings"
 
 	"zenspec"
 )
 
 func main() {
-	fig2 := flag.Bool("fig2", false, "Fig 2: execution-type timing and PMC analysis")
-	table1 := flag.Bool("table1", false, "TABLE I: state machine validation on random sequences")
-	table2 := flag.Bool("table2", false, "TABLE II: counter organization")
-	fig4 := flag.Bool("fig4", false, "Fig 4: colliding-pair hash characteristics")
-	fig5 := flag.Bool("fig5", false, "Fig 5: eviction rate vs set size")
-	fig7 := flag.Bool("fig7", false, "Fig 7: collision finding")
-	isolation := flag.Bool("isolation", false, "Section IV-A: cross-domain isolation matrix")
-	smt := flag.Bool("smt", false, "Section III-D3: SMT vs single-thread eviction thresholds")
-	addrleak := flag.Bool("addrleak", false, "Section V-D: physical-address relation leak")
-	infer := flag.Bool("infer", false, "recover the design constants from timing alone")
-	all := flag.Bool("all", false, "run everything")
 	seed := flag.Int64("seed", 42, "simulation seed")
-	trials := flag.Int("trials", 20, "trials for statistical experiments")
+	quick := flag.Bool("quick", false, "reduced trial counts")
+	parallel := flag.Int("parallel", 0, "trial-runner workers; 0 means GOMAXPROCS (results are identical at any value)")
+	list := flag.Bool("list", false, "list the reverse-engineering experiments and exit")
+	table := flag.Bool("transition-table", false, "also print TABLE I as implemented (generated from the state machine)")
 	flag.Parse()
 
-	cfg := zenspec.Config{Seed: *seed}
-	any := false
-	run := func(enabled bool, f func()) {
-		if enabled || *all {
-			any = true
-			f()
-			fmt.Println()
+	if *list {
+		for _, e := range zenspec.Experiments() {
+			if e.HasTag("revng") {
+				fmt.Printf("%-16s %s\n", e.ID, e.Title)
+			}
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, e := range zenspec.Experiments() {
+			if e.HasTag("revng") {
+				ids = append(ids, e.ID)
+			}
 		}
 	}
-	run(*fig2, func() { fmt.Print(zenspec.Fig2(cfg)) })
-	run(*table1, func() { fmt.Println(zenspec.Table1(cfg, 50, 64, *seed)) })
-	run(*table2, func() { fmt.Print(zenspec.Table2(cfg)) })
-	run(*fig4, func() { fmt.Println(zenspec.Fig4(cfg, 8)) })
-	run(*fig5, func() {
-		fmt.Print(zenspec.Fig5(cfg, []int{4, 8, 10, 11, 12, 16, 24, 32, 48}, *trials))
-	})
-	run(*fig7, func() { fmt.Print(zenspec.Fig7(cfg, 24, 6)) })
-	run(*isolation, func() { fmt.Print(zenspec.Isolation(cfg)) })
-	run(*smt, func() { fmt.Println(zenspec.SMTMode(cfg)) })
-	run(*addrleak, func() { fmt.Println(zenspec.AddrLeak(cfg, 5)) })
-	run(*infer, func() { fmt.Print(zenspec.Infer(cfg)) })
-	run(*table1, func() {
+
+	cfg := zenspec.Config{Seed: *seed, Parallelism: *parallel}
+	suite, err := zenspec.RunExperiments(cfg, *quick, ids)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reveng:", err)
+		os.Exit(2)
+	}
+	fmt.Print(suite.Text())
+	if *table {
 		fmt.Println("\nTABLE I as implemented (generated from the state machine):")
 		fmt.Print(zenspec.TransitionTable())
-	})
-	if !any {
-		flag.Usage()
+	}
+	if !suite.AllPass() {
+		fmt.Fprintf(os.Stderr, "reveng: outside paper band: %s\n", strings.Join(suite.Failed(), ", "))
+		os.Exit(1)
 	}
 }

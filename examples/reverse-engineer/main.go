@@ -14,7 +14,7 @@ func main() {
 	cfg := zenspec.Config{Seed: 42}
 
 	fmt.Println("== 1. Does the TABLE I state machine model the hardware? ==")
-	res := zenspec.Table1(cfg, 30, 48, 7)
+	res := zenspec.Table1(cfg, 30, 48)
 	fmt.Println(res)
 	fmt.Println()
 

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"zenspec/internal/asm"
+	"zenspec/internal/harness"
 	"zenspec/internal/isa"
 	"zenspec/internal/kernel"
 	"zenspec/internal/mem"
@@ -155,6 +156,46 @@ func (a *ctlAttack) tick() {
 // secret == idx), and the attacker reads the verdict back through timing on
 // its own colliding store-load pair — no cache channel, no shared memory.
 func SpectreCTL(cfg kernel.Config, secret []byte, opts CTLOptions) Result {
+	shards := (len(secret) + ctlShardBytes - 1) / ctlShardBytes
+	if shards <= 1 {
+		return spectreCTLShard(cfg, secret, opts, 0, len(secret))
+	}
+	parts := harness.Trials(harness.Workers(cfg.Parallelism), shards, func(s int) Result {
+		lo := s * ctlShardBytes
+		hi := lo + ctlShardBytes
+		if hi > len(secret) {
+			hi = len(secret)
+		}
+		return spectreCTLShard(cfg, secret, opts, lo, hi)
+	})
+	res := Result{Name: "spectre-ctl", Secret: secret}
+	for s, p := range parts {
+		lo := s * ctlShardBytes
+		hi := lo + ctlShardBytes
+		if hi > len(secret) {
+			hi = len(secret)
+		}
+		leaked := p.Leaked
+		for len(leaked) < hi-lo {
+			leaked = append(leaked, 0) // shard without colliders: no signal
+		}
+		res.Leaked = append(res.Leaked, leaked...)
+		res.CollisionAttempts += p.CollisionAttempts
+		res.VictimCalls += p.VictimCalls
+		res.Cycles += p.Cycles
+	}
+	finalize(&res)
+	return res
+}
+
+// ctlShardBytes is the fixed shard width of the parallel leak; like the STL
+// shard width it depends only on the secret length, keeping the merged
+// result identical at any worker count.
+const ctlShardBytes = 32
+
+// spectreCTLShard is one attacker instance (own machine, own calibration and
+// collision searches) leaking secret[lo:hi].
+func spectreCTLShard(cfg kernel.Config, secret []byte, opts CTLOptions, lo, hi int) Result {
 	if opts.SliderPages == 0 {
 		opts.SliderPages = 2
 	}
@@ -167,7 +208,7 @@ func SpectreCTL(cfg kernel.Config, secret []byte, opts CTLOptions) Result {
 	if opts.SearchVotes == 0 {
 		opts.SearchVotes = 5
 	}
-	res := Result{Name: "spectre-ctl", Secret: secret}
+	res := Result{Name: "spectre-ctl", Secret: secret[lo:hi]}
 
 	l := revng.NewLab(cfg)
 	victim := l.K.NewProcess("victim", opts.VictimDomain)
@@ -203,7 +244,7 @@ func SpectreCTL(cfg kernel.Config, secret []byte, opts CTLOptions) Result {
 	drainUntilFast(a.ld3Col, 60)
 
 	// Phase 3 — leak byte by byte.
-	for i := range secret {
+	for i := lo; i < hi; i++ {
 		res.Leaked = append(res.Leaked, a.leakByte(uint64(i)))
 	}
 	res.Cycles = l.K.CPU(0).Core.Cycle() - start

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"zenspec/internal/harness"
 	"zenspec/internal/kernel"
 	"zenspec/internal/mem"
 	"zenspec/internal/ml"
@@ -147,22 +148,29 @@ func fingerprintSample(cfg kernel.Config, model workload.CNNModel, opts Fingerpr
 
 // Fingerprint runs the full Fig 11 experiment: per-model fingerprint
 // samples, an SVM trained on the training split, and its accuracy on the
-// held-out split.
+// held-out split. Every (model, sample) cell is a fresh machine with a seed
+// derived only from its indices, so the sample grid runs flattened on the
+// harness worker pool; the train/test split and the SVM stay serial.
 func Fingerprint(cfg kernel.Config, opts FingerprintOptions) (FingerprintResult, error) {
 	opts = opts.withDefaults()
 	models := workload.CNNModels()
 	var res FingerprintResult
 	res.MeanVectors = make(map[string][]float64)
 
+	n := opts.TrainSamples + opts.TestSamples
+	vecs := harness.Trials(harness.Workers(cfg.Parallelism), len(models)*n, func(c int) []float64 {
+		mi, s := c/n, c%n
+		seed := opts.Seed + int64(mi*1000+s)*7 + 11
+		return fingerprintSample(cfg, models[mi], opts, seed)
+	})
+
 	var trainX, testX [][]float64
 	var trainY, testY []int
 	for mi, model := range models {
 		res.Models = append(res.Models, model.Name)
 		mean := make([]float64, FingerprintVectorLen)
-		n := opts.TrainSamples + opts.TestSamples
 		for s := 0; s < n; s++ {
-			seed := opts.Seed + int64(mi*1000+s)*7 + 11
-			vec := fingerprintSample(cfg, model, opts, seed)
+			vec := vecs[mi*n+s]
 			for i := range mean {
 				mean[i] += vec[i] / float64(n)
 			}

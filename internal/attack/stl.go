@@ -2,6 +2,7 @@ package attack
 
 import (
 	"zenspec/internal/asm"
+	"zenspec/internal/harness"
 	"zenspec/internal/isa"
 	"zenspec/internal/kernel"
 	"zenspec/internal/mem"
@@ -65,16 +66,61 @@ type STLOptions struct {
 	InstrStep bool
 }
 
+// stlShardBytes is the fixed shard width of the parallel leak: shard count
+// is a pure function of the secret length (never of the worker count), so
+// the merged result is identical at any parallelism.
+const stlShardBytes = 32
+
 // SpectreSTL runs the out-of-place Spectre-STL attack of Section V-B:
 // a PSFP collision is found by code sliding, the predictor is trained
 // through the attacker's own store-load pair, and each victim execution
 // predictively forwards the attacker-chosen x to the victim's load,
 // steering a transient secret fetch that is recovered with Flush+Reload.
+//
+// Long secrets are split into fixed-size shards; each shard is a full
+// attacker instance (own machine, own collision search — the setup cost the
+// paper reports per attacker) leaking only its byte range. Setup costs and
+// cycles are summed over shards.
 func SpectreSTL(cfg kernel.Config, secret []byte, opts STLOptions) Result {
+	shards := (len(secret) + stlShardBytes - 1) / stlShardBytes
+	if shards <= 1 {
+		return spectreSTLShard(cfg, secret, opts, 0, len(secret))
+	}
+	parts := harness.Trials(harness.Workers(cfg.Parallelism), shards, func(s int) Result {
+		lo := s * stlShardBytes
+		hi := lo + stlShardBytes
+		if hi > len(secret) {
+			hi = len(secret)
+		}
+		return spectreSTLShard(cfg, secret, opts, lo, hi)
+	})
+	res := Result{Name: "out-of-place spectre-stl", Secret: secret}
+	for s, p := range parts {
+		lo := s * stlShardBytes
+		hi := lo + stlShardBytes
+		if hi > len(secret) {
+			hi = len(secret)
+		}
+		leaked := p.Leaked
+		for len(leaked) < hi-lo {
+			leaked = append(leaked, 0) // shard without a collider: no signal
+		}
+		res.Leaked = append(res.Leaked, leaked...)
+		res.CollisionAttempts += p.CollisionAttempts
+		res.VictimCalls += p.VictimCalls
+		res.Cycles += p.Cycles
+	}
+	finalize(&res)
+	return res
+}
+
+// spectreSTLShard is one attacker instance leaking secret[lo:hi]. With
+// lo=0, hi=len(secret) it is the whole attack.
+func spectreSTLShard(cfg kernel.Config, secret []byte, opts STLOptions, lo, hi int) Result {
 	if opts.SliderPages == 0 {
 		opts.SliderPages = 16
 	}
-	res := Result{Name: "out-of-place spectre-stl", Secret: secret}
+	res := Result{Name: "out-of-place spectre-stl", Secret: secret[lo:hi]}
 
 	l := revng.NewLab(cfg)
 	p := l.P
@@ -134,7 +180,7 @@ func SpectreSTL(cfg kernel.Config, secret []byte, opts STLOptions) Result {
 	// out of the window (TLB misses), and the retry finds it warm — the
 	// same retry loop real PoCs carry.
 	exclude := map[int]bool{0: true} // ld1 keeps array2[0] hot
-	for i := range secret {
+	for i := lo; i < hi; i++ {
 		v, ok := 0, false
 		for attempt := 0; attempt < 2 && !ok; attempt++ {
 			// Retrain PSF through the attacker's own pair: drain to a known

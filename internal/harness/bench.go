@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+)
+
+// BenchEntry is one experiment's serial-vs-parallel wall time.
+type BenchEntry struct {
+	ID         string  `json:"id"`
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// BenchReport records a serial-vs-parallel timing comparison of the suite,
+// plus the host shape the numbers were taken on. Deterministic is true when
+// the two runs produced byte-identical StableJSON — the bench doubles as an
+// end-to-end determinism check.
+type BenchReport struct {
+	Seed            int64        `json:"seed"`
+	Quick           bool         `json:"quick"`
+	Cores           int          `json:"cores"`
+	Workers         int          `json:"workers"`
+	Deterministic   bool         `json:"deterministic"`
+	TotalSerialMS   float64      `json:"total_serial_ms"`
+	TotalParallelMS float64      `json:"total_parallel_ms"`
+	Speedup         float64      `json:"speedup"`
+	Experiments     []BenchEntry `json:"experiments"`
+}
+
+// Bench runs the selected experiments twice — once with one worker, once
+// with ctx's own parallelism — and reports per-experiment wall times, the
+// overall speedup, and whether the two runs agreed byte for byte.
+func (r *Registry) Bench(ctx Ctx, ids []string) (BenchReport, error) {
+	serialCtx := ctx
+	serialCtx.Config.Parallelism = 1
+	serial, err := r.Run(serialCtx, ids)
+	if err != nil {
+		return BenchReport{}, err
+	}
+	parallel, err := r.Run(ctx, ids)
+	if err != nil {
+		return BenchReport{}, err
+	}
+	sj, err := serial.StableJSON()
+	if err != nil {
+		return BenchReport{}, err
+	}
+	pj, err := parallel.StableJSON()
+	if err != nil {
+		return BenchReport{}, err
+	}
+	rep := BenchReport{
+		Seed:          serial.Seed,
+		Quick:         serial.Quick,
+		Cores:         runtime.NumCPU(),
+		Workers:       parallel.Parallelism,
+		Deterministic: bytes.Equal(sj, pj),
+	}
+	for i := range serial.Experiments {
+		s := serial.Experiments[i]
+		p := parallel.Experiments[i]
+		e := BenchEntry{ID: s.ID, SerialMS: s.WallMS, ParallelMS: p.WallMS}
+		if p.WallMS > 0 {
+			e.Speedup = s.WallMS / p.WallMS
+		}
+		rep.TotalSerialMS += s.WallMS
+		rep.TotalParallelMS += p.WallMS
+		rep.Experiments = append(rep.Experiments, e)
+	}
+	if rep.TotalParallelMS > 0 {
+		rep.Speedup = rep.TotalSerialMS / rep.TotalParallelMS
+	}
+	return rep, nil
+}
+
+// JSON renders the bench report indented.
+func (b BenchReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(b, "", "  ")
+}

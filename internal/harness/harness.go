@@ -1,0 +1,83 @@
+// Package harness is the unified experiment infrastructure shared by the
+// CLIs and tests: a deterministic parallel trial runner, the per-trial seed
+// derivation, an experiment registry covering DESIGN.md's per-experiment
+// index, and consolidated report types rendered as text and JSON from one
+// source of truth.
+//
+// Determinism is the design constraint. A trial's outcome may depend only on
+// the run configuration and its own trial index, never on goroutine
+// scheduling: the runner gives every trial its own result slot, every trial
+// boots its own Machine, and every randomized trial derives its RNG from
+// (seed, experiment ID, trial index). A suite report is therefore
+// byte-identical at any worker count.
+package harness
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a Parallelism knob to an effective worker count: values
+// above zero are taken literally, anything else means GOMAXPROCS.
+func Workers(parallelism int) int {
+	if parallelism > 0 {
+		return parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Trials runs fn over trials 0..n-1 on at most workers goroutines and
+// returns the results in trial order. fn must not share mutable state
+// between trials (each trial boots its own Machine); under that contract the
+// output is identical to the serial loop at any worker count.
+func Trials[T any](workers, n int, fn func(trial int) T) []T {
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Serial reference path: the parallel path must reproduce exactly
+		// this output.
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// TrialSeed derives the RNG seed of one trial from the run seed, the
+// experiment ID and the trial index (FNV-1a over all three), decorrelating
+// trials while keeping every one reproducible in isolation.
+func TrialSeed(seed int64, id string, trial int) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(seed))
+	h.Write(buf[:])
+	h.Write([]byte(id))
+	binary.LittleEndian.PutUint64(buf[:], uint64(trial))
+	h.Write(buf[:])
+	return int64(h.Sum64() & (1<<63 - 1))
+}

@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"zenspec/internal/kernel"
+)
+
+// Ctx carries the run parameters into an experiment. Config is the lowered
+// machine configuration (mitigation posture, seed, parallelism); Quick
+// selects reduced trial counts for smoke runs.
+type Ctx struct {
+	Config kernel.Config
+	Quick  bool
+}
+
+// Workers resolves the context's Parallelism knob.
+func (c Ctx) Workers() int { return Workers(c.Config.Parallelism) }
+
+// Experiment is one row of DESIGN.md's per-experiment index: a stable ID,
+// the paper's headline expectation, and a Run function producing a Report
+// whose metrics carry pass bands.
+type Experiment struct {
+	ID    string
+	Title string
+	Paper string
+	Tags  []string
+	Run   func(ctx Ctx) Report
+}
+
+// HasTag reports whether the experiment carries tag.
+func (e Experiment) HasTag(tag string) bool {
+	for _, t := range e.Tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Registry is an ordered experiment collection; registration order is
+// report order.
+type Registry struct {
+	exps []Experiment
+	byID map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: map[string]int{}}
+}
+
+// Register adds an experiment; duplicate or empty IDs and nil Run functions
+// are programming errors.
+func (r *Registry) Register(e Experiment) {
+	if e.ID == "" || e.Run == nil {
+		panic("harness: experiment needs an ID and a Run function")
+	}
+	if _, dup := r.byID[e.ID]; dup {
+		panic("harness: duplicate experiment ID " + e.ID)
+	}
+	r.byID[e.ID] = len(r.exps)
+	r.exps = append(r.exps, e)
+}
+
+// All returns the experiments in registration order.
+func (r *Registry) All() []Experiment {
+	out := make([]Experiment, len(r.exps))
+	copy(out, r.exps)
+	return out
+}
+
+// Get looks up an experiment by ID.
+func (r *Registry) Get(id string) (Experiment, bool) {
+	i, ok := r.byID[id]
+	if !ok {
+		return Experiment{}, false
+	}
+	return r.exps[i], true
+}
+
+// Select resolves a subset: explicit IDs win (reported in registry order),
+// otherwise a tag filter, otherwise everything. Unknown IDs are errors.
+func (r *Registry) Select(ids []string, tag string) ([]Experiment, error) {
+	if len(ids) > 0 {
+		idx := make([]int, 0, len(ids))
+		for _, id := range ids {
+			i, ok := r.byID[id]
+			if !ok {
+				return nil, fmt.Errorf("unknown experiment %q (see -list)", id)
+			}
+			idx = append(idx, i)
+		}
+		sort.Ints(idx)
+		out := make([]Experiment, 0, len(idx))
+		for j, i := range idx {
+			if j > 0 && idx[j-1] == i {
+				continue
+			}
+			out = append(out, r.exps[i])
+		}
+		return out, nil
+	}
+	var out []Experiment
+	for _, e := range r.exps {
+		if tag == "" || e.HasTag(tag) {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// Run executes the selected experiments (nil ids means all) and assembles
+// the suite report. Experiments run one after another; parallelism lives in
+// each experiment's trial loop, bounded by ctx.Config.Parallelism.
+func (r *Registry) Run(ctx Ctx, ids []string) (SuiteReport, error) {
+	return r.RunTagged(ctx, ids, "")
+}
+
+// RunTagged is Run with an additional tag filter applied when ids is empty.
+func (r *Registry) RunTagged(ctx Ctx, ids []string, tag string) (SuiteReport, error) {
+	exps, err := r.Select(ids, tag)
+	if err != nil {
+		return SuiteReport{}, err
+	}
+	suite := SuiteReport{
+		Seed:        ctx.Config.Seed,
+		Quick:       ctx.Quick,
+		Parallelism: Workers(ctx.Config.Parallelism),
+	}
+	for _, e := range exps {
+		start := time.Now()
+		rep := e.Run(ctx)
+		rep.ID = e.ID
+		rep.Title = e.Title
+		rep.Paper = e.Paper
+		rep.Pass = rep.computePass()
+		rep.WallMS = float64(time.Since(start).Microseconds()) / 1000
+		suite.Experiments = append(suite.Experiments, rep)
+	}
+	return suite, nil
+}

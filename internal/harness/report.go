@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Metric is one named measurement compared against the paper's expectation
+// band; the band is inclusive on both ends.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Pass  bool    `json:"pass"`
+}
+
+// Report is the outcome of one registry experiment: its headline metrics
+// with pass bands, the experiment's own text rendering, and wall time.
+type Report struct {
+	ID      string   `json:"id"`
+	Title   string   `json:"title"`
+	Paper   string   `json:"paper"`
+	Metrics []Metric `json:"metrics"`
+	Pass    bool     `json:"pass"`
+	Detail  string   `json:"detail,omitempty"`
+	// WallMS is host wall-clock time. It is the one host-dependent field;
+	// StableJSON zeroes it so reports can be compared across worker counts.
+	WallMS float64 `json:"wall_ms"`
+}
+
+// Add records a metric with its inclusive pass band [min, max].
+func (r *Report) Add(name string, value, min, max float64) {
+	r.Metrics = append(r.Metrics, Metric{
+		Name:  name,
+		Value: value,
+		Min:   min,
+		Max:   max,
+		Pass:  value >= min && value <= max,
+	})
+}
+
+// AddBool records a boolean expectation as a 0/1 metric that must equal want.
+func (r *Report) AddBool(name string, got, want bool) {
+	v, w := 0.0, 0.0
+	if got {
+		v = 1
+	}
+	if want {
+		w = 1
+	}
+	r.Add(name, v, w, w)
+}
+
+func (r *Report) computePass() bool {
+	for _, m := range r.Metrics {
+		if !m.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// SuiteReport is one consolidated run of selected registry experiments plus
+// the parameters that produced it.
+type SuiteReport struct {
+	Seed        int64    `json:"seed"`
+	Quick       bool     `json:"quick"`
+	Parallelism int      `json:"parallelism"`
+	Experiments []Report `json:"experiments"`
+}
+
+// AllPass reports whether every experiment landed inside its paper band.
+func (s SuiteReport) AllPass() bool {
+	for _, r := range s.Experiments {
+		if !r.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Failed lists the IDs of experiments outside their bands.
+func (s SuiteReport) Failed() []string {
+	var ids []string
+	for _, r := range s.Experiments {
+		if !r.Pass {
+			ids = append(ids, r.ID)
+		}
+	}
+	return ids
+}
+
+// JSON renders the suite report indented.
+func (s SuiteReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// StableJSON renders the suite with host-dependent fields (wall times and
+// the resolved worker count) zeroed: the canonical form that two runs of the
+// same seed must reproduce byte for byte at any parallelism.
+func (s SuiteReport) StableJSON() ([]byte, error) {
+	c := s
+	c.Parallelism = 0
+	c.Experiments = make([]Report, len(s.Experiments))
+	copy(c.Experiments, s.Experiments)
+	for i := range c.Experiments {
+		c.Experiments[i].WallMS = 0
+	}
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// Text renders the consolidated text report: one section per experiment with
+// its detail block, metric bands, and verdict.
+func (s SuiteReport) Text() string {
+	var b strings.Builder
+	var totalMS float64
+	for _, r := range s.Experiments {
+		fmt.Fprintf(&b, "===== %s — %s =====\n", r.ID, r.Title)
+		if r.Paper != "" {
+			fmt.Fprintf(&b, "paper: %s\n", r.Paper)
+		}
+		if r.Detail != "" {
+			b.WriteString(strings.TrimRight(r.Detail, "\n"))
+			b.WriteByte('\n')
+		}
+		for _, m := range r.Metrics {
+			mark := "ok"
+			if !m.Pass {
+				mark = "FAIL"
+			}
+			fmt.Fprintf(&b, "  %-28s %8.3f  band [%g, %g]  %s\n",
+				m.Name, m.Value, m.Min, m.Max, mark)
+		}
+		verdict := "PASS"
+		if !r.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&b, "%s (%.2fs)\n\n", verdict, r.WallMS/1000)
+		totalMS += r.WallMS
+	}
+	passed := 0
+	for _, r := range s.Experiments {
+		if r.Pass {
+			passed++
+		}
+	}
+	fmt.Fprintf(&b, "suite: %d/%d experiments in paper band; seed %d; workers %d; total %.2fs\n",
+		passed, len(s.Experiments), s.Seed, s.Parallelism, totalMS/1000)
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package suite
+
+import (
+	"bytes"
+	"testing"
+
+	"zenspec/internal/harness"
+	"zenspec/internal/kernel"
+)
+
+// TestRegistryCoversDesignIndex pins the registry to DESIGN.md's
+// per-experiment index: every row present, in report order, exactly once.
+func TestRegistryCoversDesignIndex(t *testing.T) {
+	want := []string{
+		"fig2", "table1", "table2", "fig4", "fig5", "fig7", "table3",
+		"isolation", "smt", "transient-exec", "transient-update", "infer",
+		"addrleak", "table4", "spectre-stl", "spectre-ctl",
+		"spectre-ctl-browser", "sandbox-escape", "fig11", "fig12",
+		"ssbd-blockstate", "defenses", "stl-inplace", "ablations",
+	}
+	exps := Registry().All()
+	if len(exps) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want))
+	}
+	for i, e := range exps {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d is %q, want %q", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Paper == "" {
+			t.Errorf("%s: missing title or paper expectation", e.ID)
+		}
+		if len(e.Tags) == 0 {
+			t.Errorf("%s: missing tags", e.ID)
+		}
+	}
+}
+
+// TestSuiteDeterministicAcrossWorkers is the harness's core contract: the
+// stable report of a run is byte-identical at any worker count. The subset
+// covers every refactored trial-loop shape — eviction sweeps (fig5),
+// collision searches (fig7), chunked sequence labs (table1), and a sharded
+// attack (spectre-stl at 64 quick bytes = 2 shards).
+func TestSuiteDeterministicAcrossWorkers(t *testing.T) {
+	ids := []string{"table1", "fig5", "fig7", "spectre-stl"}
+	run := func(workers int) []byte {
+		cfg := kernel.Config{Seed: 42, Parallelism: workers}
+		rep, err := Registry().Run(harness.Ctx{Config: cfg, Quick: true}, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rep.StableJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !bytes.Equal(serial, got) {
+			t.Errorf("report at %d workers differs from serial run:\nserial: %s\n%d workers: %s",
+				workers, serial, workers, got)
+		}
+	}
+}

@@ -85,6 +85,11 @@ type Config struct {
 	PredictorConfig predict.Config
 	// SMTThreads is the number of hardware threads (default 2).
 	SMTThreads int
+	// Parallelism bounds the worker pool of experiment trial runners; 0
+	// means GOMAXPROCS. Trials are deterministic at any value (each trial
+	// boots its own machine and derives its RNG from the trial index), so
+	// this knob trades wall clock only, never results.
+	Parallelism int
 }
 
 // CPU is one hardware (SMT) thread: a pipeline core with its private

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"zenspec/internal/asm"
+	"zenspec/internal/harness"
 	"zenspec/internal/kernel"
 	"zenspec/internal/mem"
 	"zenspec/internal/predict"
@@ -101,20 +102,26 @@ type Fig4Result struct {
 }
 
 // Fig4 mines colliding load-IPA pairs with the slider and checks the
-// stride-12 XOR property.
+// stride-12 XOR property. Targets are independent machines, so they run on
+// the harness worker pool.
 func Fig4(cfg kernel.Config, targets int) Fig4Result {
-	var res Fig4Result
-	for i := 0; i < targets; i++ {
+	type cell struct{ pair, xorOK bool }
+	cells := harness.Trials(harness.Workers(cfg.Parallelism), targets, func(int) cell {
 		l := NewLab(cfg)
 		target := l.PlaceStld()
 		slider := l.NewSlider(l.P, 2, asm.BuildStld(asm.StldOptions{}))
 		_, found, ok := slider.SSBPCollisionSearch(target, 1)
 		if !ok {
-			continue
+			return cell{}
 		}
-		res.Pairs++
-		x := target.LoadIPA ^ found.LoadIPA
-		if Fold12(x) == 0 {
+		return cell{pair: true, xorOK: Fold12(target.LoadIPA^found.LoadIPA) == 0}
+	})
+	var res Fig4Result
+	for _, c := range cells {
+		if c.pair {
+			res.Pairs++
+		}
+		if c.xorOK {
 			res.StrideXORok++
 		}
 	}
@@ -139,16 +146,23 @@ type Fig5Result struct {
 }
 
 // Fig5 measures the eviction curves. PSFP shows a sharp step between 11 and
-// 12; SSBP rises gradually past 50% at 16 and ~90% at 32.
+// 12; SSBP rises gradually past 50% at 16 and ~90% at 32. Every (size,
+// trial) cell is an independent machine with a seed derived only from the
+// cell, so the grid runs flattened on the harness worker pool.
 func Fig5(cfg kernel.Config, sizes []int, trials int) Fig5Result {
+	type cell struct{ psfp, ssbp int }
+	cells := harness.Trials(harness.Workers(cfg.Parallelism), len(sizes)*trials, func(c int) cell {
+		k, trial := sizes[c/trials], c%trials
+		tcfg := cfg
+		tcfg.Seed = cfg.Seed + int64(trial*1000+k)
+		return cell{fig5PSFPTrial(tcfg, k, trial), fig5SSBPTrial(tcfg, k, trial)}
+	})
 	var res Fig5Result
-	for _, k := range sizes {
+	for si, k := range sizes {
 		evPSFP, evSSBP := 0, 0
 		for trial := 0; trial < trials; trial++ {
-			tcfg := cfg
-			tcfg.Seed = cfg.Seed + int64(trial*1000+k)
-			evPSFP += fig5PSFPTrial(tcfg, k, trial)
-			evSSBP += fig5SSBPTrial(tcfg, k, trial)
+			evPSFP += cells[si*trials+trial].psfp
+			evSSBP += cells[si*trials+trial].ssbp
 		}
 		res.PSFP = append(res.PSFP, EvictionPoint{k, float64(evPSFP) / float64(trials)})
 		res.SSBP = append(res.SSBP, EvictionPoint{k, float64(evSSBP) / float64(trials)})
@@ -255,12 +269,20 @@ type Fig7Result struct {
 	PSFPDiffDistanceTried int
 }
 
-// Fig7 runs the collision-finding measurements.
+// Fig7 runs the collision-finding measurements. SSBP trials and PSFP trials
+// are each independent machines seeded from the trial index, so both grids
+// run on the harness worker pool; the distribution statistics are folded in
+// trial order afterwards.
 func Fig7(cfg kernel.Config, ssbpTrials, psfpTrials int) Fig7Result {
-	var res Fig7Result
+	workers := harness.Workers(cfg.Parallelism)
+
 	// SSBP: byte-granular sliding through fresh attacker pages, random
 	// victim placement.
-	for trial := 0; trial < ssbpTrials; trial++ {
+	type ssbpCell struct {
+		attempts int
+		ok       bool
+	}
+	ssbp := harness.Trials(workers, ssbpTrials, func(trial int) ssbpCell {
 		tcfg := cfg
 		tcfg.Seed = cfg.Seed + int64(trial)
 		l := NewLab(tcfg)
@@ -268,8 +290,12 @@ func Fig7(cfg kernel.Config, ssbpTrials, psfpTrials int) Fig7Result {
 		target := l.PlaceStldRandom(r.Intn)
 		slider := l.NewSlider(l.P, 2, asm.BuildStld(asm.StldOptions{}))
 		attempts, _, ok := slider.SSBPCollisionSearch(target, 1)
-		if ok {
-			res.SSBPAttempts = append(res.SSBPAttempts, attempts)
+		return ssbpCell{attempts, ok}
+	})
+	var res Fig7Result
+	for _, c := range ssbp {
+		if c.ok {
+			res.SSBPAttempts = append(res.SSBPAttempts, c.attempts)
 		}
 	}
 	var sum int
@@ -288,8 +314,10 @@ func Fig7(cfg kernel.Config, ssbpTrials, psfpTrials int) Fig7Result {
 
 	// PSFP: same vs different store→load distance, byte-granular sliding
 	// over 16 pages (the paper's configuration, achieving >90% success for
-	// equal distances).
-	for trial := 0; trial < psfpTrials; trial++ {
+	// equal distances). Both placements of one trial share the trial's RNG,
+	// so they stay inside one closure.
+	type psfpCell struct{ same, diff bool }
+	psfp := harness.Trials(workers, psfpTrials, func(trial int) psfpCell {
 		tcfg := cfg
 		tcfg.Seed = cfg.Seed + 10_000 + int64(trial)
 		// Same distance.
@@ -297,17 +325,23 @@ func Fig7(cfg kernel.Config, ssbpTrials, psfpTrials int) Fig7Result {
 		r := rand.New(rand.NewSource(int64(trial)*17 + 3))
 		target := l.PlaceStldRandom(r.Intn)
 		slider := l.NewSlider(l.P, 16, asm.BuildStld(asm.StldOptions{}))
-		res.PSFPSameDistanceTried++
-		if _, _, ok := slider.PSFPCollisionSearch(target, 1); ok {
-			res.PSFPSameDistanceFound++
-		}
+		var c psfpCell
+		_, _, c.same = slider.PSFPCollisionSearch(target, 1)
 		// Different distance: the attacker's stld has extra padding between
 		// the store and the load.
 		l2 := NewLab(tcfg)
 		target2 := l2.PlaceStldRandom(r.Intn)
 		slider2 := l2.NewSlider(l2.P, 16, asm.BuildStld(asm.StldOptions{PadBetween: 3}))
+		_, _, c.diff = slider2.PSFPCollisionSearch(target2, 1)
+		return c
+	})
+	for _, c := range psfp {
+		res.PSFPSameDistanceTried++
+		if c.same {
+			res.PSFPSameDistanceFound++
+		}
 		res.PSFPDiffDistanceTried++
-		if _, _, ok := slider2.PSFPCollisionSearch(target2, 1); ok {
+		if c.diff {
 			res.PSFPDiffDistanceFound++
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"zenspec/internal/harness"
 	"zenspec/internal/kernel"
 	"zenspec/internal/pmc"
 	"zenspec/internal/predict"
@@ -136,27 +137,52 @@ type Table1Result struct {
 	MatchRate float64
 }
 
+// table1Chunk is how many random sequences share one lab in Table1. Lab
+// calibration costs hundreds of stld runs, so per-sequence labs would be
+// dominated by setup; per-chunk labs amortize it while still exposing
+// parallelism.
+const table1Chunk = 10
+
 // Table1 replays random n/a sequences through the pipeline and through the
-// bare TABLE I state machine and compares every step.
-func Table1(cfg kernel.Config, sequences, length int, seed int64) Table1Result {
-	l := NewLab(cfg)
-	r := rand.New(rand.NewSource(seed))
-	res := Table1Result{Sequences: sequences}
-	for i := 0; i < sequences; i++ {
-		s := l.PlaceStld()
-		ref := predict.Counters{}
-		for j := 0; j < length; j++ {
-			aliasing := r.Intn(2) == 0
-			var refType predict.ExecType
-			ref, refType = ref.Update(aliasing)
-			ob := s.Run(aliasing)
-			res.Steps++
-			if ob.TrueType == refType && ClassOf(refType) == ob.Class {
-				res.Matched++
+// bare TABLE I state machine and compares every step. All seeding derives
+// from cfg.Seed: sequences are partitioned into fixed-size chunks, and each
+// chunk gets its own lab and an RNG derived from (cfg.Seed, "table1",
+// chunk), so the validation is reproducible at any worker count.
+func Table1(cfg kernel.Config, sequences, length int) Table1Result {
+	chunks := (sequences + table1Chunk - 1) / table1Chunk
+	type part struct{ steps, matched int }
+	parts := harness.Trials(harness.Workers(cfg.Parallelism), chunks, func(chunk int) part {
+		l := NewLab(cfg)
+		r := rand.New(rand.NewSource(harness.TrialSeed(cfg.Seed, "table1", chunk)))
+		n := table1Chunk
+		if rem := sequences - chunk*table1Chunk; rem < n {
+			n = rem
+		}
+		var p part
+		for i := 0; i < n; i++ {
+			s := l.PlaceStld()
+			ref := predict.Counters{}
+			for j := 0; j < length; j++ {
+				aliasing := r.Intn(2) == 0
+				var refType predict.ExecType
+				ref, refType = ref.Update(aliasing)
+				ob := s.Run(aliasing)
+				p.steps++
+				if ob.TrueType == refType && ClassOf(refType) == ob.Class {
+					p.matched++
+				}
 			}
 		}
+		return p
+	})
+	res := Table1Result{Sequences: sequences}
+	for _, p := range parts {
+		res.Steps += p.steps
+		res.Matched += p.matched
 	}
-	res.MatchRate = float64(res.Matched) / float64(res.Steps)
+	if res.Steps > 0 {
+		res.MatchRate = float64(res.Matched) / float64(res.Steps)
+	}
 	return res
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"zenspec/internal/asm"
+	"zenspec/internal/harness"
 	"zenspec/internal/kernel"
 	"zenspec/internal/predict"
 )
@@ -63,42 +64,45 @@ func (r AddrLeakResult) String() string {
 // for every page pair — 12 bits of virtual-to-physical mapping information
 // per pair, recovered without any privilege.
 func AddrLeak(cfg kernel.Config, pages int) AddrLeakResult {
-	l := NewLab(cfg)
 	res := AddrLeakResult{}
 
-	// Reference entry with a known (to the experiment; unknown to the
-	// attacker) hash.
-	target := l.PlaceStld()
-
 	type pageInfo struct {
-		slider *Slider
+		ok     bool
 		offset int    // colliding byte offset of the LOAD instruction
 		pfn    uint64 // ground truth
 	}
-	var infos []pageInfo
 	tmpl := asm.BuildStld(asm.StldOptions{})
-	for p := 0; p < pages; p++ {
-		slider := l.NewSlider(l.P, 1, tmpl)
-		target.Phi(Seq(7, -1, 7, -1, 7, -1)) // (re)train C3=15
-		attempts, found, ok := slider.SSBPCollisionSearch(target, 1)
-		if !ok {
-			continue
+	// Pages share the lab's sequential frame allocator, so trial p replays
+	// the single-machine experiment up to its own page on a fresh machine:
+	// sliders 0..p-1 are allocated (never probed) purely to reproduce the
+	// frames page p would have received, then only page p is searched. That
+	// keeps the result identical at any worker count.
+	perPage := harness.Trials(harness.Workers(cfg.Parallelism), pages, func(p int) pageInfo {
+		l := NewLab(cfg)
+		// Reference entry with a known (to the experiment; unknown to the
+		// attacker) hash.
+		target := l.PlaceStld()
+		var slider *Slider
+		for q := 0; q <= p; q++ {
+			slider = l.NewSlider(l.P, 1, tmpl)
 		}
-		_ = attempts
+		target.Phi(Seq(7, -1, 7, -1, 7, -1)) // train C3=15
+		_, found, ok := slider.SSBPCollisionSearch(target, 1)
+		if !ok {
+			return pageInfo{}
+		}
 		// The attacker observes the colliding load's page offset.
 		loadVA := found.VA + uint64(found.Tmpl.LoadOff)
 		ipa, err := l.P.IPA(loadVA)
 		if err != nil {
-			continue
+			return pageInfo{}
 		}
-		infos = append(infos, pageInfo{
-			slider: slider,
-			offset: int(ipa & 0xfff),
-			pfn:    ipa >> 12,
-		})
-		// Drain what the probing left behind before the next page.
-		for i := 0; i < 40; i++ {
-			target.Run(false)
+		return pageInfo{ok: true, offset: int(ipa & 0xfff), pfn: ipa >> 12}
+	})
+	var infos []pageInfo
+	for _, in := range perPage {
+		if in.ok {
+			infos = append(infos, in)
 		}
 	}
 	// For each pair (i, j): offset_i ^ offset_j == Fold12(Fi) ^ Fold12(Fj).

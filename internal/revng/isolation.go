@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"zenspec/internal/harness"
 	"zenspec/internal/kernel"
 	"zenspec/internal/mem"
 )
@@ -67,9 +68,15 @@ func (l *Lab) PrepData(p *kernel.Process) {
 
 // Isolation runs the full Section IV-A matrix over the three security
 // domains, in-place (shared executable page) and out-of-place (an stld at a
-// different IPA whose hash collides).
+// different IPA whose hash collides). Every cell is an independent machine,
+// so the matrix runs on the harness worker pool in a fixed cell order.
 func Isolation(cfg kernel.Config) IsolationResult {
-	var res IsolationResult
+	type spec struct {
+		pred         string
+		train, probe kernel.Domain
+		inPlace      bool
+	}
+	var specs []spec
 	domains := []kernel.Domain{kernel.DomainUser, kernel.DomainVM, kernel.DomainKernel}
 	for _, train := range domains {
 		for _, probe := range domains {
@@ -77,13 +84,17 @@ func Isolation(cfg kernel.Config) IsolationResult {
 				continue
 			}
 			for _, inPlace := range []bool{true, false} {
-				res.Rows = append(res.Rows,
-					isolationTrial(cfg, "PSFP", train, probe, inPlace),
-					isolationTrial(cfg, "SSBP", train, probe, inPlace))
+				specs = append(specs,
+					spec{"PSFP", train, probe, inPlace},
+					spec{"SSBP", train, probe, inPlace})
 			}
 		}
 	}
-	return res
+	rows := harness.Trials(harness.Workers(cfg.Parallelism), len(specs), func(i int) IsolationRow {
+		s := specs[i]
+		return isolationTrial(cfg, s.pred, s.train, s.probe, s.inPlace)
+	})
+	return IsolationResult{Rows: rows}
 }
 
 func isolationTrial(cfg kernel.Config, pred string, train, probe kernel.Domain, inPlace bool) IsolationRow {

@@ -113,7 +113,7 @@ func TestFig2(t *testing.T) {
 }
 
 func TestTable1StateMachineMatches(t *testing.T) {
-	res := Table1(baseCfg(), 30, 48, 7)
+	res := Table1(baseCfg(), 30, 48)
 	if res.MatchRate < 0.998 {
 		t.Errorf("match rate %.4f, want >= 0.998 (the paper's bound)", res.MatchRate)
 	}

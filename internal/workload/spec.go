@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"zenspec/internal/asm"
+	"zenspec/internal/harness"
 	"zenspec/internal/isa"
 	"zenspec/internal/kernel"
 	"zenspec/internal/mem"
@@ -124,22 +125,24 @@ func runKernel(cfg kernel.Config, k SpecKernel) int64 {
 	return res.Cycles
 }
 
-// SSBDOverhead measures each kernel with SSBD disabled and enabled.
+// SSBDOverhead measures each kernel with SSBD disabled and enabled. Each
+// off/on pair runs on fresh machines, so the benchmarks run in parallel on
+// the harness worker pool with rows kept in kernel order.
 func SSBDOverhead(cfg kernel.Config, kernels []SpecKernel) SSBDOverheadResult {
-	var out SSBDOverheadResult
-	for _, k := range kernels {
+	rows := harness.Trials(harness.Workers(cfg.Parallelism), len(kernels), func(i int) OverheadRow {
+		k := kernels[i]
 		base := runKernel(cfg, k)
 		scfg := cfg
 		scfg.SSBD = true
 		ssbd := runKernel(scfg, k)
-		out.Rows = append(out.Rows, OverheadRow{
+		return OverheadRow{
 			Name:         k.Name,
 			BaseCycles:   base,
 			SSBDCycles:   ssbd,
 			OverheadFrac: float64(ssbd-base) / float64(base),
-		})
-	}
-	return out
+		}
+	})
+	return SSBDOverheadResult{Rows: rows}
 }
 
 func (r SSBDOverheadResult) String() string {

@@ -22,4 +22,10 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== experiment suite smoke (quick, JSON) =="
+suite_json=$(mktemp)
+trap 'rm -f "$suite_json"' EXIT
+go run ./cmd/experiments -quick -json > "$suite_json"
+go run ./cmd/experiments -validate "$suite_json"
+
 echo "verify: OK"

@@ -22,6 +22,8 @@ import (
 	"zenspec/internal/asm"
 	"zenspec/internal/attack"
 	"zenspec/internal/gadget"
+	"zenspec/internal/harness"
+	"zenspec/internal/harness/suite"
 	"zenspec/internal/kernel"
 	"zenspec/internal/pipeline"
 	"zenspec/internal/predict"
@@ -83,6 +85,11 @@ type Config struct {
 	TimerJitter  int64
 	// Seed makes every randomized structure reproducible.
 	Seed int64
+	// Parallelism bounds the experiment harness's worker pool; 0 means
+	// GOMAXPROCS. Results are byte-identical at any value — each trial runs
+	// on its own Machine with an RNG derived from (Seed, experiment ID,
+	// trial index) — so the knob trades wall clock only.
+	Parallelism int
 }
 
 // kernelConfig lowers the public Config onto the OS model.
@@ -100,6 +107,7 @@ func (c Config) kernelConfig() kernel.Config {
 		TimerQuantum:      c.TimerQuantum,
 		TimerJitter:       c.TimerJitter,
 		Seed:              c.Seed,
+		Parallelism:       c.Parallelism,
 		Pipeline:          pipeline.Config{SQSize: sq},
 	}
 }
@@ -217,9 +225,10 @@ func ParseSeq(s string) ([]bool, error) { return revng.ParseSeq(s) }
 // Fig2 reproduces the execution-type timing/PMC analysis.
 func Fig2(cfg Config) revng.Fig2Result { return revng.Fig2(cfg.kernelConfig()) }
 
-// Table1 validates the TABLE I state machine on random sequences.
-func Table1(cfg Config, sequences, length int, seed int64) revng.Table1Result {
-	return revng.Table1(cfg.kernelConfig(), sequences, length, seed)
+// Table1 validates the TABLE I state machine on random sequences. All
+// seeding derives from cfg.Seed through the harness's per-trial derivation.
+func Table1(cfg Config, sequences, length int) revng.Table1Result {
+	return revng.Table1(cfg.kernelConfig(), sequences, length)
 }
 
 // Table2 reproduces the counter-organization dependence matrix.
@@ -254,6 +263,19 @@ func Infer(cfg Config) revng.InferredParams { return revng.Infer(cfg.kernelConfi
 // AddrLeak runs the Section V-D physical-address-relation leak experiment.
 func AddrLeak(cfg Config, pages int) revng.AddrLeakResult {
 	return revng.AddrLeak(cfg.kernelConfig(), pages)
+}
+
+// TransientExec reproduces the Fig 8 transient-execution windows of both
+// mispredictions (Section IV-C, Vulnerability 3).
+func TransientExec(cfg Config) revng.TransientExecResult {
+	return revng.TransientExec(cfg.kernelConfig())
+}
+
+// TransientUpdate reproduces the Fig 9 observation that predictor updates
+// made inside transient windows survive the squash (Section IV-D,
+// Vulnerability 4).
+func TransientUpdate(cfg Config) revng.TransientUpdateResult {
+	return revng.TransientUpdate(cfg.kernelConfig())
 }
 
 // PSFPSizeAblation sweeps the PSFP capacity against the Fig 5 eviction
@@ -319,4 +341,37 @@ func SandboxEscape(cfg Config, secret []byte) (sandbox.EscapeResult, error) {
 // kernels.
 func SSBDOverhead(cfg Config) workload.SSBDOverheadResult {
 	return workload.SSBDOverhead(cfg.kernelConfig(), workload.SpecKernels())
+}
+
+// --- Experiment registry ---
+
+// Experiment is one registered DESIGN.md index row: ID, paper expectation,
+// and a Run function producing a report with pass bands.
+type Experiment = harness.Experiment
+
+// ExperimentReport is one experiment's outcome.
+type ExperimentReport = harness.Report
+
+// ExperimentSuite is a consolidated run of registry experiments; it renders
+// itself as text, JSON, or worker-count-independent StableJSON.
+type ExperimentSuite = harness.SuiteReport
+
+// ExperimentBench is a serial-vs-parallel timing comparison of the suite.
+type ExperimentBench = harness.BenchReport
+
+// Experiments lists the registered experiments in report order — one per
+// row of DESIGN.md's per-experiment index.
+func Experiments() []Experiment { return suite.Registry().All() }
+
+// RunExperiments runs the selected registry entries (nil ids means all) at
+// cfg's seed and parallelism. Quick selects reduced trial counts.
+func RunExperiments(cfg Config, quick bool, ids []string) (ExperimentSuite, error) {
+	return suite.Registry().Run(harness.Ctx{Config: cfg.kernelConfig(), Quick: quick}, ids)
+}
+
+// BenchExperiments runs the selected entries twice — serial, then at cfg's
+// parallelism — and reports per-experiment wall times, the speedup, and
+// whether both runs agreed byte for byte.
+func BenchExperiments(cfg Config, quick bool, ids []string) (ExperimentBench, error) {
+	return suite.Registry().Bench(harness.Ctx{Config: cfg.kernelConfig(), Quick: quick}, ids)
 }

@@ -48,7 +48,7 @@ func TestFacadeMachine(t *testing.T) {
 // TABLE III platform: all four share one design.
 func TestPlatformMatrix(t *testing.T) {
 	for _, p := range Platforms() {
-		res := Table1(Config{Platform: p, Seed: 3}, 6, 32, 5)
+		res := Table1(Config{Platform: p, Seed: 3}, 6, 32)
 		if res.MatchRate < 0.99 {
 			t.Errorf("%s: state machine match rate %.3f", p.Name, res.MatchRate)
 		}
