@@ -19,6 +19,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced trial counts and secret sizes")
 	jsonOut := flag.Bool("json", false, "emit the suite report as JSON instead of text")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all; see -list)")
+	faults := flag.String("faults", "", "fault-injection plan: none|mild|default|harsh or an inline JSON plan object")
 	parallel := flag.Int("parallel", 0, "trial-runner workers; 0 means GOMAXPROCS (results are identical at any value)")
 	benchJSON := flag.String("bench-json", "", "run serial then parallel, write a speedup report to this path, and exit")
 	validate := flag.String("validate", "", "validate a suite JSON file written by -json: well-formed, bands consistent, all pass")
@@ -36,7 +37,12 @@ func main() {
 		os.Exit(validateFile(*validate))
 	}
 
-	cfg := zenspec.Config{Seed: *seed, Parallelism: *parallel}
+	plan, err := zenspec.ParseFaultPlan(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	cfg := zenspec.Config{Seed: *seed, Parallelism: *parallel, Faults: plan}
 	var ids []string
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {

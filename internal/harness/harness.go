@@ -30,14 +30,16 @@ func Workers(parallelism int) int {
 }
 
 // Trials runs fn over trials 0..n-1 on at most workers goroutines and
-// returns the results in trial order. fn must not share mutable state
-// between trials (each trial boots its own Machine); under that contract the
-// output is identical to the serial loop at any worker count.
+// returns the results in trial order. A non-positive n yields an empty
+// result (callers computing trial counts from user input must not panic the
+// pool). fn must not share mutable state between trials (each trial boots
+// its own Machine); under that contract the output is identical to the
+// serial loop at any worker count.
 func Trials[T any](workers, n int, fn func(trial int) T) []T {
-	out := make([]T, n)
-	if n == 0 {
-		return out
+	if n <= 0 {
+		return []T{}
 	}
+	out := make([]T, n)
 	if workers > n {
 		workers = n
 	}

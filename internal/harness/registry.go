@@ -130,15 +130,36 @@ func (r *Registry) RunTagged(ctx Ctx, ids []string, tag string) (SuiteReport, er
 		Quick:       ctx.Quick,
 		Parallelism: Workers(ctx.Config.Parallelism),
 	}
+	if ctx.Config.Faults.Active() {
+		plan := ctx.Config.Faults
+		suite.Faults = &plan
+	}
 	for _, e := range exps {
 		start := time.Now()
-		rep := e.Run(ctx)
+		rep := runIsolated(e, ctx)
 		rep.ID = e.ID
 		rep.Title = e.Title
 		rep.Paper = e.Paper
+		if rep.Status == "" {
+			rep.Status = StatusClean
+		}
 		rep.Pass = rep.computePass()
 		rep.WallMS = float64(time.Since(start).Microseconds()) / 1000
 		suite.Experiments = append(suite.Experiments, rep)
 	}
 	return suite, nil
+}
+
+// runIsolated runs one experiment with panic isolation: a dying experiment
+// yields a failed report instead of killing the whole suite.
+func runIsolated(e Experiment, ctx Ctx) (rep Report) {
+	defer func() {
+		if p := recover(); p != nil {
+			rep = Report{
+				Status: StatusFailed,
+				Error:  fmt.Sprintf("experiment panicked: %v", p),
+			}
+		}
+	}()
+	return e.Run(ctx)
 }

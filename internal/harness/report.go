@@ -4,6 +4,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+
+	"zenspec/internal/fault"
+)
+
+// Experiment status values: clean (no trouble), degraded (faults or retries
+// happened but the experiment produced a full report), failed (the
+// experiment itself died and was isolated).
+const (
+	StatusClean    = "clean"
+	StatusDegraded = "degraded"
+	StatusFailed   = "failed"
 )
 
 // Metric is one named measurement compared against the paper's expectation
@@ -25,10 +36,42 @@ type Report struct {
 	Metrics []Metric `json:"metrics"`
 	Pass    bool     `json:"pass"`
 	Detail  string   `json:"detail,omitempty"`
+	// Status is the failure-provenance verdict: clean, degraded (retries,
+	// recovered panics or injected faults happened on the way to a full
+	// report) or failed (the experiment died; Pass is forced false).
+	Status string `json:"status,omitempty"`
+	// Trouble carries the trial-level provenance behind a degraded status.
+	Trouble *TrialStats `json:"trouble,omitempty"`
+	// Error is the terminal error of a failed experiment.
+	Error string `json:"error,omitempty"`
 	// WallMS is host wall-clock time. It is the one host-dependent field;
 	// StableJSON zeroes it so reports can be compared across worker counts.
 	WallMS float64 `json:"wall_ms"`
 }
+
+// RecordTrials attaches a resilient trial loop's provenance to the report;
+// a degraded loop degrades the report's status.
+func (r *Report) RecordTrials(s TrialStats) {
+	if r.Trouble == nil {
+		r.Trouble = &TrialStats{}
+	}
+	r.Trouble.Trials += s.Trials
+	r.Trouble.Attempts += s.Attempts
+	r.Trouble.Retried += s.Retried
+	r.Trouble.Recovered += s.Recovered
+	r.Trouble.Overruns += s.Overruns
+	r.Trouble.Injected += s.Injected
+	r.Trouble.Failed += s.Failed
+	if r.Trouble.FirstError == "" {
+		r.Trouble.FirstError = s.FirstError
+	}
+	if r.Trouble.Degraded() && r.Status != StatusFailed {
+		r.Status = StatusDegraded
+	}
+}
+
+// Degraded reports whether the experiment fought through faults or retries.
+func (r Report) Degraded() bool { return r.Status == StatusDegraded }
 
 // Add records a metric with its inclusive pass band [min, max].
 func (r *Report) Add(name string, value, min, max float64) {
@@ -54,6 +97,9 @@ func (r *Report) AddBool(name string, got, want bool) {
 }
 
 func (r *Report) computePass() bool {
+	if r.Status == StatusFailed {
+		return false
+	}
 	for _, m := range r.Metrics {
 		if !m.Pass {
 			return false
@@ -65,10 +111,25 @@ func (r *Report) computePass() bool {
 // SuiteReport is one consolidated run of selected registry experiments plus
 // the parameters that produced it.
 type SuiteReport struct {
-	Seed        int64    `json:"seed"`
-	Quick       bool     `json:"quick"`
-	Parallelism int      `json:"parallelism"`
-	Experiments []Report `json:"experiments"`
+	Seed        int64 `json:"seed"`
+	Quick       bool  `json:"quick"`
+	Parallelism int   `json:"parallelism"`
+	// Faults echoes the active fault plan so a degraded report documents
+	// what it survived; omitted for clean runs.
+	Faults      *fault.Plan `json:"faults,omitempty"`
+	Experiments []Report    `json:"experiments"`
+}
+
+// Degraded lists the IDs of experiments that fought through faults or
+// retries (independent of whether they still passed their bands).
+func (s SuiteReport) Degraded() []string {
+	var ids []string
+	for _, r := range s.Experiments {
+		if r.Degraded() || r.Status == StatusFailed {
+			ids = append(ids, r.ID)
+		}
+	}
+	return ids
 }
 
 // AllPass reports whether every experiment landed inside its paper band.
@@ -133,9 +194,19 @@ func (s SuiteReport) Text() string {
 			fmt.Fprintf(&b, "  %-28s %8.3f  band [%g, %g]  %s\n",
 				m.Name, m.Value, m.Min, m.Max, mark)
 		}
+		if r.Error != "" {
+			fmt.Fprintf(&b, "  error: %s\n", r.Error)
+		}
+		if t := r.Trouble; t != nil && t.Degraded() {
+			fmt.Fprintf(&b, "  trials %d, attempts %d (retried %d, recovered %d, overruns %d, injected %d, failed %d)\n",
+				t.Trials, t.Attempts, t.Retried, t.Recovered, t.Overruns, t.Injected, t.Failed)
+		}
 		verdict := "PASS"
 		if !r.Pass {
 			verdict = "FAIL"
+		}
+		if r.Status == StatusDegraded {
+			verdict += " (degraded)"
 		}
 		fmt.Fprintf(&b, "%s (%.2fs)\n\n", verdict, r.WallMS/1000)
 		totalMS += r.WallMS

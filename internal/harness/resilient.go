@@ -1,0 +1,216 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"zenspec/internal/fault"
+)
+
+// TrialPolicy controls how the resilient trial runner treats a misbehaving
+// trial: how many extra attempts it gets and how long a single attempt may
+// run before being abandoned.
+type TrialPolicy struct {
+	// Retries is the number of extra attempts after a failed one; 0 means a
+	// single attempt per trial.
+	Retries int
+	// Deadline bounds one attempt's wall-clock time; 0 disables the guard.
+	// A timed-out attempt counts as failed, but its goroutine cannot be
+	// cancelled — the deadline is a liveness guard for the suite, not a
+	// cancellation mechanism, so it should be generous.
+	Deadline time.Duration
+}
+
+// Injected fault sentinels, also matched by the degraded-report tests.
+var (
+	// ErrInjectedError is the forced trial failure of a fault plan.
+	ErrInjectedError = errors.New("injected trial error")
+	// ErrInjectedPanic is the panic value a fault plan throws into a trial.
+	ErrInjectedPanic = errors.New("injected trial panic")
+	// ErrDeadline marks an attempt that overran its deadline (real or
+	// injected).
+	ErrDeadline = errors.New("trial deadline overrun")
+)
+
+// TrialStats is the failure provenance of one resilient trial loop — what a
+// degraded-but-passing report carries so a reader can tell a clean run from
+// one that fought through faults.
+type TrialStats struct {
+	Trials    int `json:"trials"`
+	Attempts  int `json:"attempts"`            // total attempts across all trials
+	Retried   int `json:"retried,omitempty"`   // trials that needed more than one attempt
+	Recovered int `json:"recovered,omitempty"` // panics recovered by trial isolation
+	Overruns  int `json:"overruns,omitempty"`  // deadline overruns (real or injected)
+	Injected  int `json:"injected,omitempty"`  // attempts the fault plan sabotaged
+	Failed    int `json:"failed,omitempty"`    // trials that exhausted every attempt
+	// FirstError is the first failing trial's last error, for the report.
+	FirstError string `json:"first_error,omitempty"`
+}
+
+// Degraded reports whether the loop saw any trouble at all.
+func (s TrialStats) Degraded() bool {
+	return s.Retried > 0 || s.Recovered > 0 || s.Overruns > 0 || s.Injected > 0 || s.Failed > 0
+}
+
+func (s *TrialStats) merge(o trialOutcome) {
+	s.Trials++
+	s.Attempts += o.attempts
+	if o.attempts > 1 {
+		s.Retried++
+	}
+	s.Recovered += o.recovered
+	s.Overruns += o.overruns
+	s.Injected += o.injected
+	if o.err != nil {
+		s.Failed++
+		if s.FirstError == "" {
+			s.FirstError = o.err.Error()
+		}
+	}
+}
+
+// trialOutcome is one trial's provenance, aggregated in trial order after
+// the parallel loop so the stats are identical at any worker count.
+type trialOutcome struct {
+	attempts  int
+	recovered int
+	overruns  int
+	injected  int
+	err       error // nil once an attempt succeeded
+}
+
+// AttemptSeed derives the RNG seed of one retry attempt. Attempt 0 is
+// exactly TrialSeed — a clean run is bit-identical to the pre-retry harness —
+// and each retry rederives a fresh, decorrelated seed, so a trial that failed
+// on noise does not replay the same unlucky stream.
+func AttemptSeed(seed int64, id string, trial, attempt int) int64 {
+	if attempt == 0 {
+		return TrialSeed(seed, id, trial)
+	}
+	return TrialSeed(TrialSeed(seed, id, trial)+int64(attempt), id+"#retry", attempt)
+}
+
+// ResilientTrials runs fn over trials 0..n-1 like Trials, adding per-trial
+// panic isolation, an optional per-attempt deadline, bounded retries with
+// attempt-indexed seeds, and the ctx fault plan's injected trial faults. A
+// trial that exhausts its attempts contributes its zero value and is counted
+// in the stats instead of killing the suite.
+//
+// fn receives its attempt's derived seed and must base all randomness on it;
+// under that contract the results and stats are identical at any worker
+// count.
+func ResilientTrials[T any](ctx Ctx, id string, pol TrialPolicy, n int, fn func(trial, attempt int, seed int64) (T, error)) ([]T, TrialStats) {
+	plan := ctx.Config.Faults
+	type slot struct {
+		val T
+		out trialOutcome
+	}
+	slots := Trials(ctx.Workers(), n, func(trial int) slot {
+		var s slot
+		for attempt := 0; attempt <= pol.Retries; attempt++ {
+			s.out.attempts++
+			var err error
+			switch plan.TrialFaultAt(id, trial, attempt) {
+			case fault.TrialError:
+				s.out.injected++
+				err = ErrInjectedError
+			case fault.TrialOverrun:
+				s.out.injected++
+				s.out.overruns++
+				err = ErrDeadline
+			case fault.TrialPanic:
+				s.out.injected++
+				_, err = runGuarded(pol.Deadline, func() (T, error) { panic(ErrInjectedPanic) })
+				if errors.Is(err, errRecovered) {
+					s.out.recovered++
+				}
+			default:
+				seed := AttemptSeed(ctx.Config.Seed, id, trial, attempt)
+				s.val, err = runGuarded(pol.Deadline, func() (T, error) { return fn(trial, attempt, seed) })
+				if errors.Is(err, errRecovered) {
+					s.out.recovered++
+				}
+				if errors.Is(err, ErrDeadline) {
+					s.out.overruns++
+				}
+			}
+			s.out.err = err
+			if err == nil {
+				return s
+			}
+		}
+		var zero T
+		s.val = zero // a failed trial must not leak a partial attempt's value
+		return s
+	})
+	out := make([]T, n)
+	var stats TrialStats
+	for i, s := range slots {
+		out[i] = s.val
+		stats.merge(s.out)
+	}
+	return out, stats
+}
+
+// errRecovered wraps a recovered panic so callers can count it.
+var errRecovered = errors.New("recovered panic")
+
+// runGuarded runs one attempt with panic isolation and, when deadline > 0, a
+// wall-clock guard. The guarded goroutine cannot be cancelled on overrun; its
+// eventual result is discarded.
+func runGuarded[T any](deadline time.Duration, fn func() (T, error)) (T, error) {
+	if deadline <= 0 {
+		return runRecovering(fn)
+	}
+	type result struct {
+		val T
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		v, err := runRecovering(fn)
+		ch <- result{v, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.val, r.err
+	case <-time.After(deadline):
+		var zero T
+		return zero, fmt.Errorf("%w after %v", ErrDeadline, deadline)
+	}
+}
+
+// runRecovering converts a panic in fn into an error wrapping errRecovered.
+func runRecovering[T any](fn func() (T, error)) (val T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			var zero T
+			val = zero
+			err = fmt.Errorf("%w: %v", errRecovered, p)
+		}
+	}()
+	return fn()
+}
+
+// SeedCollisions scans every (id, trial) pair over the given IDs and trial
+// count and returns a sorted description of any TrialSeed collisions — the
+// sanity check the suite runs over all registered experiment IDs.
+func SeedCollisions(seed int64, ids []string, trials int) []string {
+	seen := make(map[int64]string, len(ids)*trials)
+	var dups []string
+	for _, id := range ids {
+		for t := 0; t < trials; t++ {
+			s := TrialSeed(seed, id, t)
+			key := fmt.Sprintf("%s/%d", id, t)
+			if prev, dup := seen[s]; dup {
+				dups = append(dups, fmt.Sprintf("%s collides with %s (seed %d)", key, prev, s))
+			} else {
+				seen[s] = key
+			}
+		}
+	}
+	sort.Strings(dups)
+	return dups
+}

@@ -2,8 +2,10 @@ package suite
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
+	"zenspec/internal/fault"
 	"zenspec/internal/harness"
 	"zenspec/internal/kernel"
 )
@@ -17,6 +19,8 @@ func TestRegistryCoversDesignIndex(t *testing.T) {
 		"addrleak", "table4", "spectre-stl", "spectre-ctl",
 		"spectre-ctl-browser", "sandbox-escape", "fig11", "fig12",
 		"ssbd-blockstate", "defenses", "stl-inplace", "ablations",
+		"fault-stl", "fault-ctl", "fault-fig4", "fault-fig5", "fault-fig7",
+		"fault-harness",
 	}
 	exps := Registry().All()
 	if len(exps) != len(want) {
@@ -60,5 +64,112 @@ func TestSuiteDeterministicAcrossWorkers(t *testing.T) {
 			t.Errorf("report at %d workers differs from serial run:\nserial: %s\n%d workers: %s",
 				workers, serial, workers, got)
 		}
+	}
+}
+
+// TestTrialSeedNoCollisionsAcrossRegistry scans every (experiment ID, trial)
+// pair for TrialSeed collisions — distinct coordinates must never share an
+// RNG stream, or two "independent" trials would be correlated.
+func TestTrialSeedNoCollisionsAcrossRegistry(t *testing.T) {
+	var ids []string
+	for _, e := range Registry().All() {
+		ids = append(ids, e.ID)
+	}
+	for _, seed := range []int64{0, 5, 42} {
+		if dups := harness.SeedCollisions(seed, ids, 512); len(dups) != 0 {
+			t.Errorf("seed %d: %v", seed, dups)
+		}
+	}
+}
+
+// TestFaultedSuiteDeterministicAcrossWorkers extends the determinism contract
+// to faulted runs: the same plan and seed yield byte-identical stable reports
+// at 1, 2 and 8 workers. Machine faults consume each machine's private
+// injector stream serially; trial faults are pure hashes of their coordinates.
+func TestFaultedSuiteDeterministicAcrossWorkers(t *testing.T) {
+	ids := []string{"fault-stl", "fault-fig5", "fault-harness"}
+	run := func(workers int) []byte {
+		cfg := kernel.Config{Seed: 42, Parallelism: workers, Faults: fault.Default()}
+		rep, err := Registry().Run(harness.Ctx{Config: cfg, Quick: true}, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rep.StableJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial := run(1)
+	if !bytes.Contains(serial, []byte(`"faults"`)) {
+		t.Fatalf("faulted report does not echo its plan:\n%s", serial)
+	}
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !bytes.Equal(serial, got) {
+			t.Errorf("faulted report at %d workers differs from serial run:\nserial: %s\n%d workers: %s",
+				workers, serial, workers, got)
+		}
+	}
+}
+
+// TestSuiteDegradedReport: one experiment whose trial loop always fails must
+// come out degraded with its failure provenance, without dragging down the
+// rows that validate cleanly.
+func TestSuiteDegradedReport(t *testing.T) {
+	reg := harness.NewRegistry()
+	reg.Register(harness.Experiment{
+		ID: "healthy", Title: "healthy", Paper: "passes", Tags: []string{"t"},
+		Run: func(ctx harness.Ctx) harness.Report {
+			var r harness.Report
+			r.Add("ok", 1, 1, 1)
+			return r
+		},
+	})
+	reg.Register(harness.Experiment{
+		ID: "doomed", Title: "doomed", Paper: "always fails", Tags: []string{"t"},
+		Run: func(ctx harness.Ctx) harness.Report {
+			vals, stats := harness.ResilientTrials(ctx, "doomed", harness.TrialPolicy{Retries: 1}, 4,
+				func(trial, attempt int, seed int64) (int, error) {
+					if trial == 2 {
+						return 0, errors.New("broken fixture")
+					}
+					return 1, nil
+				})
+			var r harness.Report
+			ok := 0
+			for _, v := range vals {
+				ok += v
+			}
+			r.Add("trials_ok", float64(ok), 4, 4)
+			r.RecordTrials(stats)
+			return r
+		},
+	})
+	rep, err := reg.Run(harness.Ctx{Config: kernel.Config{Seed: 1, Parallelism: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]harness.Report{}
+	for _, e := range rep.Experiments {
+		byID[e.ID] = e
+	}
+	if h := byID["healthy"]; !h.Pass || h.Status != harness.StatusClean {
+		t.Fatalf("healthy row dragged down: %+v", h)
+	}
+	d := byID["doomed"]
+	if d.Pass {
+		t.Fatal("doomed row passed")
+	}
+	if d.Status != harness.StatusDegraded {
+		t.Fatalf("doomed status %q, want degraded", d.Status)
+	}
+	if d.Trouble == nil || d.Trouble.Failed != 1 || d.Trouble.FirstError == "" {
+		t.Fatalf("missing failure provenance: %+v", d.Trouble)
+	}
+	if got := rep.Degraded(); len(got) != 1 || got[0] != "doomed" {
+		t.Fatalf("suite degraded list %v, want [doomed]", got)
+	}
+	if rep.AllPass() {
+		t.Fatal("suite passed with a failing row")
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"zenspec/internal/cache"
+	"zenspec/internal/fault"
 	"zenspec/internal/isa"
 	"zenspec/internal/mem"
 	"zenspec/internal/pipeline"
@@ -78,6 +79,11 @@ type Config struct {
 	TimerJitter int64
 	// Seed drives all randomized structures.
 	Seed int64
+	// Faults is the deterministic fault-injection plan: extra timer jitter,
+	// predictor pollution and cache eviction noise between program runs. The
+	// zero plan injects nothing; injections derive from (Faults.Seed, Seed)
+	// only, so faulted runs stay reproducible at any parallelism.
+	Faults fault.Plan
 	// Pipeline overrides the core configuration (zero fields take defaults).
 	Pipeline pipeline.Config
 	// PredictorConfig overrides predictor sizes (zero fields take the
@@ -114,6 +120,7 @@ type Kernel struct {
 	cpus   []*CPU
 	procs  []*Process
 	nextID int
+	inj    *fault.Injector // nil unless cfg.Faults perturbs the machine
 }
 
 // New boots a machine.
@@ -128,8 +135,13 @@ func New(cfg Config) *Kernel {
 	}
 	pcfg := cfg.Pipeline
 	pcfg.TimerQuantum = cfg.TimerQuantum
-	pcfg.TimerJitter = cfg.TimerJitter
+	// Browser-profile jitter and injected fault jitter compose: both are
+	// independent noise sources on the same timer.
+	pcfg.TimerJitter = cfg.TimerJitter + cfg.Faults.TimerJitter
 	pcfg.TimerSeed = cfg.Seed
+	if cfg.Faults.MachineActive() {
+		k.inj = cfg.Faults.Injector(cfg.Seed)
+	}
 	for i := 0; i < cfg.SMTThreads; i++ {
 		ucfg := cfg.PredictorConfig
 		ucfg.Seed = cfg.Seed + int64(i)
@@ -171,6 +183,15 @@ func (k *Kernel) NumCPUs() int { return len(k.cpus) }
 
 // Config returns the boot configuration.
 func (k *Kernel) Config() Config { return k.cfg }
+
+// FaultStats reports what the machine's fault injector has done so far; the
+// zero Stats when no machine-level fault plan is active.
+func (k *Kernel) FaultStats() fault.Stats {
+	if k.inj == nil {
+		return fault.Stats{}
+	}
+	return k.inj.Stats()
+}
 
 // SetSSBD toggles SSBD on every hardware thread at run time (the
 // SPEC_CTRL write the OS performs).
@@ -229,6 +250,16 @@ func (k *Kernel) switchTo(cpu *CPU, p *Process) {
 // yields); SysSleep additionally flushes SSBP.
 func (k *Kernel) RunOn(cpuIdx int, p *Process, entry uint64, maxInsts uint64) pipeline.RunResult {
 	cpu := k.cpus[cpuIdx]
+	if k.inj != nil {
+		// Run-boundary faults: between program runs is where co-resident
+		// activity strikes on hardware (the run itself stays atomic, as a
+		// single quantum does).
+		defer k.inj.RunBoundary(fault.Targets{
+			PSFP:  cpu.Unit.PSFP(),
+			SSBP:  cpu.Unit.SSBP(),
+			Cache: k.caches,
+		})
+	}
 	k.switchTo(cpu, p)
 	var all []pipeline.StldEvent
 	var insts uint64

@@ -85,3 +85,14 @@ func (p *PSFP) Size() int { return p.size }
 // Flush empties the predictor — what the hardware does on a context switch
 // (Section IV-A).
 func (p *PSFP) Flush() { p.entries = p.entries[:0] }
+
+// EvictAt removes live entry i (0 <= i < Len) — the fault injector's model
+// of co-resident code competing for the 12 entries. Reports whether an entry
+// was removed.
+func (p *PSFP) EvictAt(i int) bool {
+	if i < 0 || i >= len(p.entries) {
+		return false
+	}
+	p.entries = append(p.entries[:i], p.entries[i+1:]...)
+	return true
+}

@@ -89,6 +89,29 @@ func (s *SSBP) Ways() int { return s.ways }
 // VI-B calls it on every switch.
 func (s *SSBP) Flush() { s.entries = s.entries[:0] }
 
+// FlipAt adds delta to live entry i's C3 counter, clamped to [0, MaxC3] —
+// the fault injector's model of predictor pollution by co-resident pairs
+// hashing onto the same entry. An entry whose C3 and C4 both reach zero is
+// dropped (it would read as absent anyway). Reports whether an entry was
+// perturbed.
+func (s *SSBP) FlipAt(i, delta int) bool {
+	if i < 0 || i >= len(s.entries) {
+		return false
+	}
+	c3 := s.entries[i].c3 + delta
+	if c3 < 0 {
+		c3 = 0
+	}
+	if c3 > MaxC3 {
+		c3 = MaxC3
+	}
+	s.entries[i].c3 = c3
+	if c3 == 0 && s.entries[i].c4 == 0 {
+		s.entries = append(s.entries[:i], s.entries[i+1:]...)
+	}
+	return true
+}
+
 // Snapshot returns the live (tag, C3, C4) triples, most useful to tests and
 // the fingerprinting analysis tooling.
 func (s *SSBP) Snapshot() []struct {

@@ -67,10 +67,27 @@ func (s *Slider) SSBPCollisionSearch(target *Stld, step int) (attempts int, foun
 		probe := s.Place(at)
 		ob := probe.Run(false)
 		if ob.Class == ClassStall {
-			return attempts, probe, true
+			if s.confirmSSBP(target, probe) {
+				return attempts, probe, true
+			}
 		}
 	}
 	return attempts, nil, false
+}
+
+// confirmSSBP separates a true SSBP collision from a spuriously trained
+// probe entry when the machine runs under fault injection (always true on a
+// quiet machine, keeping the clean search untouched). Only a collider
+// shares the target's entry, so after draining the probe to fast, a target
+// retrain brings the stall back for the collider alone.
+func (s *Slider) confirmSSBP(target, probe *Stld) bool {
+	if !s.lab.faulted {
+		return true
+	}
+	for i := 0; i < 40 && probe.Run(false).Class != ClassFast; i++ {
+	}
+	target.Phi(Seq(7, -1, 7, -1, 7, -1))
+	return probe.Run(false).Class == ClassStall
 }
 
 // PSFPCollisionSearch slides until it finds an stld selecting the target's
@@ -82,15 +99,65 @@ func (s *Slider) PSFPCollisionSearch(target *Stld, step int) (attempts int, foun
 		step = 1
 	}
 	target.Phi(Seq(7, -1)) // C0=4, C3=0 (first G leaves C4=1)
+	// Under fault injection the target's PSFP entry has a lifetime of ~1/
+	// PSFPEvictRate run boundaries — far shorter than a multi-page sweep —
+	// so the search refreshes it periodically, and every stall candidate is
+	// cross-examined against a canary (see confirmPSFP). The canary shares
+	// only the target's load hash: it selects the target's SSBP entry but
+	// can never select its PSFP entry.
+	var canary *Stld
+	if s.lab.faulted {
+		canary = s.lab.PlaceStldHash(target.StoreHash^0x5a5, target.LoadHash)
+	}
 	for at := 0; at+len(s.tmpl.Code) < s.MaxOffsets(); at += step {
+		if canary != nil && attempts%64 == 0 && attempts > 0 {
+			// Drain the SSBP side first so the refresh below can only be
+			// predicted through C0: a correctly predicted aliasing run
+			// (type B) keeps C0 alive without the rollback whose G would
+			// ratchet C4 toward saturation; a G happens only when an
+			// injected eviction actually killed the entry.
+			for i := 0; i < 20 && canary.Run(false).Class != ClassFast; i++ {
+			}
+			target.Run(true)
+		}
 		attempts++
 		probe := s.Place(at)
 		ob := probe.Run(false)
 		if ob.Class == ClassStall {
-			return attempts, probe, true
+			if s.confirmPSFP(target, probe, canary) {
+				return attempts, probe, true
+			}
 		}
 	}
 	return attempts, nil, false
+}
+
+// confirmPSFP is the PSFP analog of confirmSSBP: drain the probe's entry,
+// refresh the target's, and require the stall back. Without it, every
+// spuriously trained pair in the window reads as a "collision" — at
+// fault-plan rates that is near-certain over a 16-page sliding search. The
+// canary (nil on a quiet machine, where the raw stall is trusted) is the
+// search's load-hash-only stld, used to silence the SSBP entry: fault-
+// forced retrain rollbacks eventually saturate the target's C4 and arm
+// C3=15, after which every probe sharing just the load hash stalls exactly
+// like a PSFP collider — only a stall the canary cannot drain away is C0's.
+func (s *Slider) confirmPSFP(target, probe, canary *Stld) bool {
+	if canary == nil {
+		return true
+	}
+	// A stall here may come from the probe's own spuriously trained SSBP
+	// entry (C3 up to 15), not just a PSFP C0 — drain long enough for both.
+	for i := 0; i < 40 && probe.Run(false).Class != ClassFast; i++ {
+	}
+	// Drain the SSBP side, refresh C0 (type B if alive, G if lost), drain
+	// the SSBP side again (the G may have armed C3), then re-probe: only
+	// the target's PSFP C0 can stall the probe now.
+	for i := 0; i < 20 && canary.Run(false).Class != ClassFast; i++ {
+	}
+	target.Run(true)
+	for i := 0; i < 20 && canary.Run(false).Class != ClassFast; i++ {
+	}
+	return probe.Run(false).Class == ClassStall
 }
 
 // Fig4Result demonstrates the hash's mathematical characteristics: for every
@@ -236,8 +303,25 @@ func fig5SSBPTrial(cfg kernel.Config, k, trial int) int {
 	// the second run is the measurement. Both leave the C3 verdict intact:
 	// an evicted entry reads fast twice, a surviving one stalls twice.
 	base.Run(false)
-	ob := base.Run(false)
-	if ob.Class == ClassFast {
+	if !l.faulted {
+		ob := base.Run(false)
+		if ob.Class == ClassFast {
+			return 1 // evicted
+		}
+		return 0
+	}
+	// Under a fault plan a single reading against the two-cycle-wide fast
+	// boundary is hopeless: injected timer jitter alone is wider than that.
+	// Take the minimum of three readings (cancels additive jitter; a
+	// surviving entry stalls all three, its C3 is ~11 here) and split at the
+	// forward/stall boundary, which sits tens of cycles clear of both sides.
+	best := base.Run(false).Cycles
+	for i := 0; i < 2; i++ {
+		if c := base.Run(false).Cycles; c < best {
+			best = c
+		}
+	}
+	if best <= l.Cls.ForwardMax {
 		return 1 // evicted
 	}
 	return 0

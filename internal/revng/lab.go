@@ -108,6 +108,11 @@ type Lab struct {
 
 	Cls Classifier
 
+	// faulted is set when the machine runs under an injected fault plan;
+	// measurement procedures that are sound on a quiet machine (single-read
+	// verdicts, first-stall searches) harden themselves when it is set.
+	faulted bool
+
 	nextVA    uint64
 	nextFrame uint64
 	dataVA    uint64
@@ -123,6 +128,7 @@ func NewLab(cfg kernel.Config) *Lab {
 	l := &Lab{
 		K:         k,
 		P:         p,
+		faulted:   cfg.Faults.MachineActive(),
 		nextVA:    0x400000,
 		nextFrame: 1 << 20, // clear of the kernel's sequential allocator
 		dataVA:    0x10000,

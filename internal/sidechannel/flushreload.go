@@ -64,14 +64,41 @@ func (f *FlushReload) calibrate() {
 	va := f.ProbeVA
 	f.P.WarmLine(va)
 	f.Time(va) // warm the code path / ITLB
-	hit := f.Time(va)
+	// Median of three readings per class: a single stray eviction (fault
+	// injection) or jittered timer reading must not skew the threshold for
+	// the whole run. The line state is re-forced before every reading, and
+	// the slot ends flushed either way.
+	var hits, misses [3]uint64
+	for i := range hits {
+		f.P.WarmLine(va)
+		hits[i] = f.Time(va)
+	}
+	for i := range misses {
+		f.P.FlushLine(va)
+		misses[i] = f.Time(va)
+	}
 	f.P.FlushLine(va)
-	miss := f.Time(va)
-	f.P.FlushLine(va)
+	hit := median3(hits)
+	miss := median3(misses)
 	f.threshold = (hit + miss) / 2
 	if f.threshold <= hit {
 		f.threshold = hit + 1
 	}
+}
+
+// median3 returns the middle of three values.
+func median3(v [3]uint64) uint64 {
+	a, b, c := v[0], v[1], v[2]
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
 }
 
 // Threshold returns the calibrated hit/miss boundary in cycles.

@@ -24,8 +24,16 @@ go test -race ./...
 
 echo "== experiment suite smoke (quick, JSON) =="
 suite_json=$(mktemp)
-trap 'rm -f "$suite_json"' EXIT
+fault_json=$(mktemp)
+trap 'rm -f "$suite_json" "$fault_json"' EXIT
 go run ./cmd/experiments -quick -json > "$suite_json"
 go run ./cmd/experiments -validate "$suite_json"
+
+echo "== faulted suite smoke (quick, default plan, JSON) =="
+# The degraded report (injected trial faults) must still validate: every
+# experiment in band, failures accounted for as retries/recoveries.
+go run ./cmd/experiments -quick -faults default \
+    -only fault-stl,fault-ctl,fault-harness -json > "$fault_json"
+go run ./cmd/experiments -validate "$fault_json"
 
 echo "verify: OK"

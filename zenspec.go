@@ -21,6 +21,7 @@ package zenspec
 import (
 	"zenspec/internal/asm"
 	"zenspec/internal/attack"
+	"zenspec/internal/fault"
 	"zenspec/internal/gadget"
 	"zenspec/internal/harness"
 	"zenspec/internal/harness/suite"
@@ -85,6 +86,11 @@ type Config struct {
 	TimerJitter  int64
 	// Seed makes every randomized structure reproducible.
 	Seed int64
+	// Faults is the deterministic fault-injection plan (see DefaultFaultPlan
+	// and ParseFaultPlan): timer noise, predictor pollution, cache-line
+	// eviction noise and injected trial failures. The zero plan injects
+	// nothing; a faulted run is still byte-reproducible at any parallelism.
+	Faults FaultPlan
 	// Parallelism bounds the experiment harness's worker pool; 0 means
 	// GOMAXPROCS. Results are byte-identical at any value — each trial runs
 	// on its own Machine with an RNG derived from (Seed, experiment ID,
@@ -107,10 +113,25 @@ func (c Config) kernelConfig() kernel.Config {
 		TimerQuantum:      c.TimerQuantum,
 		TimerJitter:       c.TimerJitter,
 		Seed:              c.Seed,
+		Faults:            c.Faults,
 		Parallelism:       c.Parallelism,
 		Pipeline:          pipeline.Config{SQSize: sq},
 	}
 }
+
+// FaultPlan is a deterministic fault-injection regime: seeded, serializable,
+// and reproducible at any worker count. The zero value injects nothing.
+type FaultPlan = fault.Plan
+
+// DefaultFaultPlan returns the documented default fault intensity — the
+// strongest plan at which the STL and CTL attacks still recover the full
+// secret (see EXPERIMENTS.md's robustness section).
+func DefaultFaultPlan() FaultPlan { return fault.Default() }
+
+// ParseFaultPlan resolves a plan spec: "", "none" or "off" is the empty plan;
+// "mild", "default" and "harsh" are presets; a '{...}' string is an inline
+// JSON FaultPlan object.
+func ParseFaultPlan(s string) (FaultPlan, error) { return fault.Parse(s) }
 
 // Re-exported building blocks. Consumers name these through the facade; the
 // implementations live in internal packages.
