@@ -23,6 +23,10 @@ func main() {
 	parallel := flag.Int("parallel", 0, "trial-runner workers; 0 means GOMAXPROCS (results are identical at any value)")
 	benchJSON := flag.String("bench-json", "", "run serial then parallel, write a speedup report to this path, and exit")
 	validate := flag.String("validate", "", "validate a suite JSON file written by -json: well-formed, bands consistent, all pass")
+	metrics := flag.Bool("metrics", false, "collect per-experiment microarchitectural metrics into each report")
+	tracePath := flag.String("trace", "", "record a Perfetto/Chrome trace of the run to this path (forces -parallel 1; load at ui.perfetto.dev)")
+	traceClasses := flag.String("trace-classes", "", "comma-separated event classes to trace: inst,squash,forward,predict,cache,probe,kernel,fault (default: all)")
+	validateTrace := flag.String("validate-trace", "", "validate a trace file written by -trace: JSON with at least one complete event")
 	list := flag.Bool("list", false, "list the registered experiments and exit")
 	flag.Parse()
 
@@ -36,13 +40,30 @@ func main() {
 	if *validate != "" {
 		os.Exit(validateFile(*validate))
 	}
+	if *validateTrace != "" {
+		os.Exit(validateTraceFile(*validateTrace))
+	}
 
 	plan, err := zenspec.ParseFaultPlan(*faults)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
-	cfg := zenspec.Config{Seed: *seed, Parallelism: *parallel, Faults: plan}
+	cfg := zenspec.Config{Seed: *seed, Parallelism: *parallel, Faults: plan, Metrics: *metrics}
+	var rec *zenspec.TraceRecorder
+	if *tracePath != "" {
+		classes, err := parseClasses(*traceClasses)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		// One recorder across all trials: serialize them so the event stream
+		// interleaves deterministically in trial order.
+		rec = zenspec.NewTraceRecorder()
+		cfg.Observer = rec
+		cfg.ObserverClasses = classes
+		cfg.Parallelism = 1
+	}
 	var ids []string
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
@@ -82,6 +103,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
+	}
+	if rec != nil {
+		b, err := rec.Perfetto()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*tracePath, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote %d trace events to %s (load at https://ui.perfetto.dev)\n",
+			rec.Len(), *tracePath)
 	}
 	if *jsonOut {
 		b, err := suite.JSON()
@@ -144,5 +178,64 @@ func validateFile(path string) int {
 	}
 	fmt.Printf("validate: %d experiments, all in paper band (seed %d, quick %v)\n",
 		len(suite.Experiments), suite.Seed, suite.Quick)
+	return 0
+}
+
+// parseClasses resolves the -trace-classes spec; empty means all classes.
+func parseClasses(spec string) ([]zenspec.EventClass, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	byName := map[string]zenspec.EventClass{
+		"inst": zenspec.ClassInst, "squash": zenspec.ClassSquash,
+		"forward": zenspec.ClassForward, "predict": zenspec.ClassPredict,
+		"cache": zenspec.ClassCache, "probe": zenspec.ClassProbe,
+		"kernel": zenspec.ClassKernel, "fault": zenspec.ClassFault,
+	}
+	var out []zenspec.EventClass
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		c, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown event class %q", name)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// validateTraceFile checks a Perfetto trace written by -trace: the file must
+// parse as a Chrome trace-event JSON document and contain at least one
+// complete ("X") event. Returns the process exit code.
+func validateTraceFile(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validate-trace:", err)
+		return 2
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintln(os.Stderr, "validate-trace: invalid JSON:", err)
+		return 2
+	}
+	complete := 0
+	for _, e := range doc.TraceEvents {
+		if e.Phase == "X" {
+			complete++
+		}
+	}
+	if complete == 0 {
+		fmt.Fprintf(os.Stderr, "validate-trace: %d events but no complete (\"X\") events\n", len(doc.TraceEvents))
+		return 1
+	}
+	fmt.Printf("validate-trace: %d events, %d complete\n", len(doc.TraceEvents), complete)
 	return 0
 }

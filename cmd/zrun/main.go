@@ -31,6 +31,8 @@ func main() {
 	ssbd := flag.Bool("ssbd", false, "enable SSBD")
 	trace := flag.Bool("trace", false, "print store-load speculation events")
 	itrace := flag.Bool("itrace", false, "print the full instruction trace (architectural and transient)")
+	traceOut := flag.String("trace-out", "", "write a Perfetto/Chrome trace of the run to this path (load at ui.perfetto.dev)")
+	metrics := flag.Bool("metrics", false, "print the microarchitectural metrics of the run")
 	disasm := flag.Bool("d", false, "print the disassembly before running")
 	scan := flag.Bool("scan", false, "scan the program for speculative store-bypass gadgets")
 	flag.Parse()
@@ -92,13 +94,27 @@ func main() {
 		log.Fatalf("zrun: %v", err)
 	}
 	if *itrace {
-		m.CPU(0).Core.SetTracer(func(e zenspec.TraceEntry) {
+		zenspec.Observe(m, zenspec.ObserverFunc(func(ev zenspec.Event) {
+			e, ok := ev.(zenspec.InstEvent)
+			if !ok {
+				return
+			}
 			mark := " "
 			if e.Transient {
 				mark = "~" // wrong-path execution
 			}
 			fmt.Printf("%s %#08x  %-28s retired-by %d\n", mark, e.PC, e.Inst, e.RetiredBy)
-		})
+		}), zenspec.ObserverOptions{Classes: []zenspec.EventClass{zenspec.ClassInst}})
+	}
+	var rec *zenspec.TraceRecorder
+	if *traceOut != "" {
+		rec = zenspec.NewTraceRecorder()
+		zenspec.Observe(m, rec, zenspec.ObserverOptions{})
+	}
+	var mets *zenspec.MetricsObserver
+	if *metrics {
+		mets = zenspec.NewMetricsObserver()
+		zenspec.Observe(m, mets, zenspec.ObserverOptions{})
 	}
 
 	res := m.Run(p, entryVA, 0)
@@ -127,6 +143,20 @@ func main() {
 			fmt.Printf("  type %v: store IPA %#x, load IPA %#x, store VA %#x, load VA %#x%s\n",
 				ev.Type, ev.StoreIPA, ev.LoadIPA, ev.StoreVA, ev.LoadVA, transient)
 		}
+	}
+	if rec != nil {
+		b, err := rec.Perfetto()
+		if err != nil {
+			log.Fatalf("zrun: %v", err)
+		}
+		if err := os.WriteFile(*traceOut, append(b, '\n'), 0o644); err != nil {
+			log.Fatalf("zrun: %v", err)
+		}
+		fmt.Printf("\nwrote %d trace events to %s (load at https://ui.perfetto.dev)\n", rec.Len(), *traceOut)
+	}
+	if mets != nil {
+		fmt.Println("\nmetrics:")
+		fmt.Print(mets.Snapshot().Text())
 	}
 }
 

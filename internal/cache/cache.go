@@ -6,7 +6,11 @@
 // Zen 3 core (L1 4 cycles, L2 12, L3 40, DRAM 200).
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"zenspec/internal/obs"
+)
 
 // LineShift is log2 of the cache line size (64-byte lines).
 const LineShift = 6
@@ -180,6 +184,23 @@ type Hierarchy struct {
 	l2    *level
 	l3    *level
 	stats Stats
+	bus   *obs.Bus
+}
+
+// AttachBus connects the hierarchy to an event bus: line fills, the capacity
+// evictions they displace, and explicit flushes surface as obs.CacheEvent.
+func (h *Hierarchy) AttachBus(b *obs.Bus) { h.bus = b }
+
+// fillInto fills line into l, reporting the fill and any displaced victim.
+func (h *Hierarchy) fillInto(l *level, name string, line uint64) {
+	victim, evicted := l.fill(line)
+	if h.bus.On(obs.ClassCache) {
+		now := h.bus.Now()
+		h.bus.Emit(obs.CacheEvent{Cycle: now, Kind: "fill", Level: name, Line: line})
+		if evicted {
+			h.bus.Emit(obs.CacheEvent{Cycle: now, Kind: "evict", Level: name, Line: line, Victim: victim})
+		}
+	}
 }
 
 // New returns an empty hierarchy.
@@ -203,19 +224,19 @@ func (h *Hierarchy) Access(pa uint64) (int, Level) {
 	}
 	if h.l2.lookup(line) {
 		h.stats.L2Hits++
-		h.l1.fill(line)
+		h.fillInto(h.l1, "L1", line)
 		return h.cfg.L2.Latency, L2
 	}
 	if h.l3.lookup(line) {
 		h.stats.L3Hits++
-		h.l1.fill(line)
-		h.l2.fill(line)
+		h.fillInto(h.l1, "L1", line)
+		h.fillInto(h.l2, "L2", line)
 		return h.cfg.L3.Latency, L3
 	}
 	h.stats.Misses++
-	h.l1.fill(line)
-	h.l2.fill(line)
-	h.l3.fill(line)
+	h.fillInto(h.l1, "L1", line)
+	h.fillInto(h.l2, "L2", line)
+	h.fillInto(h.l3, "L3", line)
 	return h.cfg.MemLatency, Memory
 }
 
@@ -223,9 +244,9 @@ func (h *Hierarchy) Access(pa uint64) (int, Level) {
 // warm caches deterministically in experiments.
 func (h *Hierarchy) Touch(pa uint64) {
 	line := LineOf(pa)
-	h.l1.fill(line)
-	h.l2.fill(line)
-	h.l3.fill(line)
+	h.fillInto(h.l1, "L1", line)
+	h.fillInto(h.l2, "L2", line)
+	h.fillInto(h.l3, "L3", line)
 }
 
 // Flush removes pa's line from every level (CLFLUSH).
@@ -235,6 +256,9 @@ func (h *Hierarchy) Flush(pa uint64) {
 	h.l1.invalidate(line)
 	h.l2.invalidate(line)
 	h.l3.invalidate(line)
+	if h.bus.On(obs.ClassCache) {
+		h.bus.Emit(obs.CacheEvent{Cycle: h.bus.Now(), Kind: "flush", Line: line})
+	}
 }
 
 // FlushRandom flushes up to n randomly chosen resident lines from the whole

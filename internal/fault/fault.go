@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"zenspec/internal/cache"
+	"zenspec/internal/obs"
 	"zenspec/internal/predict"
 )
 
@@ -178,6 +179,18 @@ type Injector struct {
 	plan  Plan
 	rng   *rand.Rand
 	stats Stats
+	bus   *obs.Bus
+}
+
+// AttachBus connects the injector to an event bus: every machine-level
+// injection surfaces as an obs.FaultEvent. Attaching (or not) never changes
+// what is injected — the RNG stream is consumed identically either way.
+func (in *Injector) AttachBus(b *obs.Bus) { in.bus = b }
+
+func (in *Injector) emit(kind string, count int) {
+	if in.bus.On(obs.ClassFault) {
+		in.bus.Emit(obs.FaultEvent{Cycle: in.bus.Now(), Kind: kind, Count: count})
+	}
 }
 
 // Injector derives a machine-level injector for one stream (typically the
@@ -202,12 +215,14 @@ func (in *Injector) RunBoundary(t Targets) {
 	if p := in.plan.PSFPEvictRate; p > 0 && t.PSFP != nil && in.rng.Float64() < p {
 		if n := t.PSFP.Len(); n > 0 && t.PSFP.EvictAt(in.rng.Intn(n)) {
 			in.stats.PSFPEvictions++
+			in.emit("psfp-evict", 1)
 		}
 	}
 	if p := in.plan.SSBPFlipRate; p > 0 && t.SSBP != nil && in.rng.Float64() < p {
 		// Knock C3 down by 1..4: the drain other pairs' type-F stalls cause.
 		if n := t.SSBP.Len(); n > 0 && t.SSBP.FlipAt(in.rng.Intn(n), -(1+in.rng.Intn(4))) {
 			in.stats.SSBPFlips++
+			in.emit("ssbp-flip", 1)
 		}
 	}
 	if p := in.plan.SpuriousTrainRate; p > 0 && in.rng.Float64() < p {
@@ -219,13 +234,18 @@ func (in *Injector) RunBoundary(t Targets) {
 				1+in.rng.Intn(4), in.rng.Intn(13), 0)
 		}
 		in.stats.SpuriousTrains++
+		in.emit("spurious-train", 1)
 	}
 	if p := in.plan.CacheEvictRate; p > 0 && t.Cache != nil && in.rng.Float64() < p {
 		lines := in.plan.CacheEvictLines
 		if lines <= 0 {
 			lines = 1
 		}
-		in.stats.CacheEvictions += uint64(t.Cache.FlushRandom(in.rng.Intn, lines))
+		flushed := t.Cache.FlushRandom(in.rng.Intn, lines)
+		in.stats.CacheEvictions += uint64(flushed)
+		if flushed > 0 {
+			in.emit("cache-evict", flushed)
+		}
 	}
 }
 

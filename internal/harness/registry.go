@@ -1,12 +1,18 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
 	"zenspec/internal/kernel"
+	"zenspec/internal/obs"
 )
+
+// ErrUnknownExperiment is returned (wrapped, with the offending ID) when a
+// selection names an experiment the registry does not have.
+var ErrUnknownExperiment = errors.New("unknown experiment")
 
 // Ctx carries the run parameters into an experiment. Config is the lowered
 // machine configuration (mitigation posture, seed, parallelism); Quick
@@ -14,6 +20,11 @@ import (
 type Ctx struct {
 	Config kernel.Config
 	Quick  bool
+	// Metrics attaches a per-experiment obs.Metrics registry to every machine
+	// the experiment boots and surfaces the snapshot as Report.Micro. The
+	// registry folds commutatively, so the snapshot is deterministic at any
+	// worker count.
+	Metrics bool
 }
 
 // Workers resolves the context's Parallelism knob.
@@ -89,7 +100,7 @@ func (r *Registry) Select(ids []string, tag string) ([]Experiment, error) {
 		for _, id := range ids {
 			i, ok := r.byID[id]
 			if !ok {
-				return nil, fmt.Errorf("unknown experiment %q (see -list)", id)
+				return nil, fmt.Errorf("%w %q (see -list)", ErrUnknownExperiment, id)
 			}
 			idx = append(idx, i)
 		}
@@ -136,12 +147,23 @@ func (r *Registry) RunTagged(ctx Ctx, ids []string, tag string) (SuiteReport, er
 	}
 	for _, e := range exps {
 		start := time.Now()
-		rep := runIsolated(e, ctx)
+		ectx := ctx
+		var mc *obs.Metrics
+		if ctx.Metrics {
+			// A fresh registry per experiment, composed with any caller
+			// observer; the experiment's machines subscribe it at boot.
+			mc = obs.NewMetrics()
+			ectx.Config.Observer = obs.Multi(ctx.Config.Observer, mc)
+		}
+		rep := runIsolated(e, ectx)
 		rep.ID = e.ID
 		rep.Title = e.Title
 		rep.Paper = e.Paper
 		if rep.Status == "" {
 			rep.Status = StatusClean
+		}
+		if mc != nil {
+			rep.Micro = mc.Snapshot()
 		}
 		rep.Pass = rep.computePass()
 		rep.WallMS = float64(time.Since(start).Microseconds()) / 1000

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"zenspec/internal/fault"
+	"zenspec/internal/obs"
 )
 
 // Experiment status values: clean (no trouble), degraded (faults or retries
@@ -44,6 +45,10 @@ type Report struct {
 	Trouble *TrialStats `json:"trouble,omitempty"`
 	// Error is the terminal error of a failed experiment.
 	Error string `json:"error,omitempty"`
+	// Micro carries the per-experiment microarchitectural metrics snapshot
+	// when the run was started with metrics collection (Ctx.Metrics); its
+	// content is deterministic, so it participates in StableJSON.
+	Micro *obs.MetricsSnapshot `json:"micro,omitempty"`
 	// WallMS is host wall-clock time. It is the one host-dependent field;
 	// StableJSON zeroes it so reports can be compared across worker counts.
 	WallMS float64 `json:"wall_ms"`
@@ -196,6 +201,9 @@ func (s SuiteReport) Text() string {
 		}
 		if r.Error != "" {
 			fmt.Fprintf(&b, "  error: %s\n", r.Error)
+		}
+		if r.Micro != nil {
+			b.WriteString(r.Micro.Text())
 		}
 		if t := r.Trouble; t != nil && t.Degraded() {
 			fmt.Fprintf(&b, "  trials %d, attempts %d (retried %d, recovered %d, overruns %d, injected %d, failed %d)\n",

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"zenspec/internal/fault"
+	"zenspec/internal/obs"
 )
 
 // TrialPolicy controls how the resilient trial runner treats a misbehaving
@@ -103,6 +104,18 @@ func AttemptSeed(seed int64, id string, trial, attempt int) int64 {
 // count.
 func ResilientTrials[T any](ctx Ctx, id string, pol TrialPolicy, n int, fn func(trial, attempt int, seed int64) (T, error)) ([]T, TrialStats) {
 	plan := ctx.Config.Faults
+	// Trial-level injections have no machine (and so no bus) to report on;
+	// they go straight to the suite observer. Observers attached to parallel
+	// trial loops must tolerate concurrent HandleEvent calls (obs.Metrics
+	// does), and the commutative fold keeps results worker-count independent.
+	emitTrialFault := func(kind string, trial, attempt int) {
+		if o := ctx.Config.Observer; o != nil {
+			o.HandleEvent(obs.FaultEvent{
+				Kind: kind, Count: 1,
+				Experiment: id, Trial: trial, Attempt: attempt,
+			})
+		}
+	}
 	type slot struct {
 		val T
 		out trialOutcome
@@ -115,13 +128,16 @@ func ResilientTrials[T any](ctx Ctx, id string, pol TrialPolicy, n int, fn func(
 			switch plan.TrialFaultAt(id, trial, attempt) {
 			case fault.TrialError:
 				s.out.injected++
+				emitTrialFault("trial-error", trial, attempt)
 				err = ErrInjectedError
 			case fault.TrialOverrun:
 				s.out.injected++
 				s.out.overruns++
+				emitTrialFault("trial-overrun", trial, attempt)
 				err = ErrDeadline
 			case fault.TrialPanic:
 				s.out.injected++
+				emitTrialFault("trial-panic", trial, attempt)
 				_, err = runGuarded(pol.Deadline, func() (T, error) { panic(ErrInjectedPanic) })
 				if errors.Is(err, errRecovered) {
 					s.out.recovered++

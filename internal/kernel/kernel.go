@@ -18,6 +18,7 @@ import (
 	"zenspec/internal/fault"
 	"zenspec/internal/isa"
 	"zenspec/internal/mem"
+	"zenspec/internal/obs"
 	"zenspec/internal/pipeline"
 	"zenspec/internal/pmc"
 	"zenspec/internal/predict"
@@ -89,6 +90,15 @@ type Config struct {
 	// PredictorConfig overrides predictor sizes (zero fields take the
 	// reverse-engineered defaults).
 	PredictorConfig predict.Config
+	// Observer, when non-nil, is subscribed to the machine's event bus at
+	// boot: every structured event (instructions, squashes, forwards,
+	// predictor trainings, cache fills, probes, context switches, injected
+	// faults) is delivered to it. Observation is read-only — an attached
+	// observer never changes simulation results.
+	Observer obs.Observer
+	// ObserverClasses filters the boot Observer's subscription; empty means
+	// every event class.
+	ObserverClasses []obs.Class
 	// SMTThreads is the number of hardware threads (default 2).
 	SMTThreads int
 	// Parallelism bounds the worker pool of experiment trial runners; 0
@@ -121,6 +131,7 @@ type Kernel struct {
 	procs  []*Process
 	nextID int
 	inj    *fault.Injector // nil unless cfg.Faults perturbs the machine
+	bus    *obs.Bus
 }
 
 // New boots a machine.
@@ -132,7 +143,9 @@ func New(cfg Config) *Kernel {
 		cfg:    cfg,
 		phys:   mem.NewPhysical(),
 		caches: cache.New(cache.DefaultConfig()),
+		bus:    obs.NewBus(),
 	}
+	k.caches.AttachBus(k.bus)
 	pcfg := cfg.Pipeline
 	pcfg.TimerQuantum = cfg.TimerQuantum
 	// Browser-profile jitter and injected fault jitter compose: both are
@@ -141,6 +154,7 @@ func New(cfg Config) *Kernel {
 	pcfg.TimerSeed = cfg.Seed
 	if cfg.Faults.MachineActive() {
 		k.inj = cfg.Faults.Injector(cfg.Seed)
+		k.inj.AttachBus(k.bus)
 	}
 	for i := 0; i < cfg.SMTThreads; i++ {
 		ucfg := cfg.PredictorConfig
@@ -148,7 +162,9 @@ func New(cfg Config) *Kernel {
 		ucfg.SSBD = cfg.SSBD
 		ucfg.PSFD = cfg.PSFD
 		unit := predict.NewUnit(ucfg)
+		unit.AttachBus(k.bus, i)
 		core := pipeline.New(pcfg, k.phys, k.caches, unit, &pmc.Counters{})
+		core.AttachBus(k.bus, i)
 		salts := map[Domain]uint64{}
 		if cfg.SaltPerDomain {
 			// Deterministic per-domain secrets derived from the seed.
@@ -158,7 +174,20 @@ func New(cfg Config) *Kernel {
 		}
 		k.cpus = append(k.cpus, &CPU{ID: i, Core: core, Unit: unit, salts: salts})
 	}
+	if cfg.Observer != nil {
+		k.bus.Subscribe(cfg.Observer, obs.Options{Classes: cfg.ObserverClasses})
+	}
 	return k
+}
+
+// Bus returns the machine's event bus.
+func (k *Kernel) Bus() *obs.Bus { return k.bus }
+
+// Observe subscribes o to the machine's event bus after boot and returns a
+// cancel function — the facade-level replacement for reaching into
+// CPU(i).Core.SetTracer.
+func (k *Kernel) Observe(o obs.Observer, opts obs.Options) (cancel func()) {
+	return k.bus.Subscribe(o, opts)
 }
 
 // splitmix is a small deterministic mixer for salt generation.
@@ -223,6 +252,17 @@ func (k *Kernel) NewProcess(name string, d Domain) *Process {
 	return p
 }
 
+// emitFlush reports a predictor flush on the bus; call before flushing so the
+// live entry count is still observable.
+func (k *Kernel) emitFlush(cpu *CPU, predictor string, entries int, cause string) {
+	if entries > 0 && k.bus.On(obs.ClassPredict) {
+		k.bus.Emit(obs.PredictorFlushEvent{
+			CPU: cpu.ID, Cycle: k.bus.Now(),
+			Predictor: predictor, Entries: entries, Cause: cause,
+		})
+	}
+}
+
 // switchTo performs the context-switch bookkeeping before p runs on cpu.
 func (k *Kernel) switchTo(cpu *CPU, p *Process) {
 	if cpu.current == p {
@@ -230,8 +270,10 @@ func (k *Kernel) switchTo(cpu *CPU, p *Process) {
 	}
 	// The hardware flushes PSFP on every context switch; SSBP survives —
 	// that asymmetry is Vulnerability 1.
+	k.emitFlush(cpu, "psfp", cpu.Unit.PSFP().Len(), "context-switch")
 	cpu.Unit.FlushPSFP()
 	if k.cfg.FlushSSBPOnSwitch {
+		k.emitFlush(cpu, "ssbp", cpu.Unit.SSBP().Len(), "mitigation")
 		cpu.Unit.FlushSSBP()
 	}
 	cpu.Core.FlushTLBs()
@@ -240,6 +282,19 @@ func (k *Kernel) switchTo(cpu *CPU, p *Process) {
 		cpu.Unit.SetSelectionSalt(splitmix(uint64(k.cfg.Seed)*977 + cpu.epoch))
 	} else if k.cfg.SaltPerDomain {
 		cpu.Unit.SetSelectionSalt(cpu.salts[p.Domain])
+	}
+	if k.bus.On(obs.ClassKernel) {
+		ev := obs.ContextSwitchEvent{
+			CPU: cpu.ID, Cycle: k.bus.Now(),
+			ToPID: p.ID, ToName: p.Name, ToDomain: p.Domain.String(),
+			PSFPFlushed: true,
+			SSBPFlushed: k.cfg.FlushSSBPOnSwitch,
+			SaltRotated: k.cfg.RotateSalt,
+		}
+		if from := cpu.current; from != nil {
+			ev.FromPID, ev.FromName, ev.FromDomain = from.ID, from.Name, from.Domain.String()
+		}
+		k.bus.Emit(ev)
 	}
 	cpu.current = p
 }
@@ -269,9 +324,11 @@ func (k *Kernel) RunOn(cpuIdx int, p *Process, entry uint64, maxInsts uint64) pi
 		insts += res.Insts
 		switch res.Stop {
 		case pipeline.StopSyscall:
+			k.emitFlush(cpu, "psfp", cpu.Unit.PSFP().Len(), "syscall")
 			cpu.Unit.FlushPSFP()
 			switch p.Regs[isa.RAX] {
 			case SysSleep:
+				k.emitFlush(cpu, "ssbp", cpu.Unit.SSBP().Len(), "sleep")
 				cpu.Unit.FlushAll()
 			case SysYield:
 				// PSFP flush already done; the scheduler picks us again.

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+)
+
+// Metrics is an Observer that folds events into a registry of monotonic
+// counters and histograms. It is safe for concurrent HandleEvent calls, so one
+// registry can be shared by all parallel trials of an experiment: counter sums
+// and histogram bucket sums commute, which keeps Snapshot deterministic at any
+// worker count.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]uint64
+	hists    map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry subscribed to nothing; attach it with
+// Bus.Subscribe or a Config.Observer field.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]uint64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Inc adds n to the named counter.
+func (m *Metrics) Inc(name string, n uint64) {
+	m.mu.Lock()
+	m.counters[name] += n
+	m.mu.Unlock()
+}
+
+// Observe records v in the named histogram.
+func (m *Metrics) Observe(name string, v uint64) {
+	m.mu.Lock()
+	h := m.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		m.hists[name] = h
+	}
+	h.add(v)
+	m.mu.Unlock()
+}
+
+// HandleEvent implements Observer.
+func (m *Metrics) HandleEvent(e Event) {
+	switch ev := e.(type) {
+	case InstEvent:
+		if ev.Transient {
+			m.Inc("inst.transient", 1)
+		} else {
+			m.Inc("inst.retired", 1)
+		}
+	case SquashEvent:
+		m.Inc("squash.total", 1)
+		m.Inc("squash."+ev.Kind.String(), 1)
+		m.Observe("squash.window_insts", uint64(ev.Insts))
+		if ev.Verify > ev.Start {
+			m.Observe("squash.window_cycles", uint64(ev.Verify-ev.Start))
+		}
+	case ForwardEvent:
+		if ev.PSF {
+			m.Inc("forward.psf", 1)
+		} else {
+			m.Inc("forward.stlf", 1)
+		}
+	case PredictEvent:
+		m.Inc("predict.queries", 1)
+		if ev.PSFPHit {
+			m.Inc("predict.psfp_hit", 1)
+		}
+		if ev.Aliasing {
+			m.Inc("predict.aliasing", 1)
+		}
+		if ev.PSF {
+			m.Inc("predict.psf", 1)
+		}
+	case PSFPTrainEvent:
+		m.Inc("predict.psfp_train", 1)
+		m.Inc("predict.train_type_"+ev.Type, 1)
+		if ev.Allocated {
+			m.Inc("predict.psfp_alloc", 1)
+		}
+	case SSBPTransitionEvent:
+		m.Inc("predict.ssbp_transition", 1)
+		if ev.StateBefore != ev.StateAfter {
+			m.Inc("predict.ssbp_state_change", 1)
+		}
+	case PredictorEvictEvent:
+		m.Inc("predict."+ev.Predictor+"_evict", 1)
+	case PredictorFlushEvent:
+		m.Inc("predict."+ev.Predictor+"_flush", 1)
+	case CacheEvent:
+		switch ev.Kind {
+		case "fill":
+			m.Inc("cache.fill."+ev.Level, 1)
+		case "evict":
+			m.Inc("cache.evict."+ev.Level, 1)
+		case "flush":
+			m.Inc("cache.flush", 1)
+		}
+	case ProbeEvent:
+		if ev.Hit {
+			m.Inc("probe.hit", 1)
+		} else {
+			m.Inc("probe.miss", 1)
+		}
+		m.Observe("probe.cycles", ev.Cycles)
+	case ContextSwitchEvent:
+		m.Inc("kernel.context_switch", 1)
+		if ev.FromDomain != ev.ToDomain {
+			m.Inc("kernel.domain_change", 1)
+		}
+	case FaultEvent:
+		m.Inc("fault.injected", 1)
+		m.Inc("fault."+ev.Kind, 1)
+	}
+}
+
+// Histogram is a power-of-two-bucketed histogram: bucket i counts values v
+// with bitlen(v) == i, i.e. bucket 0 holds v==0, bucket i>0 holds
+// 2^(i-1) <= v < 2^i. Exponential buckets keep snapshots tiny while still
+// separating e.g. cache-hit from cache-miss probe latencies and short from
+// long transient windows.
+type Histogram struct {
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+	Buckets [65]uint64
+}
+
+func (h *Histogram) add(v uint64) {
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Buckets[bits.Len64(v)]++
+}
+
+// HistogramSnapshot is the JSON form of a Histogram: sparse buckets keyed by
+// their upper bound.
+type HistogramSnapshot struct {
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+	Max   uint64 `json:"max"`
+	// Buckets maps the bucket's inclusive upper bound ("0", "1", "3", "7",
+	// ... "2^i - 1") to its count; empty buckets are omitted.
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// MetricsSnapshot is a point-in-time copy of a registry, shaped for JSON.
+// encoding/json sorts map keys, so snapshots of deterministic runs marshal
+// byte-identically regardless of accumulation order.
+type MetricsSnapshot struct {
+	Counters   map[string]uint64             `json:"counters,omitempty"`
+	Histograms map[string]*HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry. Derived rates (e.g. PSFP hit rate) are left to
+// consumers: predict.psfp_hit / predict.queries.
+func (m *Metrics) Snapshot() *MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := &MetricsSnapshot{}
+	if len(m.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(m.counters))
+		for k, v := range m.counters {
+			s.Counters[k] = v
+		}
+	}
+	if len(m.hists) > 0 {
+		s.Histograms = make(map[string]*HistogramSnapshot, len(m.hists))
+		for k, h := range m.hists {
+			hs := &HistogramSnapshot{Count: h.Count, Sum: h.Sum, Max: h.Max}
+			for i, n := range h.Buckets {
+				if n == 0 {
+					continue
+				}
+				if hs.Buckets == nil {
+					hs.Buckets = make(map[string]uint64)
+				}
+				var bound uint64
+				if i > 0 {
+					bound = 1<<uint(i) - 1
+				}
+				hs.Buckets[fmt.Sprintf("%d", bound)] = n
+			}
+			s.Histograms[k] = hs
+		}
+	}
+	return s
+}
+
+// Counter returns the named counter's value (0 when absent).
+func (m *Metrics) Counter(name string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// Text renders the snapshot as sorted "name value" lines for terminal output.
+func (s *MetricsSnapshot) Text() string {
+	if s == nil {
+		return ""
+	}
+	var out string
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		out += fmt.Sprintf("  %-32s %d\n", k, s.Counters[k])
+	}
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Histograms[k]
+		mean := float64(0)
+		if h.Count > 0 {
+			mean = float64(h.Sum) / float64(h.Count)
+		}
+		out += fmt.Sprintf("  %-32s n=%d mean=%.1f max=%d\n", k, h.Count, mean, h.Max)
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+
+	"zenspec/internal/isa"
+)
+
+func TestNilBusIsDisabled(t *testing.T) {
+	var b *Bus
+	for _, c := range AllClasses() {
+		if b.On(c) {
+			t.Fatalf("nil bus On(%v) = true", c)
+		}
+	}
+	if b.Subscribers() != 0 {
+		t.Fatalf("nil bus Subscribers = %d", b.Subscribers())
+	}
+	b.StampCycle(100) // must not panic
+	if b.Now() != 0 {
+		t.Fatalf("nil bus Now = %d", b.Now())
+	}
+}
+
+func TestEmptyBusIsDisabled(t *testing.T) {
+	b := NewBus()
+	for _, c := range AllClasses() {
+		if b.On(c) {
+			t.Fatalf("empty bus On(%v) = true", c)
+		}
+	}
+}
+
+func TestSubscribeFilterAndCancel(t *testing.T) {
+	b := NewBus()
+	var got []Event
+	cancel := b.Subscribe(ObserverFunc(func(e Event) { got = append(got, e) }),
+		Options{Classes: []Class{ClassSquash}})
+
+	if !b.On(ClassSquash) {
+		t.Fatal("On(ClassSquash) = false after subscribe")
+	}
+	if b.On(ClassInst) {
+		t.Fatal("On(ClassInst) = true with squash-only subscriber")
+	}
+
+	b.Emit(SquashEvent{CPU: 1, Kind: SquashBypass, Insts: 3})
+	b.Emit(InstEvent{CPU: 1}) // filtered out
+	if len(got) != 1 {
+		t.Fatalf("got %d events, want 1", len(got))
+	}
+	sq, ok := got[0].(SquashEvent)
+	if !ok || sq.Kind != SquashBypass {
+		t.Fatalf("got %#v, want bypass SquashEvent", got[0])
+	}
+
+	cancel()
+	cancel() // idempotent
+	if b.Subscribers() != 0 || b.On(ClassSquash) {
+		t.Fatal("cancel did not detach subscription")
+	}
+}
+
+func TestEmptyOptionsMeansAllClasses(t *testing.T) {
+	b := NewBus()
+	n := 0
+	b.Subscribe(ObserverFunc(func(Event) { n++ }), Options{})
+	for _, c := range AllClasses() {
+		if !b.On(c) {
+			t.Fatalf("On(%v) = false with unfiltered subscriber", c)
+		}
+	}
+	b.Emit(InstEvent{})
+	b.Emit(FaultEvent{Kind: "psfp-evict"})
+	if n != 2 {
+		t.Fatalf("delivered %d events, want 2", n)
+	}
+}
+
+func TestStampCycleMonotonic(t *testing.T) {
+	b := NewBus()
+	b.StampCycle(10)
+	b.StampCycle(5) // older stamp must not rewind
+	if b.Now() != 10 {
+		t.Fatalf("Now = %d, want 10", b.Now())
+	}
+	b.StampCycle(20)
+	if b.Now() != 20 {
+		t.Fatalf("Now = %d, want 20", b.Now())
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("Multi of nils should be nil")
+	}
+	var a, c int
+	oa := ObserverFunc(func(Event) { a++ })
+	oc := ObserverFunc(func(Event) { c++ })
+	m := Multi(oa, nil, oc)
+	m.HandleEvent(InstEvent{})
+	if a != 1 || c != 1 {
+		t.Fatalf("Multi fan-out a=%d c=%d, want 1/1", a, c)
+	}
+}
+
+func TestEventNamesAndClasses(t *testing.T) {
+	cases := []struct {
+		e     Event
+		class Class
+		name  string
+	}{
+		{InstEvent{}, ClassInst, "inst"},
+		{SquashEvent{Kind: SquashPSF}, ClassSquash, "squash"},
+		{ForwardEvent{PSF: true}, ClassForward, "psf-forward"},
+		{ForwardEvent{}, ClassForward, "stlf"},
+		{PredictEvent{}, ClassPredict, "predict"},
+		{PSFPTrainEvent{}, ClassPredict, "psfp-train"},
+		{SSBPTransitionEvent{}, ClassPredict, "ssbp-transition"},
+		{PredictorEvictEvent{Predictor: "psfp"}, ClassPredict, "psfp-evict"},
+		{PredictorFlushEvent{}, ClassPredict, "predictor-flush"},
+		{CacheEvent{Kind: "fill"}, ClassCache, "cache-fill"},
+		{ProbeEvent{}, ClassProbe, "probe"},
+		{ContextSwitchEvent{}, ClassKernel, "context-switch"},
+		{FaultEvent{Kind: "ssbp-flip"}, ClassFault, "fault-ssbp-flip"},
+	}
+	for _, c := range cases {
+		if c.e.EventClass() != c.class {
+			t.Errorf("%T class = %v, want %v", c.e, c.e.EventClass(), c.class)
+		}
+		if c.e.EventName() != c.name {
+			t.Errorf("%T name = %q, want %q", c.e, c.e.EventName(), c.name)
+		}
+	}
+}
+
+func TestMetricsFold(t *testing.T) {
+	m := NewMetrics()
+	m.HandleEvent(InstEvent{})
+	m.HandleEvent(InstEvent{Transient: true})
+	m.HandleEvent(SquashEvent{Kind: SquashBypass, Start: 10, Verify: 42, Insts: 5})
+	m.HandleEvent(PredictEvent{PSFPHit: true, Aliasing: true})
+	m.HandleEvent(PredictEvent{})
+	m.HandleEvent(PSFPTrainEvent{Type: "G", Allocated: true})
+	m.HandleEvent(ProbeEvent{Hit: true, Cycles: 40})
+	m.HandleEvent(ProbeEvent{Cycles: 300})
+	m.HandleEvent(FaultEvent{Kind: "cache-evict"})
+
+	want := map[string]uint64{
+		"inst.retired":         1,
+		"inst.transient":       1,
+		"squash.total":         1,
+		"squash.stl-bypass":    1,
+		"predict.queries":      2,
+		"predict.psfp_hit":     1,
+		"predict.aliasing":     1,
+		"predict.psfp_train":   1,
+		"predict.train_type_G": 1,
+		"predict.psfp_alloc":   1,
+		"probe.hit":            1,
+		"probe.miss":           1,
+		"fault.injected":       1,
+		"fault.cache-evict":    1,
+	}
+	for k, v := range want {
+		if got := m.Counter(k); got != v {
+			t.Errorf("counter %q = %d, want %d", k, got, v)
+		}
+	}
+
+	s := m.Snapshot()
+	h := s.Histograms["squash.window_cycles"]
+	if h == nil || h.Count != 1 || h.Sum != 32 || h.Max != 32 {
+		t.Fatalf("squash.window_cycles snapshot = %+v", h)
+	}
+	// 32 has bit length 6 → bucket upper bound 2^6-1 = 63.
+	if h.Buckets["63"] != 1 {
+		t.Fatalf("bucket 63 = %d, want 1 (buckets %v)", h.Buckets["63"], h.Buckets)
+	}
+	if s.Text() == "" {
+		t.Fatal("Text() empty")
+	}
+}
+
+func TestSnapshotDeterministicJSON(t *testing.T) {
+	build := func(order []Event) []byte {
+		m := NewMetrics()
+		for _, e := range order {
+			m.HandleEvent(e)
+		}
+		b, err := json.Marshal(m.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	evs := []Event{
+		InstEvent{}, ProbeEvent{Hit: true, Cycles: 40},
+		SquashEvent{Kind: SquashPSF, Start: 1, Verify: 9, Insts: 2},
+		FaultEvent{Kind: "ssbp-flip"},
+	}
+	rev := []Event{evs[3], evs[2], evs[1], evs[0]}
+	a, b := build(evs), build(rev)
+	if string(a) != string(b) {
+		t.Fatalf("snapshot JSON depends on accumulation order:\n%s\n%s", a, b)
+	}
+}
+
+func TestRecorderPerfetto(t *testing.T) {
+	r := NewRecorder()
+	r.HandleEvent(InstEvent{CPU: 0, PC: 0x1000, Inst: isa.Inst{Op: isa.LOAD}, RetiredBy: 7})
+	r.HandleEvent(SquashEvent{CPU: 0, Kind: SquashBypass, PC: 0x1008, Start: 3, Verify: 20, Insts: 4})
+	r.HandleEvent(PSFPTrainEvent{Cycle: 20, Type: "G", StoreTag: 0x12, LoadTag: 0x34})
+	r.HandleEvent(SSBPTransitionEvent{Cycle: 20, Type: "G", StateBefore: "Initialize", StateAfter: "Block"})
+	r.HandleEvent(FaultEvent{Cycle: 25, Kind: "psfp-evict", Count: 1})
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", r.Len())
+	}
+
+	out, err := r.Perfetto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			TS    int64  `json:"ts"`
+			Args  struct {
+				Name string `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("Perfetto output is not JSON: %v", err)
+	}
+	var complete, meta int
+	last := int64(-1)
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		names[e.Name] = true
+		switch e.Phase {
+		case "X":
+			complete++
+			if e.TS < last {
+				t.Fatalf("complete events unsorted: ts %d after %d", e.TS, last)
+			}
+			last = e.TS
+		case "M":
+			meta++
+			names[e.Args.Name] = true
+		}
+	}
+	if complete != 2 {
+		t.Fatalf("complete (X) events = %d, want 2", complete)
+	}
+	if meta == 0 {
+		t.Fatal("no metadata records")
+	}
+	for _, want := range []string{"load", "squash:stl-bypass", "psfp-train:G", "ssbp:Initialize>Block", "fault-psfp-evict", "cpu0"} {
+		if !names[want] {
+			t.Errorf("trace missing event %q", want)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"zenspec/internal/isa"
 	"zenspec/internal/mem"
+	"zenspec/internal/obs"
 	"zenspec/internal/pmc"
 	"zenspec/internal/predict"
 )
@@ -80,8 +81,9 @@ func (c *Core) mainLoop(mmu MMU, st *runState, maxInsts uint64) RunResult {
 		st.pc += isa.InstBytes
 		st.insts++
 		o := c.exec(mmu, st, in, pc, ipa, nil)
-		if c.tracer != nil {
-			c.tracer(TraceEntry{PC: pc, IPA: ipa, Inst: in, RetiredBy: st.lastRetire})
+		c.bus.StampCycle(st.lastRetire)
+		if c.bus.On(obs.ClassInst) {
+			c.bus.Emit(obs.InstEvent{CPU: c.cpuID, PC: pc, IPA: ipa, Inst: in, RetiredBy: st.lastRetire})
 		}
 		if o.kind == oOK {
 			continue
@@ -107,9 +109,11 @@ func (c *Core) mainLoop(mmu MMU, st *runState, maxInsts uint64) RunResult {
 // squash point, the episode cap, or a terminal instruction. Cache fills,
 // TLB fills and predictor updates performed inside the episode persist; the
 // cloned architectural state is discarded by the caller. The episode's
-// store-load speculation events are returned marked transient.
-func (c *Core) runEpisode(mmu MMU, st *runState, verifyTime int64) []StldEvent {
+// store-load speculation events are returned marked transient, along with
+// how many wrong-path instructions executed.
+func (c *Core) runEpisode(mmu MMU, st *runState, verifyTime int64) ([]StldEvent, int) {
 	ep := &episodeCtx{verifyTime: verifyTime}
+	executed := 0
 	for steps := 0; steps < c.cfg.EpisodeCap; steps++ {
 		if st.fetchCycle >= verifyTime {
 			break
@@ -121,8 +125,9 @@ func (c *Core) runEpisode(mmu MMU, st *runState, verifyTime int64) []StldEvent {
 		pc := st.pc
 		st.pc += isa.InstBytes
 		o := c.exec(mmu, st, in, pc, ipa, ep)
-		if c.tracer != nil {
-			c.tracer(TraceEntry{PC: pc, IPA: ipa, Inst: in, RetiredBy: st.lastRetire, Transient: true})
+		executed++
+		if c.bus.On(obs.ClassInst) {
+			c.bus.Emit(obs.InstEvent{CPU: c.cpuID, PC: pc, IPA: ipa, Inst: in, RetiredBy: st.lastRetire, Transient: true})
 		}
 		if o.kind != oOK {
 			break
@@ -131,7 +136,14 @@ func (c *Core) runEpisode(mmu MMU, st *runState, verifyTime int64) []StldEvent {
 	for i := range st.stlds {
 		st.stlds[i].Transient = true
 	}
-	return st.stlds
+	return st.stlds, executed
+}
+
+// emitSquash reports one completed transient episode on the bus.
+func (c *Core) emitSquash(kind obs.SquashKind, pc uint64, start, verify int64, insts int) {
+	if c.bus.On(obs.ClassSquash) {
+		c.bus.Emit(obs.SquashEvent{CPU: c.cpuID, Kind: kind, PC: pc, Start: start, Verify: verify, Insts: insts})
+	}
 }
 
 // translateData translates a data access and returns the extra DTLB-miss
@@ -305,6 +317,7 @@ func (c *Core) exec(mmu MMU, st *runState, in isa.Inst, pc, ipa uint64, ep *epis
 			return outcome{kind: oFault, fault: f, faultVA: va}
 		}
 		issue := max64(d, st.regTime[in.Src1]+int64(cfg.AGULatency)) + extra
+		c.bus.StampCycle(issue)
 		c.cache.Flush(pa)
 		done := issue + 2
 		st.bumpMem(done)
@@ -408,8 +421,10 @@ func (c *Core) execBranch(mmu MMU, st *runState, in isa.Inst, pc uint64, d int64
 	}
 	clone := st.clone()
 	clone.pc = wrongPC
-	ev := c.runEpisode(mmu, clone, resolve)
+	start := clone.fetchCycle
+	ev, n := c.runEpisode(mmu, clone, resolve)
 	st.stlds = append(st.stlds, ev...)
+	c.emitSquash(obs.SquashBranch, pc, start, resolve, n)
 	st.redirect(correctPC, resolve+int64(c.cfg.BranchMissPenalty))
 	return outcome{}
 }
@@ -430,6 +445,7 @@ func (c *Core) execStore(mmu MMU, st *runState, in isa.Inst, pc, ipa uint64, d i
 	addrTime := acquire(st.ports.st, addrReady) + int64(cfg.AGULatency) + extra
 	dataTime := max64(d, st.regTime[in.Src2])
 	complete := max64(addrTime, dataTime)
+	c.bus.StampCycle(complete)
 	ret := st.retire(complete)
 	drain := ret + 2
 
@@ -467,7 +483,7 @@ func (c *Core) execLoad(mmu MMU, st *runState, in isa.Inst, pc, ipa uint64, d in
 	va := st.regs[in.Src1] + uint64(int64(in.Imm))
 	pa, extra, f := c.translateData(mmu, va, false)
 	if f != mem.FaultNone {
-		return c.faultingLoad(mmu, st, in, va, d, ep, f)
+		return c.faultingLoad(mmu, st, in, pc, va, d, ep, f)
 	}
 	d = st.lqSlot(d)
 	addrReady := max64(d, st.regTime[in.Src1]) + int64(cfg.AGULatency)
@@ -480,6 +496,7 @@ func (c *Core) execLoad(mmu MMU, st *runState, in isa.Inst, pc, ipa uint64, d in
 		return outcome{}
 	}
 	c.pmcs.Inc(pmc.LdDispatch)
+	c.bus.StampCycle(tA)
 
 	var value uint64
 	var complete int64
@@ -539,7 +556,11 @@ func (c *Core) resolvedLoad(st *runState, pa uint64, t int64) (uint64, int64) {
 	if a := st.youngestAliasing(pa, t); a != nil {
 		if a.pa == pa {
 			c.pmcs.Inc(pmc.StoreToLoadForwarding)
-			return a.newVal, max64(t, a.dataTime) + int64(c.cfg.ForwardLatency)
+			done := max64(t, a.dataTime) + int64(c.cfg.ForwardLatency)
+			if c.bus.On(obs.ClassForward) {
+				c.bus.Emit(obs.ForwardEvent{CPU: c.cpuID, Cycle: done, StoreIPA: a.ipa, VA: a.va})
+			}
+			return a.newVal, done
 		}
 		// Forward fail: misaligned overlap.
 		lat, _ := c.cache.Access(pa)
@@ -581,8 +602,9 @@ func (c *Core) bypassLoad(mmu MMU, st *runState, in isa.Inst, q predict.Query, S
 	if tDone > clone.maxLoadDone {
 		clone.maxLoadDone = tDone
 	}
-	ev := c.runEpisode(mmu, clone, verify)
+	ev, n := c.runEpisode(mmu, clone, verify)
 	st.stlds = append(st.stlds, ev...)
+	c.emitSquash(obs.SquashBypass, q.LoadIVA, tA, verify, n)
 	return c.replayLoad(st, pa, verify)
 }
 
@@ -592,6 +614,9 @@ func (c *Core) bypassLoad(mmu MMU, st *runState, in isa.Inst, q predict.Query, S
 func (c *Core) psfLoad(mmu MMU, st *runState, in isa.Inst, q predict.Query, S, U *storeRec, uMaxAddr int64, va, pa uint64, tA int64, ep *episodeCtx) (uint64, int64) {
 	c.pmcs.Inc(pmc.PSFForwards)
 	fwdDone := max64(tA, S.dataTime) + int64(c.cfg.ForwardLatency)
+	if c.bus.On(obs.ClassForward) {
+		c.bus.Emit(obs.ForwardEvent{CPU: c.cpuID, Cycle: fwdDone, StoreIPA: S.ipa, LoadIPA: q.LoadIPA, VA: va, PSF: true})
+	}
 
 	ty := c.dis.Verify(q, U != nil)
 	st.stlds = append(st.stlds, StldEvent{
@@ -622,8 +647,9 @@ func (c *Core) psfLoad(mmu MMU, st *runState, in isa.Inst, q predict.Query, S, U
 	if fwdDone > clone.maxLoadDone {
 		clone.maxLoadDone = fwdDone
 	}
-	ev := c.runEpisode(mmu, clone, verify)
+	ev, n := c.runEpisode(mmu, clone, verify)
 	st.stlds = append(st.stlds, ev...)
+	c.emitSquash(obs.SquashPSF, q.LoadIVA, tA, verify, n)
 	return c.replayLoad(st, pa, verify)
 }
 
@@ -645,7 +671,7 @@ func (c *Core) replayLoad(st *runState, pa uint64, verify int64) (uint64, int64)
 // transiently consume zero (AMD cores do not forward faulting data), then
 // the fault retires and the run stops. Inside an episode the fault simply
 // ends the window.
-func (c *Core) faultingLoad(mmu MMU, st *runState, in isa.Inst, va uint64, d int64, ep *episodeCtx, f mem.Fault) outcome {
+func (c *Core) faultingLoad(mmu MMU, st *runState, in isa.Inst, pc, va uint64, d int64, ep *episodeCtx, f mem.Fault) outcome {
 	if ep != nil {
 		return outcome{kind: oFault}
 	}
@@ -659,8 +685,9 @@ func (c *Core) faultingLoad(mmu MMU, st *runState, in isa.Inst, va uint64, d int
 	clone := st.clone()
 	clone.regs[in.Dst] = 0
 	clone.regTime[in.Dst] = complete
-	ev := c.runEpisode(mmu, clone, retireAt)
+	ev, n := c.runEpisode(mmu, clone, retireAt)
 	st.stlds = append(st.stlds, ev...)
+	c.emitSquash(obs.SquashFault, pc, complete, retireAt, n)
 	st.retire(complete)
 	return outcome{kind: oFault, fault: f, faultVA: va}
 }

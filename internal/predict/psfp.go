@@ -18,6 +18,9 @@ type psfpEntry struct {
 type PSFP struct {
 	size    int
 	entries []psfpEntry
+	// onEvict observes capacity (LRU) evictions only — not Flush and not the
+	// fault injector's EvictAt, which are reported by their initiators.
+	onEvict func(psfpEntry)
 }
 
 // NewPSFP returns an empty PSFP with the given capacity (0 means the
@@ -66,6 +69,8 @@ func (p *PSFP) Put(storeTag, loadTag uint16, c0, c1, c2 int) {
 	e := psfpEntry{storeTag: storeTag, loadTag: loadTag, c0: c0, c1: c1, c2: c2}
 	if len(p.entries) < p.size {
 		p.entries = append(p.entries, psfpEntry{})
+	} else if p.onEvict != nil {
+		p.onEvict(p.entries[len(p.entries)-1])
 	}
 	copy(p.entries[1:], p.entries)
 	p.entries[0] = e

@@ -24,6 +24,9 @@ type SSBP struct {
 	ways    int
 	entries []ssbpEntry
 	rng     *rand.Rand
+	// onEvict observes random-replacement evictions only — not Flush and not
+	// the fault injector's FlipAt, which are reported by their initiators.
+	onEvict func(ssbpEntry)
 }
 
 // NewSSBP returns an empty SSBP. ways == 0 selects the default capacity; the
@@ -72,7 +75,11 @@ func (s *SSBP) Put(tag uint16, c3, c4 int) {
 		s.entries = append(s.entries, e)
 		return
 	}
-	s.entries[s.rng.Intn(len(s.entries))] = e
+	victim := s.rng.Intn(len(s.entries))
+	if s.onEvict != nil {
+		s.onEvict(s.entries[victim])
+	}
+	s.entries[victim] = e
 }
 
 // Contains reports whether the tag currently has a physical entry.

@@ -1,6 +1,10 @@
 package predict
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"zenspec/internal/obs"
+)
 
 // Query identifies the store-load pair consulting the disambiguator. AMD
 // selects by instruction physical addresses; the Intel and ARM baselines
@@ -84,6 +88,8 @@ type Unit struct {
 	psfp  *PSFP
 	ssbp  *SSBP
 	stats Stats
+	bus   *obs.Bus
+	cpu   int
 }
 
 var _ Disambiguator = (*Unit)(nil)
@@ -100,6 +106,34 @@ func NewUnit(cfg Config) *Unit {
 
 // Name implements Disambiguator.
 func (u *Unit) Name() string { return "amd-psfp-ssbp" }
+
+// AttachBus connects the unit to an event bus as hardware thread cpu's
+// predictor resources. Capacity evictions inside PSFP (LRU drop) and SSBP
+// (random replacement) surface as obs.PredictorEvictEvent; fault-injector
+// hooks (EvictAt, FlipAt) do not fire these — they are reported by the
+// injector itself as fault events.
+func (u *Unit) AttachBus(b *obs.Bus, cpu int) {
+	u.bus = b
+	u.cpu = cpu
+	u.psfp.onEvict = func(e psfpEntry) {
+		if u.bus.On(obs.ClassPredict) {
+			u.bus.Emit(obs.PredictorEvictEvent{
+				CPU: u.cpu, Cycle: u.bus.Now(), Predictor: "psfp",
+				StoreTag: e.storeTag, LoadTag: e.loadTag,
+				Counters: obs.Counters{C0: e.c0, C1: e.c1, C2: e.c2},
+			})
+		}
+	}
+	u.ssbp.onEvict = func(e ssbpEntry) {
+		if u.bus.On(obs.ClassPredict) {
+			u.bus.Emit(obs.PredictorEvictEvent{
+				CPU: u.cpu, Cycle: u.bus.Now(), Predictor: "ssbp",
+				LoadTag:  e.tag,
+				Counters: obs.Counters{C3: e.c3, C4: e.c4},
+			})
+		}
+	}
+}
 
 func (u *Unit) hash(ipa uint64) uint16 { return Hash48(ipa ^ u.cfg.SelectionSalt) }
 
@@ -119,12 +153,26 @@ func (u *Unit) counters(q Query) Counters {
 // Predict implements Disambiguator.
 func (u *Unit) Predict(q Query) Prediction {
 	u.stats.Predicts++
+	var pred Prediction
 	if u.cfg.SSBD {
 		// Block state everywhere: always alias-predicted, never PSF.
-		return Prediction{Aliasing: true, PSF: false}
+		pred = Prediction{Aliasing: true, PSF: false}
+	} else {
+		c := u.counters(q)
+		pred = Prediction{Aliasing: c.PredictAliasing(), PSF: c.PSFEnabled(), Counters: c}
 	}
-	c := u.counters(q)
-	return Prediction{Aliasing: c.PredictAliasing(), PSF: c.PSFEnabled(), Counters: c}
+	if u.bus.On(obs.ClassPredict) {
+		st, lt := u.hash(q.StoreIPA), u.hash(q.LoadIPA)
+		cs := pred.Counters
+		u.bus.Emit(obs.PredictEvent{
+			CPU: u.cpu, Cycle: u.bus.Now(),
+			StoreIPA: q.StoreIPA, LoadIPA: q.LoadIPA,
+			Aliasing: pred.Aliasing, PSF: pred.PSF,
+			PSFPHit:  u.psfp.Contains(st, lt),
+			Counters: obs.Counters{C0: cs.C0, C1: cs.C1, C2: cs.C2, C3: cs.C3, C4: cs.C4},
+		})
+	}
+	return pred
 }
 
 // Verify implements Disambiguator: it applies the TABLE I update for the
@@ -155,6 +203,23 @@ func (u *Unit) Verify(q Query, aliasing bool) ExecType {
 		u.ssbp.Put(lt, n.C3, n.C4)
 	}
 	u.stats.Types[t]++
+	if u.bus.On(obs.ClassPredict) {
+		now := u.bus.Now()
+		before := obs.Counters{C0: c.C0, C1: c.C1, C2: c.C2, C3: c.C3, C4: c.C4}
+		after := obs.Counters{C0: n.C0, C1: n.C1, C2: n.C2, C3: n.C3, C4: n.C4}
+		u.bus.Emit(obs.PSFPTrainEvent{
+			CPU: u.cpu, Cycle: now, StoreTag: st, LoadTag: lt,
+			Type: t.String(), Aliasing: aliasing,
+			Before: before, After: after,
+			Allocated: !present && t == TypeG,
+		})
+		u.bus.Emit(obs.SSBPTransitionEvent{
+			CPU: u.cpu, Cycle: now, LoadTag: lt,
+			Type: t.String(), Aliasing: aliasing,
+			Before: before, After: after,
+			StateBefore: c.State(), StateAfter: n.State(),
+		})
+	}
 	return t
 }
 

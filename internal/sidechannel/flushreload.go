@@ -11,6 +11,7 @@ import (
 	"zenspec/internal/isa"
 	"zenspec/internal/kernel"
 	"zenspec/internal/mem"
+	"zenspec/internal/obs"
 	"zenspec/internal/pipeline"
 )
 
@@ -114,12 +115,27 @@ func (f *FlushReload) FlushAll() {
 	}
 }
 
+// emitProbe reports one timed slot's verdict on the machine's event bus.
+func (f *FlushReload) emitProbe(slot int, va, t uint64, hit bool) {
+	bus := f.K.Bus()
+	if bus.On(obs.ClassProbe) {
+		bus.Emit(obs.ProbeEvent{
+			CPU: f.CPU, Cycle: bus.Now(), Slot: slot, VA: va,
+			Cycles: t, Threshold: f.threshold, Hit: hit,
+		})
+	}
+}
+
 // Reload times every slot and returns the indices that hit (the Reload
 // phase). The scan itself refills lines, so each round must FlushAll first.
 func (f *FlushReload) Reload() []int {
 	var hits []int
 	for v := 0; v < f.Entries; v++ {
-		if f.Time(f.slot(v)) < f.threshold {
+		va := f.slot(v)
+		t := f.Time(va)
+		hit := t < f.threshold
+		f.emitProbe(v, va, t, hit)
+		if hit {
 			hits = append(hits, v)
 		}
 	}
@@ -135,8 +151,11 @@ func (f *FlushReload) Recover(exclude map[int]bool) (int, bool) {
 		if exclude[v] {
 			continue
 		}
-		t := f.Time(f.slot(v))
-		if t < f.threshold && t < bestTime {
+		va := f.slot(v)
+		t := f.Time(va)
+		hit := t < f.threshold
+		f.emitProbe(v, va, t, hit)
+		if hit && t < bestTime {
 			best, bestTime = v, t
 		}
 	}

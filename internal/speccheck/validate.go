@@ -7,6 +7,7 @@ import (
 	"zenspec/internal/cache"
 	"zenspec/internal/isa"
 	"zenspec/internal/mem"
+	"zenspec/internal/obs"
 	"zenspec/internal/pipeline"
 	"zenspec/internal/pmc"
 	"zenspec/internal/predict"
@@ -229,7 +230,7 @@ type dynMachine struct {
 	ch    *cache.Hierarchy
 	unit  *predict.Unit
 	core  *pipeline.Core
-	trace []pipeline.TraceEntry
+	trace []obs.InstEvent
 }
 
 func newDynMachine(code []byte, base, fill uint64) *dynMachine {
@@ -240,7 +241,13 @@ func newDynMachine(code []byte, base, fill uint64) *dynMachine {
 		unit: predict.NewUnit(predict.Config{Seed: 1}),
 	}
 	m.core = pipeline.New(pipeline.Config{}, m.phys, m.ch, m.unit, &pmc.Counters{})
-	m.core.SetTracer(func(e pipeline.TraceEntry) { m.trace = append(m.trace, e) })
+	bus := obs.NewBus()
+	m.core.AttachBus(bus, 0)
+	bus.Subscribe(obs.ObserverFunc(func(e obs.Event) {
+		if ie, ok := e.(obs.InstEvent); ok {
+			m.trace = append(m.trace, ie)
+		}
+	}), obs.Options{Classes: []obs.Class{obs.ClassInst}})
 
 	// Low RW region for data: every pointerish register and every masked
 	// secret-derived displacement lands somewhere in here.

@@ -25,7 +25,8 @@ go test -race ./...
 echo "== experiment suite smoke (quick, JSON) =="
 suite_json=$(mktemp)
 fault_json=$(mktemp)
-trap 'rm -f "$suite_json" "$fault_json"' EXIT
+trace_json=$(mktemp)
+trap 'rm -f "$suite_json" "$fault_json" "$trace_json"' EXIT
 go run ./cmd/experiments -quick -json > "$suite_json"
 go run ./cmd/experiments -validate "$suite_json"
 
@@ -35,5 +36,12 @@ echo "== faulted suite smoke (quick, default plan, JSON) =="
 go run ./cmd/experiments -quick -faults default \
     -only fault-stl,fault-ctl,fault-harness -json > "$fault_json"
 go run ./cmd/experiments -validate "$fault_json"
+
+echo "== observability smoke (trace + metrics on the STL attack) =="
+# The trace must come back as a Chrome trace-event JSON document with at
+# least one complete event; -validate-trace enforces both.
+go run ./cmd/experiments -quick -only spectre-stl -metrics \
+    -trace "$trace_json" -trace-classes squash,predict,fault,kernel > /dev/null
+go run ./cmd/experiments -validate-trace "$trace_json"
 
 echo "verify: OK"

@@ -26,6 +26,7 @@ import (
 	"zenspec/internal/harness"
 	"zenspec/internal/harness/suite"
 	"zenspec/internal/kernel"
+	"zenspec/internal/obs"
 	"zenspec/internal/pipeline"
 	"zenspec/internal/predict"
 	"zenspec/internal/revng"
@@ -45,19 +46,26 @@ type Platform struct {
 	SQSize    int
 }
 
-// Platforms returns the TABLE III machines.
+// platforms is the single authoritative TABLE III list; the first entry is
+// the zero-Config default.
+var platforms = []Platform{
+	{Name: "ryzen9-5900x", CPU: "AMD Ryzen 9 5900X (Zen 3)", Microcode: "0xA201205", Kernel: "Linux 5.15.0-76-generic", SQSize: 48},
+	{Name: "epyc-7543", CPU: "AMD EPYC 7543 (Zen 3)", Microcode: "0xA001173", Kernel: "Linux 6.1.0-rc4-snp-host", SQSize: 48},
+	{Name: "ryzen5-5600g", CPU: "AMD Ryzen 5 5600G (Zen 3)", Microcode: "0xA50000D", Kernel: "Linux 5.15.0-76-generic", SQSize: 48},
+	{Name: "ryzen7-7735hs", CPU: "AMD Ryzen 7 7735HS (Zen 3+)", Microcode: "0xA404102", Kernel: "Linux 5.4.0-153-generic", SQSize: 64},
+}
+
+// Platforms returns a copy of the TABLE III machines; mutating the returned
+// slice does not affect the presets.
 func Platforms() []Platform {
-	return []Platform{
-		{Name: "ryzen9-5900x", CPU: "AMD Ryzen 9 5900X (Zen 3)", Microcode: "0xA201205", Kernel: "Linux 5.15.0-76-generic", SQSize: 48},
-		{Name: "epyc-7543", CPU: "AMD EPYC 7543 (Zen 3)", Microcode: "0xA001173", Kernel: "Linux 6.1.0-rc4-snp-host", SQSize: 48},
-		{Name: "ryzen5-5600g", CPU: "AMD Ryzen 5 5600G (Zen 3)", Microcode: "0xA50000D", Kernel: "Linux 5.15.0-76-generic", SQSize: 48},
-		{Name: "ryzen7-7735hs", CPU: "AMD Ryzen 7 7735HS (Zen 3+)", Microcode: "0xA404102", Kernel: "Linux 5.4.0-153-generic", SQSize: 64},
-	}
+	out := make([]Platform, len(platforms))
+	copy(out, platforms)
+	return out
 }
 
 // PlatformByName finds a TABLE III preset; ok is false for unknown names.
 func PlatformByName(name string) (Platform, bool) {
-	for _, p := range Platforms() {
+	for _, p := range platforms {
 		if p.Name == name {
 			return p, true
 		}
@@ -96,6 +104,22 @@ type Config struct {
 	// on its own Machine with an RNG derived from (Seed, experiment ID,
 	// trial index) — so the knob trades wall clock only.
 	Parallelism int
+	// Observer, when non-nil, is subscribed to the event bus of every
+	// Machine this Config boots (including the per-trial machines the
+	// experiment harness creates). Observation is strictly read-only: an
+	// attached observer never changes simulation results, and a nil observer
+	// costs one branch per would-be event. Observers attached to parallel
+	// experiment runs must tolerate concurrent HandleEvent calls
+	// (MetricsObserver and TraceRecorder both do).
+	Observer Observer
+	// ObserverClasses restricts which event classes reach Observer; empty
+	// means all classes.
+	ObserverClasses []EventClass
+	// Metrics attaches a fresh MetricsObserver to each harness experiment
+	// (composed with Observer, if any) and surfaces its snapshot as the
+	// report's "micro" section. The fold is commutative, so snapshots are
+	// deterministic at any Parallelism.
+	Metrics bool
 }
 
 // kernelConfig lowers the public Config onto the OS model.
@@ -115,6 +139,8 @@ func (c Config) kernelConfig() kernel.Config {
 		Seed:              c.Seed,
 		Faults:            c.Faults,
 		Parallelism:       c.Parallelism,
+		Observer:          c.Observer,
+		ObserverClasses:   c.ObserverClasses,
 		Pipeline:          pipeline.Config{SQSize: sq},
 	}
 }
@@ -166,8 +192,87 @@ const (
 // RunResult reports one program run on a Machine.
 type RunResult = pipeline.RunResult
 
-// TraceEntry is one instruction-tracer record (see Machine.CPU(i).Core.SetTracer).
+// TraceEntry is one record of the legacy per-core instruction tracer.
+//
+// Deprecated: the SetTracer/TraceEntry mechanism is superseded by the
+// Observer API. Set Config.Observer (or call Observe on a booted Machine)
+// with ObserverClasses limited to ClassInst and handle InstEvent, which
+// carries everything TraceEntry did plus the hardware thread, the
+// instruction physical address, and transient-execution provenance.
 type TraceEntry = pipeline.TraceEntry
+
+// --- Observability ---
+
+// Observer receives structured simulation events; see Config.Observer and
+// Observe. ObserverFunc adapts a plain function.
+type (
+	// Event is the interface every typed event implements; switch on the
+	// concrete type to consume one.
+	Event        = obs.Event
+	Observer     = obs.Observer
+	ObserverFunc = obs.ObserverFunc
+	// ObserverOptions filters a subscription made through Observe.
+	ObserverOptions = obs.Options
+	// EventClass partitions events into subscribable classes.
+	EventClass = obs.Class
+)
+
+// Event classes, usable in Config.ObserverClasses and ObserverOptions.
+const (
+	ClassInst    = obs.ClassInst    // retired and transient instructions
+	ClassSquash  = obs.ClassSquash  // pipeline squashes with window extent
+	ClassForward = obs.ClassForward // store-to-load and PSF forwards
+	ClassPredict = obs.ClassPredict // PSFP/SSBP queries, training, evictions
+	ClassCache   = obs.ClassCache   // line fills, evictions, flushes
+	ClassProbe   = obs.ClassProbe   // Flush+Reload probe verdicts
+	ClassKernel  = obs.ClassKernel  // context switches, predictor flushes
+	ClassFault   = obs.ClassFault   // injected faults
+)
+
+// Typed event structs delivered to observers. Every event implements
+// obs.Event; switch on the concrete type to consume them.
+type (
+	InstEvent           = obs.InstEvent
+	SquashEvent         = obs.SquashEvent
+	ForwardEvent        = obs.ForwardEvent
+	PredictEvent        = obs.PredictEvent
+	PSFPTrainEvent      = obs.PSFPTrainEvent
+	SSBPTransitionEvent = obs.SSBPTransitionEvent
+	PredictorEvictEvent = obs.PredictorEvictEvent
+	PredictorFlushEvent = obs.PredictorFlushEvent
+	CacheEvent          = obs.CacheEvent
+	ProbeEvent          = obs.ProbeEvent
+	ContextSwitchEvent  = obs.ContextSwitchEvent
+	FaultEvent          = obs.FaultEvent
+)
+
+// MetricsObserver is a thread-safe counters-and-histograms registry that
+// folds every event class; its Snapshot is deterministic at any worker
+// count. NewMetricsObserver returns an empty one.
+type MetricsObserver = obs.Metrics
+
+// MetricsSnapshot is a point-in-time, JSON-stable metrics rendering.
+type MetricsSnapshot = obs.MetricsSnapshot
+
+// NewMetricsObserver returns an empty metrics registry.
+func NewMetricsObserver() *MetricsObserver { return obs.NewMetrics() }
+
+// TraceRecorder buffers events and renders them as a Chrome trace-event /
+// Perfetto JSON document (load it at https://ui.perfetto.dev). It is safe
+// for concurrent HandleEvent calls.
+type TraceRecorder = obs.Recorder
+
+// NewTraceRecorder returns an empty trace recorder.
+func NewTraceRecorder() *TraceRecorder { return obs.NewRecorder() }
+
+// Observe subscribes o to a booted Machine's event bus and returns a cancel
+// function. It is the post-boot equivalent of Config.Observer and replaces
+// the deprecated Machine.CPU(i).Core.SetTracer deep-reach: one subscription
+// sees all hardware threads, predictors, caches, the OS model and the fault
+// injector, filtered by opts.Classes (empty means all).
+func Observe(m *Machine, o Observer, opts ObserverOptions) (cancel func()) {
+	return m.Observe(o, opts)
+}
 
 // NewMachine boots a machine.
 func NewMachine(cfg Config) *Machine { return kernel.New(cfg.kernelConfig()) }
@@ -380,19 +485,25 @@ type ExperimentSuite = harness.SuiteReport
 // ExperimentBench is a serial-vs-parallel timing comparison of the suite.
 type ExperimentBench = harness.BenchReport
 
+// ErrUnknownExperiment is wrapped into the error RunExperiments and
+// BenchExperiments return when a selection names an experiment the registry
+// does not have; test with errors.Is.
+var ErrUnknownExperiment = harness.ErrUnknownExperiment
+
 // Experiments lists the registered experiments in report order — one per
 // row of DESIGN.md's per-experiment index.
 func Experiments() []Experiment { return suite.Registry().All() }
 
 // RunExperiments runs the selected registry entries (nil ids means all) at
-// cfg's seed and parallelism. Quick selects reduced trial counts.
+// cfg's seed and parallelism. Quick selects reduced trial counts;
+// cfg.Metrics adds a per-experiment "micro" metrics section to each report.
 func RunExperiments(cfg Config, quick bool, ids []string) (ExperimentSuite, error) {
-	return suite.Registry().Run(harness.Ctx{Config: cfg.kernelConfig(), Quick: quick}, ids)
+	return suite.Registry().Run(harness.Ctx{Config: cfg.kernelConfig(), Quick: quick, Metrics: cfg.Metrics}, ids)
 }
 
 // BenchExperiments runs the selected entries twice — serial, then at cfg's
 // parallelism — and reports per-experiment wall times, the speedup, and
 // whether both runs agreed byte for byte.
 func BenchExperiments(cfg Config, quick bool, ids []string) (ExperimentBench, error) {
-	return suite.Registry().Bench(harness.Ctx{Config: cfg.kernelConfig(), Quick: quick}, ids)
+	return suite.Registry().Bench(harness.Ctx{Config: cfg.kernelConfig(), Quick: quick, Metrics: cfg.Metrics}, ids)
 }
