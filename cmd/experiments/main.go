@@ -9,12 +9,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"zenspec"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body returning the exit code instead of calling os.Exit, so
+// the host-profiling defers (cpuprofile stop, heap snapshot) always fire.
+func run() int {
 	seed := flag.Int64("seed", 42, "simulation seed (results are deterministic per seed)")
 	quick := flag.Bool("quick", false, "reduced trial counts and secret sizes")
 	jsonOut := flag.Bool("json", false, "emit the suite report as JSON instead of text")
@@ -24,8 +30,14 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "run serial then parallel, write a speedup report to this path, and exit")
 	validate := flag.String("validate", "", "validate a suite JSON file written by -json: well-formed, bands consistent, all pass")
 	metrics := flag.Bool("metrics", false, "collect per-experiment microarchitectural metrics into each report")
+	profile := flag.Bool("profile", false, "collect per-experiment cycle-attribution profiles into each report")
+	profileOut := flag.String("profile-out", "", "write the suite-aggregate profile as pprof protobuf to this path (implies -profile; read with `go tool pprof`)")
+	flame := flag.String("flame", "", "write the suite-aggregate profile as folded flamegraph text to this path (implies -profile)")
+	serve := flag.String("serve", "", "serve live telemetry on this address while the suite runs: /metrics (Prometheus), /progress, /profile (pprof), /debug/pprof (host)")
+	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile of this process to the given path")
+	memprofile := flag.String("memprofile", "", "write a host heap profile of this process to the given path")
 	tracePath := flag.String("trace", "", "record a Perfetto/Chrome trace of the run to this path (forces -parallel 1; load at ui.perfetto.dev)")
-	traceClasses := flag.String("trace-classes", "", "comma-separated event classes to trace: inst,squash,forward,predict,cache,probe,kernel,fault (default: all)")
+	traceClasses := flag.String("trace-classes", "", "comma-separated event classes to trace: inst,squash,forward,predict,cache,probe,kernel,fault,pmc (default: all)")
 	validateTrace := flag.String("validate-trace", "", "validate a trace file written by -trace: JSON with at least one complete event")
 	list := flag.Bool("list", false, "list the registered experiments and exit")
 	flag.Parse()
@@ -34,28 +46,77 @@ func main() {
 		for _, e := range zenspec.Experiments() {
 			fmt.Printf("%-20s [%s] %s\n", e.ID, strings.Join(e.Tags, ","), e.Title)
 		}
-		return
+		return 0
 	}
 
 	if *validate != "" {
-		os.Exit(validateFile(*validate))
+		return validateFile(*validate)
 	}
 	if *validateTrace != "" {
-		os.Exit(validateTraceFile(*validateTrace))
+		return validateTraceFile(*validateTrace)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
 	}
 
 	plan, err := zenspec.ParseFaultPlan(*faults)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(2)
+		return 2
 	}
-	cfg := zenspec.Config{Seed: *seed, Parallelism: *parallel, Faults: plan, Metrics: *metrics}
+	if *profileOut != "" || *flame != "" {
+		*profile = true
+	}
+	cfg := zenspec.Config{Seed: *seed, Parallelism: *parallel, Faults: plan, Metrics: *metrics, Profile: *profile}
+	if *serve != "" {
+		// Live telemetry: a session-wide metrics registry and profiler feed
+		// the endpoint while the suite runs (both fold commutatively, so they
+		// do not perturb determinism), and the harness progress callback
+		// drives the gauges.
+		tel := zenspec.NewTelemetry()
+		liveMetrics := zenspec.NewMetricsObserver()
+		liveProfile := zenspec.NewProfiler()
+		tel.SetMetrics(liveMetrics)
+		tel.SetProfile(liveProfile)
+		cfg.Observer = zenspec.Observers(cfg.Observer, liveMetrics, liveProfile)
+		cfg.Progress = tel.Progress
+		addr, err := tel.Serve(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "experiments: telemetry on http://%s (/metrics /progress /profile /debug/pprof)\n", addr)
+	}
 	var rec *zenspec.TraceRecorder
 	if *tracePath != "" {
 		classes, err := parseClasses(*traceClasses)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(2)
+			return 2
 		}
 		// One recorder across all trials: serialize them so the event stream
 		// interleaves deterministically in trial order.
@@ -77,16 +138,16 @@ func main() {
 		bench, err := zenspec.BenchExperiments(cfg, *quick, ids)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(2)
+			return 2
 		}
 		b, err := bench.JSON()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(2)
+			return 2
 		}
 		if err := os.WriteFile(*benchJSON, append(b, '\n'), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(2)
+			return 2
 		}
 		fmt.Printf("bench: %d experiments, %d cores, %d workers: serial %.2fs, parallel %.2fs, speedup %.2fx, deterministic %v -> %s\n",
 			len(bench.Experiments), bench.Cores, bench.Workers,
@@ -94,34 +155,70 @@ func main() {
 			bench.Deterministic, *benchJSON)
 		if !bench.Deterministic {
 			fmt.Fprintln(os.Stderr, "experiments: serial and parallel runs disagree")
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	suite, err := zenspec.RunExperiments(cfg, *quick, ids)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(2)
+		return 2
 	}
 	if rec != nil {
 		b, err := rec.Perfetto()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(2)
+			return 2
 		}
 		if err := os.WriteFile(*tracePath, append(b, '\n'), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(2)
+			return 2
 		}
 		fmt.Fprintf(os.Stderr, "experiments: wrote %d trace events to %s (load at https://ui.perfetto.dev)\n",
 			rec.Len(), *tracePath)
+	}
+	if *profileOut != "" || *flame != "" {
+		agg := suite.Profile()
+		if agg == nil {
+			fmt.Fprintln(os.Stderr, "experiments: no profile collected")
+			return 2
+		}
+		if *profileOut != "" {
+			f, err := os.Create(*profileOut)
+			if err == nil {
+				err = agg.WritePprof(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return 2
+			}
+			fmt.Fprintf(os.Stderr, "experiments: wrote profile of %d sites to %s (go tool pprof %s)\n",
+				len(agg.Samples), *profileOut, *profileOut)
+		}
+		if *flame != "" {
+			f, err := os.Create(*flame)
+			if err == nil {
+				err = agg.WriteFlame(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return 2
+			}
+			fmt.Fprintf(os.Stderr, "experiments: wrote folded flamegraph to %s\n", *flame)
+		}
 	}
 	if *jsonOut {
 		b, err := suite.JSON()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(2)
+			return 2
 		}
 		fmt.Println(string(b))
 	} else {
@@ -129,8 +226,9 @@ func main() {
 	}
 	if !suite.AllPass() {
 		fmt.Fprintf(os.Stderr, "experiments: outside paper band: %s\n", strings.Join(suite.Failed(), ", "))
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // validateFile re-checks a suite report written by -json: the file must be
@@ -191,6 +289,7 @@ func parseClasses(spec string) ([]zenspec.EventClass, error) {
 		"forward": zenspec.ClassForward, "predict": zenspec.ClassPredict,
 		"cache": zenspec.ClassCache, "probe": zenspec.ClassProbe,
 		"kernel": zenspec.ClassKernel, "fault": zenspec.ClassFault,
+		"pmc": zenspec.ClassPMC,
 	}
 	var out []zenspec.EventClass
 	for _, name := range strings.Split(spec, ",") {

@@ -1,0 +1,174 @@
+// Command zprof profiles a single assembly program on the simulated machine:
+// it runs the program under the cycle-attribution profiler and prints the
+// top-N program counters with their top-down stall breakdown (issue wait,
+// execute, SQ-stall, rollback replay, retire wait) and disassembly context.
+// The profile can also be exported as pprof protobuf (`go tool pprof`) or
+// folded flamegraph text.
+//
+// Usage:
+//
+//	zprof -file gadget.s -regs "rdi=0x10000,rsi=0x10000" -runs 3
+//	zprof -file gadget.s -pprof out.pb.gz && go tool pprof -top out.pb.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"zenspec"
+)
+
+const entryVA = 0x400000
+
+func main() {
+	file := flag.String("file", "", "assembly source (default: stdin)")
+	regSpec := flag.String("regs", "", "initial registers, e.g. \"rdi=0x10000,rsi=42\"")
+	dataSpec := flag.String("data", "0x10000:65536", "data mapping addr:bytes, comma separated")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	ssbd := flag.Bool("ssbd", false, "enable SSBD")
+	runs := flag.Int("runs", 1, "number of runs to accumulate (training effects show up across runs)")
+	top := flag.Int("top", 20, "rows in the breakdown table")
+	pprofOut := flag.String("pprof", "", "write the profile as pprof protobuf to this path")
+	flameOut := flag.String("flame", "", "write the profile as folded flamegraph text to this path")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	if *file == "" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(*file)
+	}
+	if err != nil {
+		log.Fatalf("zprof: %v", err)
+	}
+	code, err := zenspec.Assemble(string(src), entryVA)
+	if err != nil {
+		log.Fatalf("zprof: %v", err)
+	}
+
+	// Disassembly context for the breakdown table: PC → source text.
+	disasm := map[uint64]string{}
+	for i, line := range zenspec.Disassemble(code, entryVA) {
+		disasm[entryVA+uint64(i*8)] = strings.TrimSpace(line)
+	}
+
+	m := zenspec.NewMachine(zenspec.Config{Seed: *seed, SSBD: *ssbd})
+	p := m.NewProcess("zprof", zenspec.DomainUser)
+	p.MapCode(entryVA, code)
+	for _, spec := range strings.Split(*dataSpec, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		parts := strings.SplitN(spec, ":", 2)
+		addr, err := strconv.ParseUint(parts[0], 0, 64)
+		if err != nil {
+			log.Fatalf("zprof: bad data address %q", parts[0])
+		}
+		size := uint64(4096)
+		if len(parts) == 2 {
+			size, err = strconv.ParseUint(parts[1], 0, 64)
+			if err != nil {
+				log.Fatalf("zprof: bad data size %q", parts[1])
+			}
+		}
+		p.MapData(addr, size)
+	}
+	initRegs, err := parseRegs(*regSpec)
+	if err != nil {
+		log.Fatalf("zprof: %v", err)
+	}
+
+	prof := zenspec.NewProfiler()
+	zenspec.Observe(m, prof, zenspec.ObserverOptions{Classes: zenspec.ProfilerClasses()})
+
+	var cycles, insts uint64
+	for r := 0; r < *runs; r++ {
+		copy(p.Regs[:], initRegs[:])
+		res := m.Run(p, entryVA, 0)
+		if res.Stop.String() == "fault" {
+			log.Fatalf("zprof: run %d faulted: %v at %#x (pc %#x)", r, res.Fault, res.FaultVA, res.FaultPC)
+		}
+		cycles += uint64(res.Cycles)
+		insts += res.Insts
+	}
+
+	snap := prof.Snapshot()
+	fmt.Printf("zprof: %d run(s), %d instructions, %d cycles; %d sites, %d attributed cycles\n\n",
+		*runs, insts, cycles, len(snap.Samples), snap.TotalCycles)
+	fmt.Printf("%10s %6s %8s %8s %8s %8s %8s  %-10s %s\n",
+		"cycles", "count", "issue", "exec", "sq_stall", "replay", "retire", "pc", "instruction")
+	for _, s := range snap.Top(*top) {
+		ctx := disasm[s.PC]
+		if ctx == "" {
+			ctx = strings.ToLower(s.Op)
+		}
+		fmt.Printf("%10d %6d %8d %8d %8d %8d %8d  %#-10x %s\n",
+			s.Cycles(), s.Count, s.Issue, s.Execute, s.SQStall, s.Replay, s.Retire, s.PC, ctx)
+	}
+	if len(snap.Squashes) > 0 {
+		fmt.Println("\nsquashes:")
+		for _, q := range snap.Squashes {
+			ctx := disasm[q.PC]
+			fmt.Printf("%10d× %-8s window=%d penalty=%d insts=%d  %#x  %s\n",
+				q.Count, q.Kind, q.Window, q.Penalty, q.Insts, q.PC, ctx)
+		}
+	}
+
+	if *pprofOut != "" {
+		if err := writeTo(*pprofOut, snap.WritePprof); err != nil {
+			log.Fatalf("zprof: %v", err)
+		}
+		fmt.Printf("\nwrote pprof profile to %s (go tool pprof -top %s)\n", *pprofOut, *pprofOut)
+	}
+	if *flameOut != "" {
+		if err := writeTo(*flameOut, snap.WriteFlame); err != nil {
+			log.Fatalf("zprof: %v", err)
+		}
+		fmt.Printf("wrote folded flamegraph to %s\n", *flameOut)
+	}
+}
+
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func parseRegs(spec string) ([16]uint64, error) {
+	var out [16]uint64
+	if strings.TrimSpace(spec) == "" {
+		return out, nil
+	}
+	idx := map[string]int{"rax": 0, "rcx": 1, "rdx": 2, "rbx": 3, "rsp": 4,
+		"rbp": 5, "rsi": 6, "rdi": 7, "r8": 8, "r9": 9, "r10": 10, "r11": 11,
+		"r12": 12, "r13": 13, "r14": 14, "r15": 15}
+	for _, kv := range strings.Split(spec, ",") {
+		parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+		if len(parts) != 2 {
+			return out, fmt.Errorf("bad register assignment %q", kv)
+		}
+		i, ok := idx[strings.ToLower(parts[0])]
+		if !ok {
+			return out, fmt.Errorf("unknown register %q", parts[0])
+		}
+		v, err := strconv.ParseUint(parts[1], 0, 64)
+		if err != nil {
+			return out, fmt.Errorf("bad value %q", parts[1])
+		}
+		out[i] = v
+	}
+	return out, nil
+}

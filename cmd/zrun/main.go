@@ -15,6 +15,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -35,7 +37,34 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the microarchitectural metrics of the run")
 	disasm := flag.Bool("d", false, "print the disassembly before running")
 	scan := flag.Bool("scan", false, "scan the program for speculative store-bypass gadgets")
+	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile of this process to the given path")
+	memprofile := flag.String("memprofile", "", "write a host heap profile of this process to the given path")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("zrun: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("zrun: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Printf("zrun: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("zrun: %v", err)
+			}
+		}()
+	}
 
 	var src []byte
 	var err error

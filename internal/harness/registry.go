@@ -8,6 +8,7 @@ import (
 
 	"zenspec/internal/kernel"
 	"zenspec/internal/obs"
+	"zenspec/internal/prof"
 )
 
 // ErrUnknownExperiment is returned (wrapped, with the offending ID) when a
@@ -25,6 +26,16 @@ type Ctx struct {
 	// registry folds commutatively, so the snapshot is deterministic at any
 	// worker count.
 	Metrics bool
+	// Profile attaches a per-experiment prof.Profile to every machine the
+	// experiment boots and surfaces the snapshot as Report.Profile. Like
+	// Metrics, accumulation is commutative, so the snapshot is deterministic
+	// at any worker count.
+	Profile bool
+	// Progress, when non-nil, is called as the suite advances: once before
+	// each experiment with the count of experiments already finished and the
+	// ID about to run, and once after the last with done == total. It feeds
+	// live telemetry; leave nil when nothing is watching.
+	Progress func(done, total int, id string)
 }
 
 // Workers resolves the context's Parallelism knob.
@@ -145,7 +156,10 @@ func (r *Registry) RunTagged(ctx Ctx, ids []string, tag string) (SuiteReport, er
 		plan := ctx.Config.Faults
 		suite.Faults = &plan
 	}
-	for _, e := range exps {
+	for i, e := range exps {
+		if ctx.Progress != nil {
+			ctx.Progress(i, len(exps), e.ID)
+		}
 		start := time.Now()
 		ectx := ctx
 		var mc *obs.Metrics
@@ -153,7 +167,13 @@ func (r *Registry) RunTagged(ctx Ctx, ids []string, tag string) (SuiteReport, er
 			// A fresh registry per experiment, composed with any caller
 			// observer; the experiment's machines subscribe it at boot.
 			mc = obs.NewMetrics()
-			ectx.Config.Observer = obs.Multi(ctx.Config.Observer, mc)
+			ectx.Config.Observer = obs.Multi(ectx.Config.Observer, mc)
+		}
+		var pp *prof.Profile
+		if ctx.Profile {
+			// Likewise one profile per experiment, shared by all its trials.
+			pp = prof.New()
+			ectx.Config.Observer = obs.Multi(ectx.Config.Observer, pp)
 		}
 		rep := runIsolated(e, ectx)
 		rep.ID = e.ID
@@ -165,9 +185,15 @@ func (r *Registry) RunTagged(ctx Ctx, ids []string, tag string) (SuiteReport, er
 		if mc != nil {
 			rep.Micro = mc.Snapshot()
 		}
+		if pp != nil {
+			rep.Profile = pp.Snapshot()
+		}
 		rep.Pass = rep.computePass()
 		rep.WallMS = float64(time.Since(start).Microseconds()) / 1000
 		suite.Experiments = append(suite.Experiments, rep)
+	}
+	if ctx.Progress != nil {
+		ctx.Progress(len(exps), len(exps), "")
 	}
 	return suite, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"zenspec/internal/fault"
 	"zenspec/internal/obs"
+	"zenspec/internal/prof"
 )
 
 // Experiment status values: clean (no trouble), degraded (faults or retries
@@ -49,6 +50,10 @@ type Report struct {
 	// when the run was started with metrics collection (Ctx.Metrics); its
 	// content is deterministic, so it participates in StableJSON.
 	Micro *obs.MetricsSnapshot `json:"micro,omitempty"`
+	// Profile carries the per-experiment cycle-attribution profile when the
+	// run was started with profiling (Ctx.Profile). Like Micro it is
+	// deterministic at any worker count and participates in StableJSON.
+	Profile *prof.Snapshot `json:"profile,omitempty"`
 	// WallMS is host wall-clock time. It is the one host-dependent field;
 	// StableJSON zeroes it so reports can be compared across worker counts.
 	WallMS float64 `json:"wall_ms"`
@@ -158,6 +163,24 @@ func (s SuiteReport) Failed() []string {
 	return ids
 }
 
+// Profile merges the per-experiment profiles into one suite-level snapshot
+// (nil when no experiment carried one). The merge is order-independent up to
+// its final sort, so the aggregate inherits each profile's worker-count
+// determinism.
+func (s SuiteReport) Profile() *prof.Snapshot {
+	var out *prof.Snapshot
+	for _, r := range s.Experiments {
+		if r.Profile == nil {
+			continue
+		}
+		if out == nil {
+			out = &prof.Snapshot{}
+		}
+		out.Merge(r.Profile)
+	}
+	return out
+}
+
 // JSON renders the suite report indented.
 func (s SuiteReport) JSON() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")
@@ -204,6 +227,10 @@ func (s SuiteReport) Text() string {
 		}
 		if r.Micro != nil {
 			b.WriteString(r.Micro.Text())
+		}
+		if r.Profile != nil {
+			fmt.Fprintf(&b, "  profile (top 10 of %d sites, %d cycles):\n", len(r.Profile.Samples), r.Profile.TotalCycles)
+			b.WriteString(r.Profile.Text(10))
 		}
 		if t := r.Trouble; t != nil && t.Degraded() {
 			fmt.Fprintf(&b, "  trials %d, attempts %d (retried %d, recovered %d, overruns %d, injected %d, failed %d)\n",

@@ -1,6 +1,9 @@
 package obs
 
-import "zenspec/internal/isa"
+import (
+	"zenspec/internal/isa"
+	"zenspec/internal/pmc"
+)
 
 // Counters is the combined 5-counter predictor state carried by predictor
 // events. It mirrors predict.Counters field for field; obs is a leaf package
@@ -11,11 +14,31 @@ type Counters struct {
 
 // InstEvent is one executed instruction, architectural or transient — the
 // stream the deprecated pipeline.Tracer carried, now one class among many.
+// The cycle stamps partition the instruction's lifetime for the top-down
+// attribution the profiler performs: dispatch→issue is front-end and operand
+// wait, issue→complete is execution (minus SQStall and Replay, which are
+// called out separately), complete→retiredBy is in-order retirement wait.
 type InstEvent struct {
 	CPU  int
 	PC   uint64
 	IPA  uint64
 	Inst isa.Inst
+	// Dispatch is the cycle the instruction dispatched into the window.
+	Dispatch int64
+	// Issue is the cycle it won an execution port (== Dispatch for
+	// portless instructions: NOP, fences, jumps).
+	Issue int64
+	// Complete is the cycle its result was ready (for a squashed-and-replayed
+	// load, the completion of the replay).
+	Complete int64
+	// SQStall counts cycles the instruction (a load) stalled waiting for
+	// older store addresses under an aliasing prediction — the per-PC share
+	// of the Fig 2 "SQ Stall Cycles" PMC.
+	SQStall int64
+	// Replay counts cycles spent inside this instruction's own rollback:
+	// the transient window plus the replay penalty of a type-D/G squashed
+	// load. Zero for instructions that never rolled back.
+	Replay int64
 	// RetiredBy is the in-order retirement frontier after this instruction
 	// (absolute cycles; the core's clock is monotonic across runs).
 	RetiredBy int64
@@ -72,6 +95,9 @@ type SquashEvent struct {
 	PC uint64
 	// Start and Verify bound the window in absolute cycles.
 	Start, Verify int64
+	// Penalty is the refetch delay charged after Verify (the branch-miss or
+	// rollback penalty; zero for fault windows, which end the run).
+	Penalty int64
 	// Insts is how many wrong-path instructions executed inside the window.
 	Insts int
 }
@@ -297,3 +323,22 @@ func (FaultEvent) EventClass() Class { return ClassFault }
 
 // EventName implements Event.
 func (e FaultEvent) EventName() string { return "fault-" + e.Kind }
+
+// PMCEvent is one performance-monitor-counter readout: the delta of the
+// Fig 2 counter set accumulated by a single program run on one hardware
+// thread. It bridges pmc.Counters into the metrics registry (as "pmc.<key>"
+// counters) and gives the profiler the run-level ground truth its per-PC
+// attribution must sum to.
+type PMCEvent struct {
+	CPU   int
+	Cycle int64
+	// Counts is the per-run delta (pmc.Counters.Delta of the run's start and
+	// end snapshots).
+	Counts pmc.Counters
+}
+
+// EventClass implements Event.
+func (PMCEvent) EventClass() Class { return ClassPMC }
+
+// EventName implements Event.
+func (PMCEvent) EventName() string { return "pmc" }

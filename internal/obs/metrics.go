@@ -5,6 +5,8 @@ import (
 	"math/bits"
 	"sort"
 	"sync"
+
+	"zenspec/internal/pmc"
 )
 
 // Metrics is an Observer that folds events into a registry of monotonic
@@ -118,6 +120,15 @@ func (m *Metrics) HandleEvent(e Event) {
 	case FaultEvent:
 		m.Inc("fault.injected", 1)
 		m.Inc("fault."+ev.Kind, 1)
+	case PMCEvent:
+		// Bridge the Fig 2 PMC namespace into the registry: one monotonic
+		// counter per pmc event key, summed over runs (commutative, so the
+		// snapshot stays deterministic at any worker count).
+		for _, pe := range pmc.Events() {
+			if n := ev.Counts.Get(pe); n != 0 {
+				m.Inc("pmc."+pe.Key(), n)
+			}
+		}
 	}
 }
 

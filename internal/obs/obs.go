@@ -14,8 +14,10 @@
 // byte-identical (asserted by test).
 //
 // obs is a leaf package: the simulator's internal packages import it, never
-// the other way around (isa excepted, which imports only fmt). Event structs
-// therefore carry plain integers and strings rather than simulator types.
+// the other way around (isa and pmc excepted, which import nothing of the
+// simulator). Event structs therefore carry plain integers and strings rather
+// than simulator types — pmc.Counters rides along as the one typed counter
+// namespace (PMCEvent).
 package obs
 
 // Class partitions events for subscription filtering. A subscriber names the
@@ -49,6 +51,10 @@ const (
 	// ClassFault is the deterministic fault injector: one event per injected
 	// fault, machine-level and trial-level.
 	ClassFault
+	// ClassPMC is performance-monitor-counter readout: one delta of the Fig 2
+	// counter set per program run, bridging pmc.Counters into the metrics
+	// registry and the cycle-attribution profiler.
+	ClassPMC
 	// NumClasses bounds the class space.
 	NumClasses
 )
@@ -71,6 +77,8 @@ func (c Class) String() string {
 		return "kernel"
 	case ClassFault:
 		return "fault"
+	case ClassPMC:
+		return "pmc"
 	}
 	return "class?"
 }

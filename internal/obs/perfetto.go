@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"zenspec/internal/pmc"
 )
 
 // Perfetto track layout: one fake "process" per subsystem so the UI groups
@@ -183,6 +185,14 @@ func (r *Recorder) HandleEvent(e Event) {
 			args["attempt"] = ev.Attempt
 		}
 		r.push(r.instant(ev.EventName(), ev.Cycle, pidKernel, tidFault, "fault", args))
+	case PMCEvent:
+		args := map[string]any{}
+		for _, pe := range pmc.Events() {
+			if n := ev.Counts.Get(pe); n != 0 {
+				args[pe.Key()] = n
+			}
+		}
+		r.push(r.instant("pmc", ev.Cycle, pidCores, ev.CPU, "pmc", args))
 	}
 }
 

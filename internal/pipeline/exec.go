@@ -83,7 +83,12 @@ func (c *Core) mainLoop(mmu MMU, st *runState, maxInsts uint64) RunResult {
 		o := c.exec(mmu, st, in, pc, ipa, nil)
 		c.bus.StampCycle(st.lastRetire)
 		if c.bus.On(obs.ClassInst) {
-			c.bus.Emit(obs.InstEvent{CPU: c.cpuID, PC: pc, IPA: ipa, Inst: in, RetiredBy: st.lastRetire})
+			c.bus.Emit(obs.InstEvent{
+				CPU: c.cpuID, PC: pc, IPA: ipa, Inst: in,
+				Dispatch: st.attr.dispatch, Issue: st.attr.issue, Complete: st.attr.complete,
+				SQStall: st.attr.sqStall, Replay: st.attr.replay,
+				RetiredBy: st.lastRetire,
+			})
 		}
 		if o.kind == oOK {
 			continue
@@ -127,7 +132,12 @@ func (c *Core) runEpisode(mmu MMU, st *runState, verifyTime int64) ([]StldEvent,
 		o := c.exec(mmu, st, in, pc, ipa, ep)
 		executed++
 		if c.bus.On(obs.ClassInst) {
-			c.bus.Emit(obs.InstEvent{CPU: c.cpuID, PC: pc, IPA: ipa, Inst: in, RetiredBy: st.lastRetire, Transient: true})
+			c.bus.Emit(obs.InstEvent{
+				CPU: c.cpuID, PC: pc, IPA: ipa, Inst: in,
+				Dispatch: st.attr.dispatch, Issue: st.attr.issue, Complete: st.attr.complete,
+				SQStall: st.attr.sqStall, Replay: st.attr.replay,
+				RetiredBy: st.lastRetire, Transient: true,
+			})
 		}
 		if o.kind != oOK {
 			break
@@ -139,10 +149,11 @@ func (c *Core) runEpisode(mmu MMU, st *runState, verifyTime int64) ([]StldEvent,
 	return st.stlds, executed
 }
 
-// emitSquash reports one completed transient episode on the bus.
-func (c *Core) emitSquash(kind obs.SquashKind, pc uint64, start, verify int64, insts int) {
+// emitSquash reports one completed transient episode on the bus; penalty is
+// the refetch delay charged after verify.
+func (c *Core) emitSquash(kind obs.SquashKind, pc uint64, start, verify, penalty int64, insts int) {
 	if c.bus.On(obs.ClassSquash) {
-		c.bus.Emit(obs.SquashEvent{CPU: c.cpuID, Kind: kind, PC: pc, Start: start, Verify: verify, Insts: insts})
+		c.bus.Emit(obs.SquashEvent{CPU: c.cpuID, Kind: kind, PC: pc, Start: start, Verify: verify, Penalty: penalty, Insts: insts})
 	}
 }
 
@@ -239,6 +250,7 @@ func (c *Core) exec(mmu MMU, st *runState, in isa.Inst, pc, ipa uint64, ep *epis
 
 	case isa.MOVI:
 		issue := acquire(st.ports.alu, d)
+		st.attr.issue = issue
 		done := issue + int64(cfg.ALULatency)
 		st.regs[in.Dst] = uint64(int64(in.Imm))
 		st.regTime[in.Dst] = done
@@ -249,6 +261,7 @@ func (c *Core) exec(mmu MMU, st *runState, in isa.Inst, pc, ipa uint64, ep *epis
 
 	case isa.MOV:
 		issue := acquire(st.ports.alu, max64(d, st.regTime[in.Src1]))
+		st.attr.issue = issue
 		done := issue + int64(cfg.ALULatency)
 		st.regs[in.Dst] = st.regs[in.Src1]
 		st.regTime[in.Dst] = done
@@ -260,6 +273,7 @@ func (c *Core) exec(mmu MMU, st *runState, in isa.Inst, pc, ipa uint64, ep *epis
 	case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR:
 		ready := max64(d, max64(st.regTime[in.Src1], st.regTime[in.Src2]))
 		issue := acquire(st.ports.alu, ready)
+		st.attr.issue = issue
 		done := issue + int64(cfg.ALULatency)
 		st.regs[in.Dst] = evalALU(in.Op, st.regs[in.Src1], st.regs[in.Src2], in.Imm)
 		st.regTime[in.Dst] = done
@@ -270,6 +284,7 @@ func (c *Core) exec(mmu MMU, st *runState, in isa.Inst, pc, ipa uint64, ep *epis
 
 	case isa.ADDI, isa.SUBI, isa.ANDI, isa.ORI, isa.XORI, isa.SHLI, isa.SHRI:
 		issue := acquire(st.ports.alu, max64(d, st.regTime[in.Src1]))
+		st.attr.issue = issue
 		done := issue + int64(cfg.ALULatency)
 		st.regs[in.Dst] = evalALU(in.Op, st.regs[in.Src1], 0, in.Imm)
 		st.regTime[in.Dst] = done
@@ -281,6 +296,7 @@ func (c *Core) exec(mmu MMU, st *runState, in isa.Inst, pc, ipa uint64, ep *epis
 	case isa.IMUL:
 		ready := max64(d, max64(st.regTime[in.Src1], st.regTime[in.Src2]))
 		issue := acquire(st.ports.mul, ready)
+		st.attr.issue = issue
 		done := issue + int64(cfg.MulLatency)
 		st.regs[in.Dst] = st.regs[in.Src1] * st.regs[in.Src2]
 		st.regTime[in.Dst] = done
@@ -293,6 +309,7 @@ func (c *Core) exec(mmu MMU, st *runState, in isa.Inst, pc, ipa uint64, ep *epis
 		// Reads the cycle counter once all older loads have completed —
 		// deterministic timing, like the paper's fenced RDPRU usage.
 		issue := acquire(st.ports.alu, max64(d, st.maxLoadDone))
+		st.attr.issue = issue
 		v := issue
 		if j := cfg.TimerJitter; j > 0 {
 			v += c.jitter.Int63n(2*j+1) - j
@@ -317,6 +334,7 @@ func (c *Core) exec(mmu MMU, st *runState, in isa.Inst, pc, ipa uint64, ep *epis
 			return outcome{kind: oFault, fault: f, faultVA: va}
 		}
 		issue := max64(d, st.regTime[in.Src1]+int64(cfg.AGULatency)) + extra
+		st.attr.issue = issue
 		c.bus.StampCycle(issue)
 		c.cache.Flush(pa)
 		done := issue + 2
@@ -424,7 +442,7 @@ func (c *Core) execBranch(mmu MMU, st *runState, in isa.Inst, pc uint64, d int64
 	start := clone.fetchCycle
 	ev, n := c.runEpisode(mmu, clone, resolve)
 	st.stlds = append(st.stlds, ev...)
-	c.emitSquash(obs.SquashBranch, pc, start, resolve, n)
+	c.emitSquash(obs.SquashBranch, pc, start, resolve, int64(c.cfg.BranchMissPenalty), n)
 	st.redirect(correctPC, resolve+int64(c.cfg.BranchMissPenalty))
 	return outcome{}
 }
@@ -442,7 +460,9 @@ func (c *Core) execStore(mmu MMU, st *runState, in isa.Inst, pc, ipa uint64, d i
 		return outcome{kind: oFault, fault: f, faultVA: va}
 	}
 	addrReady := max64(d, st.regTime[in.Src1])
-	addrTime := acquire(st.ports.st, addrReady) + int64(cfg.AGULatency) + extra
+	issued := acquire(st.ports.st, addrReady)
+	st.attr.issue = issued
+	addrTime := issued + int64(cfg.AGULatency) + extra
 	dataTime := max64(d, st.regTime[in.Src2])
 	complete := max64(addrTime, dataTime)
 	c.bus.StampCycle(complete)
@@ -496,6 +516,7 @@ func (c *Core) execLoad(mmu MMU, st *runState, in isa.Inst, pc, ipa uint64, d in
 		return outcome{}
 	}
 	c.pmcs.Inc(pmc.LdDispatch)
+	st.attr.issue = tA
 	c.bus.StampCycle(tA)
 
 	var value uint64
@@ -525,6 +546,7 @@ func (c *Core) execLoad(mmu MMU, st *runState, in isa.Inst, pc, ipa uint64, d in
 			tR := st.allUnresolvedAddrTime(tA)
 			if tR > tA {
 				c.pmcs.Add(pmc.SQStallCycles, uint64(tR-tA))
+				st.attr.sqStall = tR - tA
 			}
 			ty := c.dis.Verify(q, truth)
 			st.stlds = append(st.stlds, StldEvent{
@@ -596,6 +618,7 @@ func (c *Core) bypassLoad(mmu MMU, st *runState, in isa.Inst, q predict.Query, S
 	// replay the load with the conflicting stores resolved.
 	c.pmcs.Inc(pmc.Rollbacks)
 	verify := uMaxAddr + 1
+	st.attr.replay = (verify - tA) + int64(c.cfg.RollbackPenalty)
 	clone := st.clone()
 	clone.regs[in.Dst] = stale
 	clone.regTime[in.Dst] = tDone
@@ -604,7 +627,7 @@ func (c *Core) bypassLoad(mmu MMU, st *runState, in isa.Inst, q predict.Query, S
 	}
 	ev, n := c.runEpisode(mmu, clone, verify)
 	st.stlds = append(st.stlds, ev...)
-	c.emitSquash(obs.SquashBypass, q.LoadIVA, tA, verify, n)
+	c.emitSquash(obs.SquashBypass, q.LoadIVA, tA, verify, int64(c.cfg.RollbackPenalty), n)
 	return c.replayLoad(st, pa, verify)
 }
 
@@ -641,6 +664,7 @@ func (c *Core) psfLoad(mmu MMU, st *runState, in isa.Inst, q predict.Query, S, U
 	if uMaxAddr+1 > verify {
 		verify = uMaxAddr + 1
 	}
+	st.attr.replay = (verify - tA) + int64(c.cfg.RollbackPenalty)
 	clone := st.clone()
 	clone.regs[in.Dst] = S.newVal
 	clone.regTime[in.Dst] = fwdDone
@@ -649,7 +673,7 @@ func (c *Core) psfLoad(mmu MMU, st *runState, in isa.Inst, q predict.Query, S, U
 	}
 	ev, n := c.runEpisode(mmu, clone, verify)
 	st.stlds = append(st.stlds, ev...)
-	c.emitSquash(obs.SquashPSF, q.LoadIVA, tA, verify, n)
+	c.emitSquash(obs.SquashPSF, q.LoadIVA, tA, verify, int64(c.cfg.RollbackPenalty), n)
 	return c.replayLoad(st, pa, verify)
 }
 
@@ -677,6 +701,7 @@ func (c *Core) faultingLoad(mmu MMU, st *runState, in isa.Inst, pc, va uint64, d
 	}
 	addrReady := max64(d, st.regTime[in.Src1]) + int64(c.cfg.AGULatency)
 	tA := acquire(st.ports.ld, addrReady)
+	st.attr.issue = tA
 	c.pmcs.Inc(pmc.LdDispatch)
 	complete := tA + 4
 	// The fault is raised at retirement; the page walk and the trap entry
@@ -687,7 +712,7 @@ func (c *Core) faultingLoad(mmu MMU, st *runState, in isa.Inst, pc, va uint64, d
 	clone.regTime[in.Dst] = complete
 	ev, n := c.runEpisode(mmu, clone, retireAt)
 	st.stlds = append(st.stlds, ev...)
-	c.emitSquash(obs.SquashFault, pc, complete, retireAt, n)
+	c.emitSquash(obs.SquashFault, pc, complete, retireAt, 0, n)
 	st.retire(complete)
 	return outcome{kind: oFault, fault: f, faultVA: va}
 }

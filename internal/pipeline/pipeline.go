@@ -337,6 +337,11 @@ func (c *Core) Run(mmu MMU, entry uint64, regs *[isa.NumRegs]uint64, maxInsts ui
 	if maxInsts == 0 {
 		maxInsts = 1 << 20
 	}
+	pmcOn := c.bus.On(obs.ClassPMC)
+	var pmcStart pmc.Counters
+	if pmcOn {
+		pmcStart = c.pmcs.Snapshot()
+	}
 	st := newRunState(c, entry, *regs)
 	res := c.mainLoop(mmu, st, maxInsts)
 	*regs = st.regs
@@ -347,6 +352,11 @@ func (c *Core) Run(mmu MMU, entry uint64, regs *[isa.NumRegs]uint64, maxInsts ui
 		end = st.lastRetire
 	}
 	c.cycle = end + 8
+	if pmcOn {
+		// One counter readout per run — the delta a PMC-instrumented harness
+		// would take around a measured region.
+		c.bus.Emit(obs.PMCEvent{CPU: c.cpuID, Cycle: c.cycle, Counts: c.pmcs.Delta(pmcStart)})
+	}
 	return res
 }
 

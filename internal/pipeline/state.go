@@ -102,6 +102,24 @@ type runState struct {
 	insts uint64
 
 	stlds []StldEvent
+
+	// attr is the cycle-attribution record of the instruction currently in
+	// exec, reset at dispatch and read by the InstEvent emit sites. It feeds
+	// the profiler's top-down stall breakdown and costs a few stores per
+	// instruction whether or not anyone listens.
+	attr instAttr
+}
+
+// instAttr partitions one instruction's lifetime for cycle attribution:
+// dispatch→issue (front-end and operand wait), issue→complete (execution),
+// with the store-queue disambiguation stall and the rollback-replay share
+// called out separately.
+type instAttr struct {
+	dispatch int64
+	issue    int64
+	complete int64
+	sqStall  int64
+	replay   int64
 }
 
 func newRunState(c *Core, entry uint64, regs [isa.NumRegs]uint64) *runState {
@@ -165,6 +183,9 @@ func (st *runState) dispatchSlot(cfg Config) int64 {
 		}
 	}
 	st.fetchedInCy++
+	// A fresh attribution record: portless instructions issue and complete
+	// at dispatch unless the op overrides the stamps.
+	st.attr = instAttr{dispatch: d, issue: d, complete: d}
 	return d
 }
 
@@ -179,6 +200,7 @@ func (st *runState) redirect(pc uint64, when int64) {
 
 // retire records an in-order retirement and returns its time.
 func (st *runState) retire(complete int64) int64 {
+	st.attr.complete = complete
 	t := complete
 	if st.lastRetire > t {
 		t = st.lastRetire

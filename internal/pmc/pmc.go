@@ -52,11 +52,45 @@ var names = [...]string{
 	Bypasses:              "Speculative Store Bypasses",
 }
 
+// keys are the stable machine-readable identifiers of the events, used as
+// metrics-registry suffixes ("pmc.<key>") and profile column names. Keys and
+// names must stay in lockstep with the event list; an exhaustiveness test
+// fails the build when one lags.
+var keys = [...]string{
+	SQStallCycles:         "sq_stall_cycles",
+	StoreToLoadForwarding: "stlf",
+	LdDispatch:            "ld_dispatch",
+	ITLBHit4K:             "itlb_hit_4k",
+	RetiredOps:            "retired_ops",
+	Rollbacks:             "rollbacks",
+	BranchMispredicts:     "branch_mispredicts",
+	PSFForwards:           "psf_forwards",
+	Bypasses:              "bypasses",
+}
+
 func (e Event) String() string {
 	if int(e) < len(names) {
 		return names[e]
 	}
 	return fmt.Sprintf("event?%d", uint8(e))
+}
+
+// Key returns the event's stable snake_case identifier (metrics keys, profile
+// columns); empty for out-of-range values.
+func (e Event) Key() string {
+	if int(e) < len(keys) {
+		return keys[e]
+	}
+	return ""
+}
+
+// Events returns every defined event in declaration order.
+func Events() []Event {
+	out := make([]Event, NumEvents)
+	for i := range out {
+		out[i] = Event(i)
+	}
+	return out
 }
 
 // NumEvents is the number of defined events.

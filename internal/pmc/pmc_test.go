@@ -71,3 +71,32 @@ func TestEventNames(t *testing.T) {
 		t.Error("unknown event should still print")
 	}
 }
+
+// TestEventKeysExhaustive is the names/keys lockstep gate: every event must
+// carry a unique snake_case key alongside its display name, and Events()
+// must cover the full space. Adding an event without extending both tables
+// fails here (and so fails CI).
+func TestEventKeysExhaustive(t *testing.T) {
+	evs := Events()
+	if len(evs) != NumEvents {
+		t.Fatalf("Events returned %d, want %d", len(evs), NumEvents)
+	}
+	seen := map[string]bool{}
+	for _, e := range evs {
+		k := e.Key()
+		if k == "" {
+			t.Errorf("event %q has no key", e)
+			continue
+		}
+		if seen[k] {
+			t.Errorf("key %q duplicated", k)
+		}
+		seen[k] = true
+		if strings.ToLower(k) != k || strings.ContainsAny(k, " -.") {
+			t.Errorf("key %q is not snake_case", k)
+		}
+	}
+	if Event(200).Key() != "" {
+		t.Error("out-of-range event should have an empty key")
+	}
+}

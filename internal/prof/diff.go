@@ -1,0 +1,93 @@
+package prof
+
+// Diff returns b − a: the signed per-site delta of two snapshots, matched by
+// (PC, Op) for samples and (PC, Kind) for squash sites. Sites identical in
+// both snapshots are dropped, so a profile diffed against itself is empty.
+// Use it to compare a run against a baseline — e.g. SSBD on vs off, or a
+// mitigated vs vulnerable predictor configuration.
+func Diff(a, b *Snapshot) *Snapshot {
+	out := &Snapshot{}
+	if a == nil {
+		a = &Snapshot{}
+	}
+	if b == nil {
+		b = &Snapshot{}
+	}
+
+	type key struct {
+		pc uint64
+		op string
+	}
+	av := make(map[key]Sample, len(a.Samples))
+	for _, x := range a.Samples {
+		av[key{x.PC, x.Op}] = x
+	}
+	seen := make(map[key]bool, len(b.Samples))
+	for _, x := range b.Samples {
+		k := key{x.PC, x.Op}
+		seen[k] = true
+		base := av[k]
+		d := Sample{
+			PC: x.PC, Op: x.Op,
+			Count:     x.Count - base.Count,
+			Transient: x.Transient - base.Transient,
+			Issue:     x.Issue - base.Issue,
+			Execute:   x.Execute - base.Execute,
+			SQStall:   x.SQStall - base.SQStall,
+			Replay:    x.Replay - base.Replay,
+			Retire:    x.Retire - base.Retire,
+		}
+		if d != (Sample{PC: x.PC, Op: x.Op}) {
+			out.Samples = append(out.Samples, d)
+		}
+	}
+	for _, x := range a.Samples {
+		if k := (key{x.PC, x.Op}); !seen[k] {
+			out.Samples = append(out.Samples, Sample{
+				PC: x.PC, Op: x.Op,
+				Count:     -x.Count,
+				Transient: -x.Transient,
+				Issue:     -x.Issue,
+				Execute:   -x.Execute,
+				SQStall:   -x.SQStall,
+				Replay:    -x.Replay,
+				Retire:    -x.Retire,
+			})
+		}
+	}
+
+	aq := make(map[key]SquashSample, len(a.Squashes))
+	for _, x := range a.Squashes {
+		aq[key{x.PC, x.Kind}] = x
+	}
+	seenQ := make(map[key]bool, len(b.Squashes))
+	for _, x := range b.Squashes {
+		k := key{x.PC, x.Kind}
+		seenQ[k] = true
+		base := aq[k]
+		d := SquashSample{
+			PC: x.PC, Kind: x.Kind,
+			Count:   x.Count - base.Count,
+			Window:  x.Window - base.Window,
+			Penalty: x.Penalty - base.Penalty,
+			Insts:   x.Insts - base.Insts,
+		}
+		if d != (SquashSample{PC: x.PC, Kind: x.Kind}) {
+			out.Squashes = append(out.Squashes, d)
+		}
+	}
+	for _, x := range a.Squashes {
+		if k := (key{x.PC, x.Kind}); !seenQ[k] {
+			out.Squashes = append(out.Squashes, SquashSample{
+				PC: x.PC, Kind: x.Kind,
+				Count:   -x.Count,
+				Window:  -x.Window,
+				Penalty: -x.Penalty,
+				Insts:   -x.Insts,
+			})
+		}
+	}
+
+	out.sortAndTotal()
+	return out
+}

@@ -1,0 +1,335 @@
+package prof
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"strings"
+
+	"zenspec/internal/isa"
+)
+
+// This file serializes a Snapshot to the pprof profile.proto wire format so
+// `go tool pprof` can read it, using a hand-rolled protobuf writer (the repo
+// takes no dependencies). Output bytes are deterministic: samples are
+// emitted in Snapshot order, the string table is built in first-use order,
+// and the gzip header carries no timestamp.
+
+// profile.proto field numbers (message Profile).
+const (
+	pfSampleType        = 1
+	pfSample            = 2
+	pfMapping           = 3
+	pfLocation          = 4
+	pfFunction          = 5
+	pfStringTable       = 6
+	pfPeriodType        = 11
+	pfPeriod            = 12
+	pfDefaultSampleType = 14
+)
+
+// pbuf is a minimal protobuf writer: varints and length-delimited fields.
+type pbuf struct{ b []byte }
+
+func (p *pbuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// intField writes a varint-typed field (wire type 0).
+func (p *pbuf) intField(field int, v uint64) {
+	p.varint(uint64(field)<<3 | 0)
+	p.varint(v)
+}
+
+// bytesField writes a length-delimited field (wire type 2).
+func (p *pbuf) bytesField(field int, b []byte) {
+	p.varint(uint64(field)<<3 | 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *pbuf) stringField(field int, s string) { p.bytesField(field, []byte(s)) }
+
+// strtab interns strings, index 0 reserved for "".
+type strtab struct {
+	idx  map[string]int64
+	list []string
+}
+
+func newStrtab() *strtab {
+	return &strtab{idx: map[string]int64{"": 0}, list: []string{""}}
+}
+
+func (t *strtab) id(s string) int64 {
+	if i, ok := t.idx[s]; ok {
+		return i
+	}
+	i := int64(len(t.list))
+	t.idx[s] = i
+	t.list = append(t.list, s)
+	return i
+}
+
+// sampleTypes is the pprof value schema, one column per Breakdown component
+// plus the execution count and the total. "cycles" is the default view.
+var sampleTypes = [][2]string{
+	{"samples", "count"},
+	{"cycles", "cycles"},
+	{"issue_wait", "cycles"},
+	{"execute", "cycles"},
+	{"sq_stall", "cycles"},
+	{"replay", "cycles"},
+	{"retire_wait", "cycles"},
+}
+
+// FrameName returns the pprof function name for a sample: the lower-case
+// opcode at its address, e.g. "load@0x400028".
+func FrameName(op string, pc uint64) string {
+	return fmt.Sprintf("%s@%#x", strings.ToLower(op), pc)
+}
+
+// WritePprof writes the snapshot as gzipped pprof protobuf.
+func (s *Snapshot) WritePprof(w io.Writer) error {
+	st := newStrtab()
+	var prof pbuf
+
+	for _, ty := range sampleTypes {
+		var vt pbuf
+		vt.intField(1, uint64(st.id(ty[0])))
+		vt.intField(2, uint64(st.id(ty[1])))
+		prof.bytesField(pfSampleType, vt.b)
+	}
+
+	// One mapping covering the simulated code range keeps pprof from
+	// inventing one.
+	var hi uint64
+	for _, x := range s.Samples {
+		if x.PC+isa.InstBytes > hi {
+			hi = x.PC + isa.InstBytes
+		}
+	}
+	binName := st.id("zenspec")
+
+	// Locations and functions: one of each per sample, ids are 1-based
+	// Snapshot order.
+	for i, x := range s.Samples {
+		id := uint64(i + 1)
+
+		var fn pbuf
+		fn.intField(1, id)
+		name := st.id(FrameName(x.Op, x.PC))
+		fn.intField(2, uint64(name))
+		fn.intField(3, uint64(name))
+		fn.intField(4, uint64(binName))
+		prof.bytesField(pfFunction, fn.b)
+
+		var line pbuf
+		line.intField(1, id)
+		var loc pbuf
+		loc.intField(1, id)
+		loc.intField(2, 1) // mapping id
+		loc.intField(3, x.PC)
+		loc.bytesField(4, line.b)
+		prof.bytesField(pfLocation, loc.b)
+
+		var sm pbuf
+		sm.intField(1, id) // location_id
+		for _, v := range [...]int64{
+			x.Count + x.Transient, x.Cycles(),
+			x.Issue, x.Execute, x.SQStall, x.Replay, x.Retire,
+		} {
+			sm.intField(2, uint64(v))
+		}
+		prof.bytesField(pfSample, sm.b)
+	}
+
+	var mp pbuf
+	mp.intField(1, 1)
+	mp.intField(2, 0)
+	mp.intField(3, hi)
+	mp.intField(5, uint64(binName))
+	mp.intField(7, 1) // has_functions: frame names are final, skip symbolization
+	prof.bytesField(pfMapping, mp.b)
+
+	var pt pbuf
+	pt.intField(1, uint64(st.id("cycles")))
+	pt.intField(2, uint64(st.id("cycles")))
+	prof.bytesField(pfPeriodType, pt.b)
+	prof.intField(pfPeriod, 1)
+	prof.intField(pfDefaultSampleType, uint64(st.id("cycles")))
+
+	// The string table goes last so every id above is already interned.
+	var tail pbuf
+	for _, str := range st.list {
+		tail.stringField(pfStringTable, str)
+	}
+
+	gz := gzip.NewWriter(w) // zero ModTime: bytes are reproducible
+	if _, err := gz.Write(prof.b); err != nil {
+		return err
+	}
+	if _, err := gz.Write(tail.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// WriteFlame writes the snapshot in folded-stack format — one
+// "frame cycles" line per sample, cycles-descending — for flamegraph tools.
+func (s *Snapshot) WriteFlame(w io.Writer) error {
+	for _, x := range s.Top(0) {
+		if _, err := fmt.Fprintf(w, "%s %d\n", FrameName(x.Op, x.PC), x.Cycles()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parsePprof reads back the sample values of a profile written by WritePprof,
+// keyed by frame name. It understands just enough of the wire format for
+// tests and Diff-from-file tooling; sample values are returned in
+// sampleTypes order.
+func parsePprof(r io.Reader) (map[string][]int64, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := io.ReadAll(gz)
+	if err != nil {
+		return nil, err
+	}
+	if err := gz.Close(); err != nil {
+		return nil, err
+	}
+
+	type rawSample struct {
+		locs []uint64
+		vals []int64
+	}
+	var samples []rawSample
+	locFunc := map[uint64]uint64{} // location id → function id
+	funcName := map[uint64]int64{} // function id → name string index
+	var strs []string
+
+	next := func(b []byte) (uint64, []byte, error) {
+		var v uint64
+		for i := 0; i < len(b); i++ {
+			v |= uint64(b[i]&0x7f) << (7 * uint(i))
+			if b[i] < 0x80 {
+				return v, b[i+1:], nil
+			}
+		}
+		return 0, nil, fmt.Errorf("prof: truncated varint")
+	}
+	fields := func(b []byte, fn func(field int, wire int, v uint64, sub []byte) error) error {
+		for len(b) > 0 {
+			var key uint64
+			var err error
+			key, b, err = next(b)
+			if err != nil {
+				return err
+			}
+			field, wire := int(key>>3), int(key&7)
+			switch wire {
+			case 0:
+				var v uint64
+				v, b, err = next(b)
+				if err != nil {
+					return err
+				}
+				if err := fn(field, wire, v, nil); err != nil {
+					return err
+				}
+			case 2:
+				var n uint64
+				n, b, err = next(b)
+				if err != nil || uint64(len(b)) < n {
+					return fmt.Errorf("prof: truncated field")
+				}
+				if err := fn(field, wire, 0, b[:n]); err != nil {
+					return err
+				}
+				b = b[n:]
+			default:
+				return fmt.Errorf("prof: unsupported wire type %d", wire)
+			}
+		}
+		return nil
+	}
+
+	err = fields(raw, func(field, wire int, v uint64, sub []byte) error {
+		switch field {
+		case pfSample:
+			var s rawSample
+			if err := fields(sub, func(f, w int, v uint64, _ []byte) error {
+				switch f {
+				case 1:
+					s.locs = append(s.locs, v)
+				case 2:
+					s.vals = append(s.vals, int64(v))
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			samples = append(samples, s)
+		case pfLocation:
+			var id, fid uint64
+			if err := fields(sub, func(f, w int, v uint64, line []byte) error {
+				switch f {
+				case 1:
+					id = v
+				case 4:
+					return fields(line, func(f, w int, v uint64, _ []byte) error {
+						if f == 1 {
+							fid = v
+						}
+						return nil
+					})
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			locFunc[id] = fid
+		case pfFunction:
+			var id uint64
+			var name int64
+			if err := fields(sub, func(f, w int, v uint64, _ []byte) error {
+				switch f {
+				case 1:
+					id = v
+				case 2:
+					name = int64(v)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			funcName[id] = name
+		case pfStringTable:
+			strs = append(strs, string(sub))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make(map[string][]int64, len(samples))
+	for _, s := range samples {
+		if len(s.locs) == 0 {
+			continue
+		}
+		ni := funcName[locFunc[s.locs[0]]]
+		if ni < 0 || int(ni) >= len(strs) {
+			return nil, fmt.Errorf("prof: sample names out-of-range string %d", ni)
+		}
+		out[strs[ni]] = s.vals
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package prof
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"zenspec/internal/isa"
+	"zenspec/internal/obs"
+)
+
+func telemetryFixture() *Telemetry {
+	t := NewTelemetry()
+	m := obs.NewMetrics()
+	m.Inc("pmc.sq_stall_cycles", 120)
+	m.Inc("squash.total", 3)
+	m.Observe("probe.cycles", 42)
+	t.SetMetrics(m)
+	p := New()
+	p.HandleEvent(inst(0x400028, isa.LOAD, 10, 12, 40, 20, 0, 45))
+	t.SetProfile(p)
+	t.Progress(3, 12, "spectre-stl")
+	return t
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	h := telemetryFixture().Handler()
+	code, body := get(t, h, "/metrics")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{
+		"zenspec_trials_done 3",
+		"zenspec_trials_total 12",
+		"zenspec_pmc_sq_stall_cycles 120",
+		"zenspec_squash_total 3",
+		"zenspec_probe_cycles_count 1",
+		"zenspec_probe_cycles_sum 42",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestProgressEndpoint(t *testing.T) {
+	h := telemetryFixture().Handler()
+	code, body := get(t, h, "/progress")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, `"done":3`) || !strings.Contains(body, `"current":"spectre-stl"`) {
+		t.Errorf("progress = %s", body)
+	}
+}
+
+func TestProfileEndpoints(t *testing.T) {
+	h := telemetryFixture().Handler()
+	code, body := get(t, h, "/profile")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	vals, err := parsePprof(bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("served profile does not parse: %v", err)
+	}
+	if _, ok := vals["load@0x400028"]; !ok {
+		t.Errorf("served profile missing the load sample: %v", vals)
+	}
+
+	code, txt := get(t, h, "/profile.txt")
+	if code != 200 || !strings.Contains(txt, "0x400028") {
+		t.Errorf("profile.txt status %d body %q", code, txt)
+	}
+}
+
+func TestProfileEndpointWithoutSource(t *testing.T) {
+	h := NewTelemetry().Handler()
+	if code, _ := get(t, h, "/profile"); code != http.StatusNotFound {
+		t.Errorf("status %d, want 404", code)
+	}
+}
+
+func TestHostPprofMounted(t *testing.T) {
+	h := telemetryFixture().Handler()
+	if code, body := get(t, h, "/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Errorf("host pprof cmdline status %d", code)
+	}
+}

@@ -1,0 +1,127 @@
+package zenspec
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoldenPprofListing2 profiles the seed-pinned Listing 2 STL trial and
+// compares the pprof protobuf export byte for byte against the checked-in
+// golden file (refresh with -update-golden). It also asserts the paper's
+// acceptance shape: the hottest site is the victim load at PC 0x400028 and
+// its cycles include store-queue stall time.
+func TestGoldenPprofListing2(t *testing.T) {
+	p := NewProfiler()
+	runListing2Trial(t, p)
+	snap := p.Snapshot()
+
+	top := snap.Top(1)
+	if len(top) == 0 {
+		t.Fatal("profile is empty")
+	}
+	if top[0].PC != 0x400028 || !strings.EqualFold(top[0].Op, "load") {
+		t.Errorf("hottest site = %s@%#x, want the victim load at 0x400028", top[0].Op, top[0].PC)
+	}
+	if top[0].SQStall <= 0 {
+		t.Errorf("victim load SQStall = %d, want > 0", top[0].SQStall)
+	}
+	if top[0].Replay <= 0 {
+		t.Errorf("victim load Replay = %d, want > 0 (bypass rollback)", top[0].Replay)
+	}
+	if len(snap.Squashes) == 0 {
+		t.Error("profile carries no squash table despite the STL rollback")
+	}
+
+	var got bytes.Buffer
+	if err := snap.WritePprof(&got); err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := snap.WritePprof(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), again.Bytes()) {
+		t.Error("WritePprof is not byte-deterministic across calls")
+	}
+
+	golden := filepath.Join("testdata", "listing2_profile.pb.gz")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes, %d sites)", golden, got.Len(), len(snap.Samples))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create it)", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("pprof profile differs from %s (%d bytes vs %d; rerun with -update-golden after intended changes)",
+			golden, got.Len(), len(want))
+	}
+}
+
+// TestProfileDeterministicAcrossWorkers asserts the suite profile fold is
+// worker-count independent, with and without the default fault plan: the same
+// seed produces byte-identical StableJSON (which embeds per-experiment
+// profiles) and a byte-identical aggregated pprof export at 1, 2 and 8
+// workers.
+func TestProfileDeterministicAcrossWorkers(t *testing.T) {
+	ids := []string{"table1", "fig4"}
+	defaultPlan, err := ParseFaultPlan("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		plan FaultPlan
+	}{
+		{"clean", FaultPlan{}},
+		{"default-faults", defaultPlan},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(workers int) (stable, pprofBytes []byte) {
+				cfg := Config{Seed: 42, Parallelism: workers, Profile: true, Faults: tc.plan}
+				suite, err := RunExperiments(cfg, true, ids)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, r := range suite.Experiments {
+					if r.Profile == nil {
+						t.Fatalf("%s: no profile despite cfg.Profile", r.ID)
+					}
+					if len(r.Profile.Samples) == 0 {
+						t.Fatalf("%s: profile is empty", r.ID)
+					}
+				}
+				stable, err = suite.StableJSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				agg := suite.Profile()
+				if agg == nil {
+					t.Fatal("suite has no aggregated profile")
+				}
+				var buf bytes.Buffer
+				if err := agg.WritePprof(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return stable, buf.Bytes()
+			}
+			baseJSON, basePprof := run(1)
+			for _, workers := range []int{2, 8} {
+				gotJSON, gotPprof := run(workers)
+				if !bytes.Equal(gotJSON, baseJSON) {
+					t.Errorf("StableJSON with profiling at %d workers differs from serial", workers)
+				}
+				if !bytes.Equal(gotPprof, basePprof) {
+					t.Errorf("aggregated pprof at %d workers differs from serial", workers)
+				}
+			}
+		})
+	}
+}

@@ -44,4 +44,15 @@ go run ./cmd/experiments -quick -only spectre-stl -metrics \
     -trace "$trace_json" -trace-classes squash,predict,fault,kernel > /dev/null
 go run ./cmd/experiments -validate-trace "$trace_json"
 
+echo "== profiler smoke (pprof export readable by go tool pprof) =="
+# The cycle-attribution profile must export as pprof protobuf that the stock
+# toolchain can open, plus non-empty folded flamegraph text.
+prof_pb=$(mktemp)
+prof_flame=$(mktemp)
+trap 'rm -f "$suite_json" "$fault_json" "$trace_json" "$prof_pb" "$prof_flame"' EXIT
+go run ./cmd/experiments -quick -only spectre-stl -profile \
+    -profile-out "$prof_pb" -flame "$prof_flame" > /dev/null
+go tool pprof -top -nodecount=5 "$prof_pb" > /dev/null
+test -s "$prof_flame"
+
 echo "verify: OK"

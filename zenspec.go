@@ -29,6 +29,7 @@ import (
 	"zenspec/internal/obs"
 	"zenspec/internal/pipeline"
 	"zenspec/internal/predict"
+	"zenspec/internal/prof"
 	"zenspec/internal/revng"
 	"zenspec/internal/sandbox"
 	"zenspec/internal/speccheck"
@@ -120,6 +121,17 @@ type Config struct {
 	// report's "micro" section. The fold is commutative, so snapshots are
 	// deterministic at any Parallelism.
 	Metrics bool
+	// Profile attaches a fresh Profiler to each harness experiment (composed
+	// with Observer, if any) and surfaces its snapshot as the report's
+	// "profile" section: per-PC cycle attribution with the Fig 2 top-down
+	// stall breakdown. Like Metrics the fold is commutative, so profiles are
+	// byte-identical at any Parallelism.
+	Profile bool
+	// Progress, when non-nil, is called by RunExperiments as the suite
+	// advances — before each experiment with the finished count and the ID
+	// about to run, and once at the end with done == total. It feeds the
+	// live telemetry endpoint; leave nil when nothing is watching.
+	Progress func(done, total int, id string)
 }
 
 // kernelConfig lowers the public Config onto the OS model.
@@ -227,6 +239,7 @@ const (
 	ClassProbe   = obs.ClassProbe   // Flush+Reload probe verdicts
 	ClassKernel  = obs.ClassKernel  // context switches, predictor flushes
 	ClassFault   = obs.ClassFault   // injected faults
+	ClassPMC     = obs.ClassPMC     // per-run Fig 2 PMC counter deltas
 )
 
 // Typed event structs delivered to observers. Every event implements
@@ -244,6 +257,7 @@ type (
 	ProbeEvent          = obs.ProbeEvent
 	ContextSwitchEvent  = obs.ContextSwitchEvent
 	FaultEvent          = obs.FaultEvent
+	PMCEvent            = obs.PMCEvent
 )
 
 // MetricsObserver is a thread-safe counters-and-histograms registry that
@@ -256,6 +270,52 @@ type MetricsSnapshot = obs.MetricsSnapshot
 
 // NewMetricsObserver returns an empty metrics registry.
 func NewMetricsObserver() *MetricsObserver { return obs.NewMetrics() }
+
+// Profiler is an Observer accumulating per-PC cycle attribution with the
+// Fig 2 top-down stall breakdown (issue wait, execute, SQ-stall, rollback
+// replay, retire wait) plus a per-site squash table. It is safe for
+// concurrent HandleEvent calls and folds commutatively: one Profiler shared
+// by parallel trials snapshots identically at any worker count.
+type Profiler = prof.Profile
+
+// ProfileSnapshot is a point-in-time, JSON-stable profile rendering. It
+// exports to pprof protobuf (WritePprof, readable with `go tool pprof`),
+// folded flamegraph text (WriteFlame), a terminal table (Text), and merges
+// with other snapshots (Merge).
+type ProfileSnapshot = prof.Snapshot
+
+// ProfileSample is one profile site: a (PC, opcode) pair with its cycle
+// breakdown.
+type ProfileSample = prof.Sample
+
+// NewProfiler returns an empty profiler; subscribe it with Observe (classes
+// inst and squash) or set Config.Profile to let the harness manage one per
+// experiment.
+func NewProfiler() *Profiler { return prof.New() }
+
+// ProfilerClasses returns the event classes a Profiler needs, for use in
+// ObserverOptions or Config.ObserverClasses.
+func ProfilerClasses() []EventClass { return prof.Classes() }
+
+// DiffProfiles returns b − a per profile site: the signed cycle-attribution
+// delta of two snapshots, e.g. a mitigated run against a vulnerable
+// baseline. Sites identical in both snapshots are dropped.
+func DiffProfiles(a, b *ProfileSnapshot) *ProfileSnapshot { return prof.Diff(a, b) }
+
+// Telemetry serves a live view of a running suite over HTTP: Prometheus-text
+// /metrics, JSON /progress, the current simulated-machine profile at
+// /profile (pprof protobuf) and /profile.txt, and the host's own
+// /debug/pprof. Wire sources with SetMetrics/SetProfile, drive progress via
+// Config.Progress, and bind with Serve.
+type Telemetry = prof.Telemetry
+
+// NewTelemetry returns an empty telemetry hub.
+func NewTelemetry() *Telemetry { return prof.NewTelemetry() }
+
+// Observers composes observers into one that fans events out in order,
+// skipping nils; it returns nil when every argument is nil. Use it to attach
+// several observers through the single Config.Observer field.
+func Observers(list ...Observer) Observer { return obs.Multi(list...) }
 
 // TraceRecorder buffers events and renders them as a Chrome trace-event /
 // Perfetto JSON document (load it at https://ui.perfetto.dev). It is safe
@@ -498,12 +558,18 @@ func Experiments() []Experiment { return suite.Registry().All() }
 // cfg's seed and parallelism. Quick selects reduced trial counts;
 // cfg.Metrics adds a per-experiment "micro" metrics section to each report.
 func RunExperiments(cfg Config, quick bool, ids []string) (ExperimentSuite, error) {
-	return suite.Registry().Run(harness.Ctx{Config: cfg.kernelConfig(), Quick: quick, Metrics: cfg.Metrics}, ids)
+	return suite.Registry().Run(harness.Ctx{
+		Config:   cfg.kernelConfig(),
+		Quick:    quick,
+		Metrics:  cfg.Metrics,
+		Profile:  cfg.Profile,
+		Progress: cfg.Progress,
+	}, ids)
 }
 
 // BenchExperiments runs the selected entries twice — serial, then at cfg's
 // parallelism — and reports per-experiment wall times, the speedup, and
 // whether both runs agreed byte for byte.
 func BenchExperiments(cfg Config, quick bool, ids []string) (ExperimentBench, error) {
-	return suite.Registry().Bench(harness.Ctx{Config: cfg.kernelConfig(), Quick: quick, Metrics: cfg.Metrics}, ids)
+	return suite.Registry().Bench(harness.Ctx{Config: cfg.kernelConfig(), Quick: quick, Metrics: cfg.Metrics, Profile: cfg.Profile}, ids)
 }
