@@ -8,15 +8,18 @@ package suite
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"strings"
 
 	"zenspec/internal/attack"
 	"zenspec/internal/fault"
 	"zenspec/internal/harness"
+	"zenspec/internal/isa"
 	"zenspec/internal/kernel"
 	"zenspec/internal/predict"
 	"zenspec/internal/revng"
 	"zenspec/internal/sandbox"
+	"zenspec/internal/speccheck"
 	"zenspec/internal/workload"
 )
 
@@ -758,6 +761,52 @@ func build() *harness.Registry {
 			r.Add("trials_failed", float64(stats.Failed), 0, 0)
 			r.Add("faults_injected", float64(stats.Injected), 1, float64(4*n))
 			r.RecordTrials(stats)
+			return r
+		},
+	})
+
+	reg.Register(harness.Experiment{
+		ID:    "speccheck-scale",
+		Title: "incremental speccheck on a generated 100k-instruction program",
+		Paper: "the summary cache reproduces the whole-program scan exactly; a warm re-scan explores zero states and a one-instruction edit recomputes only its dependency closure",
+		Tags:  []string{"speccheck", "static"},
+		Run: func(ctx harness.Ctx) harness.Report {
+			// Wall-clock speedups live in BENCH_speccheck.json (cmd/speccheck
+			// -bench); here only deterministic counters are reported so the
+			// report is byte-identical across runs and parallelism.
+			insts := 100_000
+			if ctx.Quick {
+				insts = 20_000
+			}
+			code := speccheck.GenProgram(ctx.Config.Seed, insts)
+			opts := speccheck.Options{}
+			want := speccheck.AnalyzeAll(code, opts)
+
+			c := speccheck.NewCache()
+			cold := c.Analyze(code, opts)
+			afterCold := c.Stats()
+			warm := c.Analyze(code, opts)
+			afterWarm := c.Stats()
+
+			// NOP out a mid-program instruction: only sources whose closure
+			// covers the slot may recompute.
+			edited := append([]byte(nil), code...)
+			isa.Inst{Op: isa.NOP}.Encode(edited[(insts/2)*isa.InstBytes:])
+			edit := c.Analyze(edited, opts)
+			afterEdit := c.Stats()
+			editWant := speccheck.AnalyzeAll(edited, opts)
+
+			recomputed := afterEdit.SourceMisses - afterWarm.SourceMisses
+			var r harness.Report
+			r.Detail = fmt.Sprintf("insts %d sources %d findings %d states %d edit recomputed %d source(s)",
+				insts, afterCold.Sources, len(want.Findings), afterCold.StatesExplored, recomputed)
+			r.AddBool("cold_identical", reflect.DeepEqual(cold, want), true)
+			r.AddBool("warm_identical", reflect.DeepEqual(warm, want), true)
+			r.AddBool("edit_identical", reflect.DeepEqual(edit, editWant), true)
+			r.Add("findings", float64(len(want.Findings)), 1, float64(insts))
+			r.Add("warm_program_hits", float64(afterWarm.ProgramHits-afterCold.ProgramHits), 1, 1)
+			r.Add("warm_states_explored", float64(afterWarm.StatesExplored-afterCold.StatesExplored), 0, 0)
+			r.Add("edit_recomputed_fraction", float64(recomputed)/float64(afterCold.Sources), 0, 0.25)
 			return r
 		},
 	})

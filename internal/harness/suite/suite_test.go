@@ -20,7 +20,7 @@ func TestRegistryCoversDesignIndex(t *testing.T) {
 		"spectre-ctl-browser", "sandbox-escape", "fig11", "fig12",
 		"ssbd-blockstate", "defenses", "stl-inplace", "ablations",
 		"fault-stl", "fault-ctl", "fault-fig4", "fault-fig5", "fault-fig7",
-		"fault-harness",
+		"fault-harness", "speccheck-scale",
 	}
 	exps := Registry().All()
 	if len(exps) != len(want) {

@@ -1,9 +1,8 @@
 package speccheck
 
 import (
-	"sort"
-
 	"zenspec/internal/isa"
+	"zenspec/internal/speccheck/summary"
 )
 
 // findKey dedupes findings by speculation source and transmitter.
@@ -12,128 +11,63 @@ type findKey struct {
 	src, tx int
 }
 
-// memCell is one entry of the finite abstract store: the taint of the value
-// last stored through [base+imm]. Addresses are tracked symbolically by their
-// (base register, displacement) pair and invalidated when base is redefined.
-type memCell struct {
-	base  isa.Reg
-	imm   int32
-	taint uint8
-}
-
-// maxMemCells bounds the abstract store; the oldest cell is evicted first.
-const maxMemCells = 8
-
-// absState is the dataflow fact attached to one exploration path: per-register
-// taint levels, the dependent-load chain built so far, and the abstract store.
-// Taint level n means "derived from the n-th dependent load after the source".
-type absState struct {
-	reg   [isa.NumRegs]uint8
-	chain []int
-	mem   []memCell
-}
-
-func (s *absState) clone() absState {
-	c := absState{reg: s.reg}
-	c.chain = append([]int(nil), s.chain...)
-	c.mem = append([]memCell(nil), s.mem...)
-	return c
-}
-
-// setReg assigns a taint level and invalidates abstract-store cells whose
-// symbolic base just changed meaning.
-func (s *absState) setReg(r isa.Reg, lvl uint8) {
-	s.reg[r] = lvl
-	kept := s.mem[:0]
-	for _, c := range s.mem {
-		if c.base != r {
-			kept = append(kept, c)
-		}
-	}
-	s.mem = kept
-}
-
-// putCell records the taint stored through [base+imm].
-func (s *absState) putCell(base isa.Reg, imm int32, taint uint8) {
-	for i := range s.mem {
-		if s.mem[i].base == base && s.mem[i].imm == imm {
-			s.mem[i].taint = taint
-			return
-		}
-	}
-	if len(s.mem) == maxMemCells {
-		copy(s.mem, s.mem[1:])
-		s.mem = s.mem[:maxMemCells-1]
-	}
-	s.mem = append(s.mem, memCell{base: base, imm: imm, taint: taint})
-}
-
-// cellAt returns the recorded taint of the value reachable through
-// [base+imm], if any.
-func (s *absState) cellAt(base isa.Reg, imm int32) (uint8, bool) {
-	for _, c := range s.mem {
-		if c.base == base && c.imm == imm {
-			return c.taint, true
-		}
-	}
-	return 0, false
-}
-
-// key builds the canonical dedup key for the state at a given offset. Chain
-// *length* (not the exact offsets) determines future behaviour, so states
-// differing only in witness history merge.
-func (s *absState) key(off int) string {
-	buf := make([]byte, 0, 5+isa.NumRegs+len(s.mem)*6)
-	buf = append(buf, byte(off), byte(off>>8), byte(off>>16), byte(off>>24), byte(len(s.chain)))
-	buf = append(buf, s.reg[:]...)
-	cells := append([]memCell(nil), s.mem...)
-	sort.Slice(cells, func(i, j int) bool {
-		if cells[i].base != cells[j].base {
-			return cells[i].base < cells[j].base
-		}
-		return cells[i].imm < cells[j].imm
-	})
-	for _, c := range cells {
-		buf = append(buf, byte(c.base), byte(c.imm), byte(c.imm>>8), byte(c.imm>>16), byte(c.imm>>24), c.taint)
-	}
-	return string(buf)
-}
-
-// engine runs the always-mispredict taint dataflow for one Analyze call.
+// engine runs the always-mispredict taint dataflow for one analysis call.
+// The abstract domain (per-register taint, witness chain, finite abstract
+// store) and the per-instruction transfer function live in
+// internal/speccheck/summary so that the whole-program walk below and the
+// block-summary mode in cache.go share one semantics.
 type engine struct {
 	g        *CFG
 	opts     Options
 	findings []Finding
 	seen     map[findKey]bool
 	states   int
+	// truncated is set when an exploration hit the MaxStates budget and
+	// gave up with work still pending: findings may be incomplete.
+	truncated bool
+
+	// cache and blocks are set in summary mode (Cache.Analyze): the
+	// content-addressed block-summary store and this call's offset->block
+	// memo.
+	cache  *Cache
+	blocks map[int]*blockNode
 }
 
 // node is one pending exploration step: the instruction at off is steps
 // instructions past the speculation source, entered with state st.
 type node struct {
 	off, steps int
-	st         absState
+	st         summary.State
+}
+
+// chainDepth returns the dependent-load chain depth a transmitter needs for
+// a source kind: store → ld1 → ld2 → transmitter for STL (the Listing 2/3
+// chain), branch → secret load → transmitter for CTL (the V1 shape).
+func chainDepth(kind Kind) int {
+	if kind == KindCTL {
+		return 1
+	}
+	return 2
 }
 
 // explore walks the transient window opened by the source at src: the
 // bypassed store (STL) or the mispredicted branch (CTL), reporting every
-// reachable source → load-chain → transmitter witness.
-func (e *engine) explore(kind Kind, src int) {
-	required := 2 // store → ld1 → ld2 → transmitter, the Listing 2/3 chain
-	if kind == KindCTL {
-		required = 1 // branch → secret load → transmitter, the V1 shape
-	}
+// reachable source → load-chain → transmitter witness. It reports whether
+// the walk was truncated by the MaxStates budget.
+func (e *engine) explore(kind Kind, src int) bool {
+	required := chainDepth(kind)
 	e.states = 0
+	e.truncated = false
 	visited := make(map[string]int)
 
 	var stack []node
-	push := func(off, steps int, st *absState) {
+	push := func(off, steps int, st *summary.State) {
 		if steps >= e.opts.Window {
 			return
 		}
-		stack = append(stack, node{off: off, steps: steps, st: st.clone()})
+		stack = append(stack, node{off: off, steps: steps, st: st.Clone()})
 	}
-	var empty absState
+	var empty summary.State
 	if kind == KindCTL {
 		// Always-mispredict: both directions are wrong-path continuations.
 		for _, succ := range e.g.SuccOffs(src) {
@@ -145,14 +79,15 @@ func (e *engine) explore(kind Kind, src int) {
 
 	for len(stack) > 0 {
 		if e.states >= e.opts.MaxStates {
-			return
+			e.truncated = true
+			return true
 		}
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if n.off+isa.InstBytes > len(e.g.code) || n.off < 0 {
 			continue
 		}
-		k := n.st.key(n.off)
+		k := n.st.Key(n.off)
 		if prev, ok := visited[k]; ok && prev <= n.steps {
 			continue // already explored from here with at least as much window left
 		}
@@ -161,99 +96,23 @@ func (e *engine) explore(kind Kind, src int) {
 
 		in := e.g.InstAt(n.off)
 		st := &n.st
-		depth := len(st.chain)
-
-		switch {
-		case in.Op == isa.BAD, in.Op == isa.HALT, in.Op == isa.SYSCALL:
-			// Terminal: the transient window cannot continue through these.
+		switch summary.Step(in, st, n.off, required, e.opts.StraightLine) {
+		case summary.End:
 			continue
-
-		case in.IsFence():
-			// A fence serializes; the speculative chain dies here.
+		case summary.Report:
+			e.report(kind, src, st.Chain, n.off)
 			continue
-
-		case in.IsBranch():
+		case summary.Redirect:
 			if e.opts.StraightLine {
 				continue // legacy semantics: any redirect ends the window
 			}
-			for _, succ := range e.g.SuccOffs(n.off) {
-				push(succ, n.steps+1, st)
-			}
-			continue
-
-		case in.IsLoad():
-			b := int(st.reg[in.Src1])
-			switch {
-			case b >= required && depth >= required:
-				e.report(kind, src, st.chain, n.off)
-				continue // the transmitter is the end of the witness
-			case depth == 0:
-				// The speculative load: for STL any load after the store may
-				// bypass it; for CTL the first load in the shadow reads the
-				// value the branch was guarding.
-				st.chain = append(append([]int(nil), st.chain...), n.off)
-				st.setReg(in.Dst, 1)
-			case b >= depth && depth < required:
-				// A load whose address derives from the chain deepens it.
-				st.chain = append(append([]int(nil), st.chain...), n.off)
-				st.setReg(in.Dst, uint8(depth+1))
-			default:
-				// An unrelated load: its destination carries whatever the
-				// abstract store says was last written there (taint survives
-				// a spill/reload round trip), otherwise it is clean.
-				lvl := uint8(0)
-				if !e.opts.StraightLine {
-					if t, ok := st.cellAt(in.Src1, in.Imm); ok {
-						lvl = t
-					}
-				}
-				st.setReg(in.Dst, lvl)
-			}
-
-		case in.IsStore():
-			if int(st.reg[in.Src1]) >= required && depth >= required {
-				// A tainted-address store transmits just like a load: it
-				// moves the secret into a cache-visible location.
-				e.report(kind, src, st.chain, n.off)
-				continue
-			}
-			if !e.opts.StraightLine {
-				st.putCell(in.Src1, in.Imm, st.reg[in.Src2])
-			}
-
-		case in.Op == isa.CLFLUSH:
-			if !e.opts.StraightLine && int(st.reg[in.Src1]) >= required && depth >= required {
-				// Flushing a secret-indexed line is a transmitter too
-				// (flush-based channels observe the displacement).
-				e.report(kind, src, st.chain, n.off)
-				continue
-			}
-
-		case in.WritesReg():
-			st.setReg(in.Dst, propagated(in, st))
+		case summary.Continue:
 		}
-
 		for _, succ := range e.g.SuccOffs(n.off) {
 			push(succ, n.steps+1, st)
 		}
 	}
-}
-
-// propagated computes a register result's taint from its sources. Constants
-// and timestamps are clean.
-func propagated(in isa.Inst, st *absState) uint8 {
-	switch in.Op {
-	case isa.MOVI, isa.RDPRU:
-		return 0
-	}
-	srcs, n := in.SrcRegs()
-	var max uint8
-	for i := 0; i < n; i++ {
-		if l := st.reg[srcs[i]]; l > max {
-			max = l
-		}
-	}
-	return max
+	return false
 }
 
 func (e *engine) report(kind Kind, src int, chain []int, tx int) {

@@ -151,42 +151,88 @@ type Options struct {
 	MaxStates int
 }
 
-func (o Options) withDefaults() Options {
-	if o.Window == 0 {
+// defaultMaxStates is the per-source exploration budget when Options leaves
+// MaxStates unset.
+const defaultMaxStates = 16384
+
+// Normalized resolves every defaulting and consistency rule of Options, so
+// that two Options values describing the same analysis compare (and cache)
+// equal:
+//
+//   - Window, Stride and MaxStates treat any value <= 0 as "unset" and clamp
+//     to their defaults. A zero or negative stride would otherwise make the
+//     source scan loop forever (or run backwards), and a negative window or
+//     state budget would silently scan nothing.
+//   - STL and CTL both false selects both kinds (the zero Options value
+//     analyzes everything).
+//   - StraightLine forces STL-only: a straight-line walk has no branch
+//     windows, so CTL is meaningless there. In particular StraightLine with
+//     CTL-only falls back to scanning STL rather than silently analyzing
+//     nothing — the footgun the previous defaulting logic had.
+//
+// Analyze and Cache.Analyze both normalize first; callers only need this to
+// inspect what an Options value will actually do.
+func (o Options) Normalized() Options {
+	if o.Window <= 0 {
 		o.Window = DefaultWindow
 	}
-	if o.Stride == 0 {
+	if o.Stride <= 0 {
 		o.Stride = isa.InstBytes
 	}
-	if o.MaxStates == 0 {
-		o.MaxStates = 16384
+	if o.MaxStates <= 0 {
+		o.MaxStates = defaultMaxStates
 	}
 	if !o.STL && !o.CTL {
 		o.STL, o.CTL = true, true
 	}
 	if o.StraightLine {
-		o.CTL = false // a straight-line walk has no branch windows
+		o.STL, o.CTL = true, false
 	}
 	return o
 }
 
+// Result is a full analysis outcome: the findings plus how trustworthy they
+// are as an over-approximation.
+type Result struct {
+	// Findings are the leak candidates in source order, deduplicated by
+	// (kind, source, transmitter).
+	Findings []Finding `json:"findings"`
+	// Truncated counts the sources whose exploration hit the MaxStates
+	// budget and gave up with paths still pending. A nonzero value means
+	// the findings may be incomplete for branch-dense code; raise
+	// Options.MaxStates to trade time for completeness.
+	Truncated int `json:"truncated"`
+}
+
 // Analyze scans code for speculative-leak candidates under the
 // always-mispredict semantics and returns the findings in source order,
-// deduplicated by (kind, source, transmitter).
+// deduplicated by (kind, source, transmitter). Use AnalyzeAll to also learn
+// whether any exploration was truncated by the MaxStates budget.
 func Analyze(code []byte, opts Options) []Finding {
-	opts = opts.withDefaults()
+	return AnalyzeAll(code, opts).Findings
+}
+
+// AnalyzeAll is Analyze plus the truncation count (see Result.Truncated).
+func AnalyzeAll(code []byte, opts Options) Result {
+	opts = opts.Normalized()
 	g := BuildCFG(code, opts.Base)
 	e := &engine{g: g, opts: opts, seen: make(map[findKey]bool)}
+	var res Result
 	for off := 0; off+isa.InstBytes <= len(code); off += opts.Stride {
 		in := g.InstAt(off)
+		var hit bool
 		switch {
 		case opts.STL && in.IsStore():
-			e.explore(KindSTL, off)
+			hit = e.explore(KindSTL, off)
 		case opts.CTL && isCondBranch(in):
-			e.explore(KindCTL, off)
+			hit = e.explore(KindCTL, off)
+		}
+		if hit {
+			res.Truncated++
 		}
 	}
-	return e.findings
+	res.Findings = e.findings
+	return res
 }
 
 func isCondBranch(in isa.Inst) bool { return in.Op == isa.JZ || in.Op == isa.JNZ }

@@ -16,11 +16,26 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== staticcheck =="
+# Static-analysis gate: staticcheck when available (CI installs it), with a
+# visible skip locally so the gate never silently weakens.
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+else
+    echo "staticcheck not installed; skipping (go vet already ran)" >&2
+fi
+
 echo "== go build =="
 go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== speccheck summary-equivalence fuzz smoke =="
+# Ten seconds of coverage-guided search for any divergence between the
+# incremental summary engine and the whole-program analyzer.
+go test -run=FuzzSummaryEquivalence -fuzz=FuzzSummaryEquivalence \
+    -fuzztime 10s ./internal/speccheck
 
 echo "== experiment suite smoke (quick, JSON) =="
 suite_json=$(mktemp)

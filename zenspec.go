@@ -389,6 +389,37 @@ func SpecCheck(code []byte, opts SpecCheckOptions) []SpecFinding {
 	return speccheck.Analyze(code, opts)
 }
 
+// SpecResult is a full analysis outcome: findings plus the count of sources
+// whose exploration was truncated by the MaxStates budget (nonzero means the
+// findings may be incomplete for branch-dense code).
+type SpecResult = speccheck.Result
+
+// SpecCheckAll is SpecCheck plus the truncation count.
+func SpecCheckAll(code []byte, opts SpecCheckOptions) SpecResult {
+	return speccheck.AnalyzeAll(code, opts)
+}
+
+// SpecCache is an incremental analyzer cache: analyses through it return
+// byte-identical results to SpecCheckAll but skip every speculation source
+// whose content-hashed dependency closure was analyzed before — across
+// re-scans, edits, and relocations of shared gadget bytes.
+type SpecCache = speccheck.Cache
+
+// SpecCacheStats counts a SpecCache's hits, misses and explored states.
+type SpecCacheStats = speccheck.CacheStats
+
+// NewSpecCache returns an in-memory incremental analyzer cache.
+func NewSpecCache() *SpecCache { return speccheck.NewCache() }
+
+// OpenSpecCache returns an incremental cache persisted under dir, so warm
+// scans survive process restarts.
+func OpenSpecCache(dir string) (*SpecCache, error) { return speccheck.OpenCache(dir) }
+
+// SpecCheckCached runs SpecCheckAll through cache (see SpecCache).
+func SpecCheckCached(cache *SpecCache, code []byte, opts SpecCheckOptions) SpecResult {
+	return cache.Analyze(code, opts)
+}
+
 // SpecValidate replays static findings through the pipeline simulator with
 // mistrained predictors and classifies each as dynamically confirmed or a
 // static over-approximation.
