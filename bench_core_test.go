@@ -1,0 +1,217 @@
+package zenspec
+
+// Micro-benchmarks for the per-cycle hot paths: the steady-state pipeline
+// step, the observability emit fast path, and a Flush+Reload probe sweep.
+// Each reports allocations, and the paired tests pin the zero-allocation
+// invariants with testing.AllocsPerRun so a regression fails `go test`
+// itself, not just a benchstat comparison. verify.sh runs all three as its
+// benchstat smoke.
+
+import (
+	"testing"
+
+	"zenspec/internal/asm"
+	"zenspec/internal/cache"
+	"zenspec/internal/isa"
+	"zenspec/internal/kernel"
+	"zenspec/internal/mem"
+	"zenspec/internal/obs"
+	"zenspec/internal/pipeline"
+	"zenspec/internal/pmc"
+	"zenspec/internal/predict"
+	"zenspec/internal/sidechannel"
+)
+
+// stepEnv is a minimal single-core machine running a counted ALU loop: the
+// steady-state instruction stream with no stores, loads or faults, so every
+// fetch after the first Run hits the decoded-page cache and every record
+// comes from the run-state pool.
+type stepEnv struct {
+	core  *pipeline.Core
+	as    *mem.AddrSpace
+	entry uint64
+	insts uint64
+}
+
+func newStepEnv(tb testing.TB, iters int32) *stepEnv {
+	tb.Helper()
+	phys := mem.NewPhysical()
+	ch := cache.New(cache.DefaultConfig())
+	unit := predict.NewUnit(predict.Config{Seed: 1})
+	core := pipeline.New(pipeline.DefaultConfig(), phys, ch, unit, &pmc.Counters{})
+	as := mem.NewAddrSpace()
+
+	code, err := asm.NewBuilder().
+		Movi(isa.RCX, iters).
+		Movi(isa.RDX, 1).
+		Label("loop").
+		Sub(isa.RCX, isa.RCX, isa.RDX).
+		Xor(isa.RBX, isa.RCX, isa.RDX).
+		Jnz(isa.RCX, "loop").
+		Halt().
+		Assemble(0x400000)
+	if err != nil {
+		tb.Fatalf("assemble: %v", err)
+	}
+	const base = 0x400000
+	for off := uint64(0); off < uint64(len(code))+mem.PageSize-1; off += mem.PageSize {
+		if _, ok := as.Lookup(base + off); !ok {
+			as.Map(base+off, phys.AllocFrame(), mem.PermR|mem.PermX)
+		}
+	}
+	for i := range code {
+		pa, f := as.Translate(base+uint64(i), mem.AccessRead)
+		if f != mem.FaultNone {
+			tb.Fatalf("translate code+%d: %v", i, f)
+		}
+		phys.WriteBytes(pa, code[i:i+1])
+	}
+	e := &stepEnv{core: core, as: as, entry: base}
+	// One warm-up Run fills the decoded-page cache, the run-state pool and
+	// the TLBs; everything after is the steady state under measurement.
+	var regs [isa.NumRegs]uint64
+	res := e.core.Run(e.as, e.entry, &regs, 0)
+	if res.Stop != pipeline.StopHalt {
+		tb.Fatalf("warm-up stopped with %v, want halt", res.Stop)
+	}
+	e.insts = res.Insts
+	return e
+}
+
+// BenchmarkCoreStep measures the steady-state per-instruction cost of the
+// pipeline: decoded-page fetch hit, ALU execute, retire — no observers, no
+// memory traffic.
+func BenchmarkCoreStep(b *testing.B) {
+	e := newStepEnv(b, 256)
+	var regs [isa.NumRegs]uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.core.Run(e.as, e.entry, &regs, 0)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(e.insts), "ns/inst")
+}
+
+// TestCoreStepSteadyStateAllocFree pins the tentpole invariant: once a core
+// has run a program once, re-running it allocates nothing — instruction
+// records, run state and decoded pages are all recycled.
+func TestCoreStepSteadyStateAllocFree(t *testing.T) {
+	e := newStepEnv(t, 64)
+	var regs [isa.NumRegs]uint64
+	allocs := testing.AllocsPerRun(20, func() {
+		e.core.Run(e.as, e.entry, &regs, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Run allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// countingInstObs counts instruction events through the boxing-free
+// InstObserver fast path.
+type countingInstObs struct{ n int }
+
+func (c *countingInstObs) HandleEvent(e obs.Event)     { c.n++ }
+func (c *countingInstObs) HandleInst(e *obs.InstEvent) { c.n++ }
+
+// BenchmarkObsEmitFast measures EmitInst delivery to one InstObserver
+// subscriber: the hot emit path a metrics-collecting run pays per
+// instruction.
+func BenchmarkObsEmitFast(b *testing.B) {
+	bus := obs.NewBus()
+	o := &countingInstObs{}
+	bus.Subscribe(o, obs.Options{Classes: []obs.Class{obs.ClassInst}})
+	ev := obs.InstEvent{CPU: 0, PC: 0x400000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Dispatch = int64(i)
+		bus.EmitInst(&ev)
+	}
+	if o.n != b.N {
+		b.Fatalf("observer saw %d events, want %d", o.n, b.N)
+	}
+}
+
+// BenchmarkObsEmitDisabled measures the guarded emit site with no observer
+// attached: one nil/mask test, nothing else.
+func BenchmarkObsEmitDisabled(b *testing.B) {
+	var bus *obs.Bus
+	sink := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bus.On(obs.ClassInst) {
+			sink++
+		}
+	}
+	if sink != 0 {
+		b.Fatal("nil bus reported a subscriber")
+	}
+}
+
+// TestEmitNoObserverAllocFree pins the zero-alloc invariant for the
+// no-observer emit path at both guard levels: a nil bus (unobserved machine)
+// and a live bus whose subscribers don't want the class. Staging the event
+// and calling EmitInst must not allocate either — the event is delivered by
+// pointer, never boxed.
+func TestEmitNoObserverAllocFree(t *testing.T) {
+	var nilBus *obs.Bus
+	allocs := testing.AllocsPerRun(100, func() {
+		if nilBus.On(obs.ClassInst) {
+			t.Fatal("nil bus on")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-bus guard allocates %.1f objects per run, want 0", allocs)
+	}
+
+	bus := obs.NewBus()
+	bus.Subscribe(&countingInstObs{}, obs.Options{Classes: []obs.Class{obs.ClassCache}})
+	allocs = testing.AllocsPerRun(100, func() {
+		if bus.On(obs.ClassInst) {
+			t.Fatal("unsubscribed class on")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("masked-class guard allocates %.1f objects per run, want 0", allocs)
+	}
+
+	o := &countingInstObs{}
+	bus.Subscribe(o, obs.Options{Classes: []obs.Class{obs.ClassInst}})
+	// Staged outside the closure, as the pipeline stages its event in a
+	// Core-owned buffer: the pointee's address escapes into the observer
+	// call, so a per-emit local would be a per-emit heap allocation.
+	var ev obs.InstEvent
+	allocs = testing.AllocsPerRun(100, func() {
+		ev = obs.InstEvent{CPU: 1, PC: 0x400000}
+		bus.EmitInst(&ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("EmitInst allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// BenchmarkFlushReloadSweep measures one full probe-array sweep — FlushAll
+// followed by Reload over 256 slots — the side-channel inner loop every
+// secret-extraction trial repeats. The hits slice is arena-reused by
+// Reload, so the steady state allocates nothing.
+func BenchmarkFlushReloadSweep(b *testing.B) {
+	k := kernel.New(kernel.Config{Seed: 1})
+	p := k.NewProcess("fr", kernel.DomainUser)
+	const probeVA = 0x2000000
+	p.MapData(probeVA, 256*mem.PageSize)
+	fr := sidechannel.New(k, p, 0, probeVA, 256, 0x400000)
+	// Warm one sweep so calibration and buffer growth are out of the loop.
+	fr.FlushAll()
+	p.WarmLine(probeVA + 7*fr.Stride)
+	fr.Reload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr.FlushAll()
+		p.WarmLine(probeVA + uint64(i%256)*fr.Stride)
+		if hits := fr.Reload(); len(hits) != 1 {
+			b.Fatalf("sweep %d: %d hits, want 1", i, len(hits))
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package asm
 
-import "zenspec/internal/isa"
+import (
+	"sync"
+
+	"zenspec/internal/isa"
+)
 
 // Stld describes an assembled instance of the paper's Listing 1
 // microbenchmark: a store-load pair whose store address generation is delayed
@@ -44,8 +48,27 @@ type StldOptions struct {
 // DefaultImuls is the paper's multiply-chain length.
 const DefaultImuls = 20
 
-// BuildStld assembles an stld microbenchmark instance.
+// stldCache memoizes BuildStld per options. Assembly is a pure host-side
+// function of the options — it touches no simulated machine state — so
+// memoizing it cannot perturb any simulated outcome; it only removes the
+// cost of re-assembling the same template thousands of times per experiment
+// (one placement loop rebuilds it per probe). Callers must treat the
+// returned Code as read-only; every existing caller only copies it into
+// simulated memory.
+var stldCache sync.Map // StldOptions → Stld
+
+// BuildStld assembles an stld microbenchmark instance. The result is
+// memoized per options; Code is shared and must not be mutated.
 func BuildStld(opts StldOptions) Stld {
+	if v, ok := stldCache.Load(opts); ok {
+		return v.(Stld)
+	}
+	s := buildStld(opts)
+	stldCache.Store(opts, s)
+	return s
+}
+
+func buildStld(opts StldOptions) Stld {
 	imuls := opts.Imuls
 	if imuls == 0 {
 		imuls = DefaultImuls

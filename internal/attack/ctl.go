@@ -2,6 +2,7 @@ package attack
 
 import (
 	"sort"
+	"sync"
 
 	"zenspec/internal/asm"
 	"zenspec/internal/harness"
@@ -33,7 +34,21 @@ const (
 //
 // idx is loaded from memory (flushed by the attacker); idx2 arrives in RSI.
 // Slots are 8 bytes wide.
+//
+// The gadget is a pure function of package constants, so it is assembled
+// once (host-side memoization only — nothing simulated is cached; callers
+// copy the bytes into fresh simulated memory per trial).
 func buildCTLVictim() []byte {
+	ctlVictimOnce.Do(func() { ctlVictimCode = buildCTLVictimCode() })
+	return ctlVictimCode
+}
+
+var (
+	ctlVictimOnce sync.Once
+	ctlVictimCode []byte
+)
+
+func buildCTLVictimCode() []byte {
 	b := asm.NewBuilder()
 	b.Movi(isa.R15, ctlIdxVA)
 	b.Load(isa.RCX, isa.R15, 0) // idx — slow when flushed

@@ -1,6 +1,8 @@
 package attack
 
 import (
+	"sync"
+
 	"zenspec/internal/asm"
 	"zenspec/internal/harness"
 	"zenspec/internal/isa"
@@ -32,7 +34,19 @@ const (
 //
 // idx is loaded from memory (the attacker flushes its line to delay the
 // store's address generation) and x arrives in RDI.
+//
+// Assembled once (see buildCTLVictim for why host-side memoization is safe).
 func buildSTLVictim() []byte {
+	stlVictimOnce.Do(func() { stlVictimCode = buildSTLVictimCode() })
+	return stlVictimCode
+}
+
+var (
+	stlVictimOnce sync.Once
+	stlVictimCode []byte
+)
+
+func buildSTLVictimCode() []byte {
 	b := asm.NewBuilder()
 	b.Movi(isa.R15, stlIdxVA)
 	b.Load(isa.RCX, isa.R15, 0) // idx — slow when flushed

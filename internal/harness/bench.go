@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"runtime"
+	"runtime/debug"
 )
 
 // BenchEntry is one experiment's serial-vs-parallel wall time.
@@ -19,10 +20,18 @@ type BenchEntry struct {
 // the two runs produced byte-identical StableJSON — the bench doubles as an
 // end-to-end determinism check.
 type BenchReport struct {
-	Seed            int64        `json:"seed"`
-	Quick           bool         `json:"quick"`
+	Seed  int64 `json:"seed"`
+	Quick bool  `json:"quick"`
+	// Host shape and build provenance: without these a committed speedup
+	// table cannot be compared against a rerun. Revision comes from the
+	// build info's VCS stamp (empty for `go run` of a dirty tree without
+	// stamping); Dirty marks uncommitted changes at build time.
 	Cores           int          `json:"cores"`
 	Workers         int          `json:"workers"`
+	GoMaxProcs      int          `json:"gomaxprocs"`
+	GoVersion       string       `json:"go_version"`
+	Revision        string       `json:"revision,omitempty"`
+	Dirty           bool         `json:"dirty,omitempty"`
 	Deterministic   bool         `json:"deterministic"`
 	TotalSerialMS   float64      `json:"total_serial_ms"`
 	TotalParallelMS float64      `json:"total_parallel_ms"`
@@ -57,7 +66,19 @@ func (r *Registry) Bench(ctx Ctx, ids []string) (BenchReport, error) {
 		Quick:         serial.Quick,
 		Cores:         runtime.NumCPU(),
 		Workers:       parallel.Parallelism,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		GoVersion:     runtime.Version(),
 		Deterministic: bytes.Equal(sj, pj),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				rep.Revision = kv.Value
+			case "vcs.modified":
+				rep.Dirty = kv.Value == "true"
+			}
+		}
 	}
 	for i := range serial.Experiments {
 		s := serial.Experiments[i]

@@ -16,8 +16,6 @@ import (
 	"encoding/binary"
 	"hash/fnv"
 	"runtime"
-	"sync"
-	"sync/atomic"
 )
 
 // Workers resolves a Parallelism knob to an effective worker count: values
@@ -34,40 +32,10 @@ func Workers(parallelism int) int {
 // result (callers computing trial counts from user input must not panic the
 // pool). fn must not share mutable state between trials (each trial boots
 // its own Machine); under that contract the output is identical to the
-// serial loop at any worker count.
+// serial loop at any worker count — including when the adaptive serial
+// fallback (see TrialsArena) decides goroutine dispatch is not worth it.
 func Trials[T any](workers, n int, fn func(trial int) T) []T {
-	if n <= 0 {
-		return []T{}
-	}
-	out := make([]T, n)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		// Serial reference path: the parallel path must reproduce exactly
-		// this output.
-		for i := range out {
-			out[i] = fn(i)
-		}
-		return out
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				out[i] = fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-	return out
+	return TrialsArena(nil, workers, n, func(i int, _ *Arena) T { return fn(i) })
 }
 
 // TrialSeed derives the RNG seed of one trial from the run seed, the

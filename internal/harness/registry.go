@@ -3,6 +3,7 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -36,6 +37,10 @@ type Ctx struct {
 	// ID about to run, and once after the last with done == total. It feeds
 	// live telemetry; leave nil when nothing is watching.
 	Progress func(done, total int, id string)
+	// Arenas recycles per-worker scratch arenas (TrialsArena) across the
+	// suite's experiments. RunTagged installs one automatically; a nil pool
+	// still works everywhere and just forgoes recycling.
+	Arenas *ArenaPool
 }
 
 // Workers resolves the context's Parallelism knob.
@@ -147,6 +152,9 @@ func (r *Registry) RunTagged(ctx Ctx, ids []string, tag string) (SuiteReport, er
 	if err != nil {
 		return SuiteReport{}, err
 	}
+	if ctx.Arenas == nil {
+		ctx.Arenas = NewArenaPool()
+	}
 	suite := SuiteReport{
 		Seed:        ctx.Config.Seed,
 		Quick:       ctx.Quick,
@@ -160,6 +168,11 @@ func (r *Registry) RunTagged(ctx Ctx, ids []string, tag string) (SuiteReport, er
 		if ctx.Progress != nil {
 			ctx.Progress(i, len(exps), e.ID)
 		}
+		// Collect the previous experiment's garbage outside the timed
+		// region: one experiment's heap debt must not inflate the next
+		// one's wall clock (results are unaffected either way — WallMS is
+		// excluded from the stable report).
+		runtime.GC()
 		start := time.Now()
 		ectx := ctx
 		var mc *obs.Metrics

@@ -1,0 +1,7 @@
+//go:build race
+
+package suite
+
+// raceEnabled reports whether this test binary was built with -race; timing
+// assertions skip themselves there.
+const raceEnabled = true

@@ -156,7 +156,7 @@ func build() *harness.Registry {
 			if ctx.Quick {
 				sizes, trials = []int{8, 11, 12, 16, 32}, 8
 			}
-			res := revng.Fig5(ctx.Config, sizes, trials)
+			res := revng.Fig5(ctx.Config, ctx.Arenas, sizes, trials)
 			var r harness.Report
 			r.Detail = res.String()
 			r.Add("psfp_rate@11", rateAt(res.PSFP, 11), 0, 0.2)
@@ -687,7 +687,7 @@ func build() *harness.Registry {
 			if ctx.Quick {
 				sizes, trials = []int{11, 12, 16, 32}, 10
 			}
-			res := revng.Fig5(ctx.Config, sizes, trials)
+			res := revng.Fig5(ctx.Config, ctx.Arenas, sizes, trials)
 			var r harness.Report
 			r.Detail = ctx.Config.Faults.String() + "\n" + res.String()
 			// Injected PSFP evictions raise the below-capacity rate

@@ -24,6 +24,10 @@ func (p *Process) Translate(va uint64, acc mem.Access) (uint64, mem.Fault) {
 	return p.AS.Translate(va, acc)
 }
 
+// TranslationEpoch exposes the address space's remap counter, letting the
+// pipeline's fetch cache validate cached translations in O(1).
+func (p *Process) TranslationEpoch() uint64 { return p.AS.TranslationEpoch() }
+
 // MapCode maps code at va (read+exec) on freshly allocated frames.
 func (p *Process) MapCode(va uint64, code []byte) {
 	p.mapRange(va, uint64(len(code)), mem.PermR|mem.PermX, nil)

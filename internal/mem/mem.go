@@ -88,16 +88,24 @@ const (
 	AccessExec
 )
 
+// Frame is one physical page. Version counts the writes the frame has seen;
+// caches keyed on frame contents (the pipeline's decoded-fetch cache) compare
+// it instead of the bytes.
+type Frame struct {
+	Data    [PageSize]byte
+	Version uint64
+}
+
 // Physical is the machine's physical memory.
 type Physical struct {
-	frames   map[uint64]*[PageSize]byte
+	frames   map[uint64]*Frame
 	nextFree uint64
 }
 
 // NewPhysical returns empty physical memory. Frame 0 is reserved (never
 // allocated) so that physical address 0 is always invalid.
 func NewPhysical() *Physical {
-	return &Physical{frames: make(map[uint64]*[PageSize]byte), nextFree: 1}
+	return &Physical{frames: make(map[uint64]*Frame), nextFree: 1}
 }
 
 // AllocFrame allocates the next free frame and returns its frame number.
@@ -106,7 +114,7 @@ func (p *Physical) AllocFrame() uint64 {
 		p.nextFree++
 	}
 	pfn := p.nextFree
-	p.frames[pfn] = new([PageSize]byte)
+	p.frames[pfn] = new(Frame)
 	p.nextFree++
 	return pfn
 }
@@ -121,7 +129,7 @@ func (p *Physical) AllocFrameAt(pfn uint64) error {
 	if p.frames[pfn] != nil {
 		return fmt.Errorf("mem: frame %#x already allocated", pfn)
 	}
-	p.frames[pfn] = new([PageSize]byte)
+	p.frames[pfn] = new(Frame)
 	return nil
 }
 
@@ -134,7 +142,14 @@ func (p *Physical) Allocated(pfn uint64) bool { return p.frames[pfn] != nil }
 // NumFrames returns the number of allocated frames.
 func (p *Physical) NumFrames() int { return len(p.frames) }
 
-func (p *Physical) frame(pa uint64) *[PageSize]byte {
+func (p *Physical) frame(pa uint64) *Frame {
+	return p.frames[PFNOf(pa)]
+}
+
+// FrameAt returns the frame holding pa, or nil if it is unallocated. The
+// pointer stays valid until the frame is freed; callers that cache derived
+// state (decoded instructions) must revalidate against Frame.Version.
+func (p *Physical) FrameAt(pa uint64) *Frame {
 	return p.frames[PFNOf(pa)]
 }
 
@@ -144,6 +159,14 @@ func (p *Physical) frame(pa uint64) *[PageSize]byte {
 // offsets requires this).
 func (p *Physical) ReadBytes(pa uint64, n int) []byte {
 	out := make([]byte, n)
+	p.ReadInto(pa, out)
+	return out
+}
+
+// ReadInto fills out with the bytes starting at pa without allocating; the
+// hot fetch path uses it with a stack buffer. Semantics match ReadBytes.
+func (p *Physical) ReadInto(pa uint64, out []byte) {
+	n := len(out)
 	for i := 0; i < n; {
 		f := p.frame(pa + uint64(i))
 		off := int(PageOffset(pa + uint64(i)))
@@ -152,21 +175,25 @@ func (p *Physical) ReadBytes(pa uint64, n int) []byte {
 			chunk = n - i
 		}
 		if f != nil {
-			copy(out[i:i+chunk], f[off:off+chunk])
+			copy(out[i:i+chunk], f.Data[off:off+chunk])
+		} else {
+			for j := i; j < i+chunk; j++ {
+				out[j] = 0
+			}
 		}
 		i += chunk
 	}
-	return out
 }
 
 // WriteBytes writes b starting at physical address pa. Writes to unallocated
 // frames allocate them, so the harness can treat physical memory as flat.
+// Every touched frame's Version is bumped.
 func (p *Physical) WriteBytes(pa uint64, b []byte) {
 	for i := 0; i < len(b); {
 		pfn := PFNOf(pa + uint64(i))
 		f := p.frames[pfn]
 		if f == nil {
-			f = new([PageSize]byte)
+			f = new(Frame)
 			p.frames[pfn] = f
 		}
 		off := int(PageOffset(pa + uint64(i)))
@@ -174,20 +201,50 @@ func (p *Physical) WriteBytes(pa uint64, b []byte) {
 		if chunk > len(b)-i {
 			chunk = len(b) - i
 		}
-		copy(f[off:off+chunk], b[i:i+chunk])
+		copy(f.Data[off:off+chunk], b[i:i+chunk])
+		f.Version++
 		i += chunk
 	}
 }
 
 // Read64 reads a little-endian 64-bit value at pa.
 func (p *Physical) Read64(pa uint64) uint64 {
-	b := p.ReadBytes(pa, 8)
+	if off := PageOffset(pa); off <= PageSize-8 {
+		f := p.frame(pa)
+		if f == nil {
+			return 0
+		}
+		b := f.Data[off : off+8 : off+8]
+		return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+			uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+	}
+	var b [8]byte
+	p.ReadInto(pa, b[:])
 	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
 		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
 }
 
 // Write64 writes a little-endian 64-bit value at pa.
 func (p *Physical) Write64(pa, v uint64) {
+	if off := PageOffset(pa); off <= PageSize-8 {
+		pfn := PFNOf(pa)
+		f := p.frames[pfn]
+		if f == nil {
+			f = new(Frame)
+			p.frames[pfn] = f
+		}
+		b := f.Data[off : off+8 : off+8]
+		b[0] = byte(v)
+		b[1] = byte(v >> 8)
+		b[2] = byte(v >> 16)
+		b[3] = byte(v >> 24)
+		b[4] = byte(v >> 32)
+		b[5] = byte(v >> 40)
+		b[6] = byte(v >> 48)
+		b[7] = byte(v >> 56)
+		f.Version++
+		return
+	}
 	var b [8]byte
 	for i := range b {
 		b[i] = byte(v >> (8 * i))
@@ -207,6 +264,7 @@ type PTE struct {
 // AddrSpace is a per-process page table.
 type AddrSpace struct {
 	pages map[uint64]PTE
+	epoch uint64
 }
 
 // NewAddrSpace returns an empty address space.
@@ -214,18 +272,39 @@ func NewAddrSpace() *AddrSpace {
 	return &AddrSpace{pages: make(map[uint64]PTE)}
 }
 
+// TranslationEpoch returns the translation epoch: a counter bumped whenever
+// an existing translation changes or disappears. Caches of *successful*
+// translation results (the pipeline's fetch and data-translation caches)
+// compare it to detect remaps in O(1) instead of re-walking the page table.
+// Mapping a previously-unmapped page does not bump it: no cached success can
+// be affected, and faults are never cached.
+func (a *AddrSpace) TranslationEpoch() uint64 { return a.epoch }
+
 // Map installs a mapping from the virtual page containing va to pfn.
 func (a *AddrSpace) Map(va, pfn uint64, perm Perm) {
-	a.pages[VPN(va)] = PTE{PFN: pfn, Perm: perm}
+	vpn := VPN(va)
+	pte := PTE{PFN: pfn, Perm: perm}
+	if old, ok := a.pages[vpn]; ok && old != pte {
+		a.epoch++
+	}
+	a.pages[vpn] = pte
 }
 
 // MapCOW installs a copy-on-write mapping.
 func (a *AddrSpace) MapCOW(va, pfn uint64, perm Perm) {
-	a.pages[VPN(va)] = PTE{PFN: pfn, Perm: perm, COW: true}
+	vpn := VPN(va)
+	pte := PTE{PFN: pfn, Perm: perm, COW: true}
+	if old, ok := a.pages[vpn]; ok && old != pte {
+		a.epoch++
+	}
+	a.pages[vpn] = pte
 }
 
 // Unmap removes the mapping of the page containing va.
-func (a *AddrSpace) Unmap(va uint64) { delete(a.pages, VPN(va)) }
+func (a *AddrSpace) Unmap(va uint64) {
+	delete(a.pages, VPN(va))
+	a.epoch++
+}
 
 // Lookup returns the PTE for the page containing va.
 func (a *AddrSpace) Lookup(va uint64) (PTE, bool) {
@@ -281,20 +360,42 @@ func (a *AddrSpace) Translate(va uint64, acc Access) (uint64, Fault) {
 // TLB is a small fully-associative translation cache with FIFO replacement.
 // It exists for timing and the PMC instruction-TLB events; translations are
 // always verified against the page table by the caller on miss.
+//
+// A one-entry memo in front of the map serves the common case — consecutive
+// instruction fetches and repeated data touches within one page — without a
+// map access. The memo is a pure cache of map content: hit/miss results and
+// FIFO eviction order are identical with or without it.
 type TLB struct {
-	size    int
-	order   []uint64 // FIFO of vpns
+	size int
+	// order is a fixed ring of vpns in insertion order: head indexes the
+	// oldest entry, n counts live ones. A ring instead of a sliding slice
+	// keeps steady-state eviction allocation-free — the probe-sweep hot
+	// loop evicts on every insert.
+	order   []uint64
+	head    int
+	n       int
 	entries map[uint64]uint64
+
+	lastVPN uint64
+	lastPFN uint64
+	lastOK  bool
 }
 
 // NewTLB returns a TLB with the given number of entries.
 func NewTLB(size int) *TLB {
-	return &TLB{size: size, entries: make(map[uint64]uint64)}
+	return &TLB{size: size, order: make([]uint64, size), entries: make(map[uint64]uint64, size)}
 }
 
 // Lookup returns the cached pfn for va's page.
 func (t *TLB) Lookup(va uint64) (uint64, bool) {
-	pfn, ok := t.entries[VPN(va)]
+	vpn := VPN(va)
+	if t.lastOK && vpn == t.lastVPN {
+		return t.lastPFN, true
+	}
+	pfn, ok := t.entries[vpn]
+	if ok {
+		t.lastVPN, t.lastPFN, t.lastOK = vpn, pfn, true
+	}
 	return pfn, ok
 }
 
@@ -303,21 +404,39 @@ func (t *TLB) Insert(va, pfn uint64) {
 	vpn := VPN(va)
 	if _, ok := t.entries[vpn]; ok {
 		t.entries[vpn] = pfn
+		if t.lastOK && t.lastVPN == vpn {
+			t.lastPFN = pfn
+		}
 		return
 	}
-	if len(t.order) >= t.size {
-		oldest := t.order[0]
-		t.order = t.order[1:]
+	if t.n >= t.size {
+		oldest := t.order[t.head]
 		delete(t.entries, oldest)
+		if t.lastOK && t.lastVPN == oldest {
+			t.lastOK = false
+		}
+		t.order[t.head] = vpn
+		t.head++
+		if t.head == t.size {
+			t.head = 0
+		}
+	} else {
+		i := t.head + t.n
+		if i >= t.size {
+			i -= t.size
+		}
+		t.order[i] = vpn
+		t.n++
 	}
-	t.order = append(t.order, vpn)
 	t.entries[vpn] = pfn
+	t.lastVPN, t.lastPFN, t.lastOK = vpn, pfn, true
 }
 
 // Flush empties the TLB.
 func (t *TLB) Flush() {
-	t.order = t.order[:0]
-	t.entries = make(map[uint64]uint64)
+	t.head, t.n = 0, 0
+	clear(t.entries)
+	t.lastOK = false
 }
 
 // Len returns the number of cached translations.

@@ -48,15 +48,21 @@ func (m *Metrics) Observe(name string, v uint64) {
 	m.mu.Unlock()
 }
 
+// HandleInst implements InstObserver: the boxing-free delivery of the
+// per-instruction event. Must stay equivalent to HandleEvent on the value.
+func (m *Metrics) HandleInst(e *InstEvent) {
+	if e.Transient {
+		m.Inc("inst.transient", 1)
+	} else {
+		m.Inc("inst.retired", 1)
+	}
+}
+
 // HandleEvent implements Observer.
 func (m *Metrics) HandleEvent(e Event) {
 	switch ev := e.(type) {
 	case InstEvent:
-		if ev.Transient {
-			m.Inc("inst.transient", 1)
-		} else {
-			m.Inc("inst.retired", 1)
-		}
+		m.HandleInst(&ev)
 	case SquashEvent:
 		m.Inc("squash.total", 1)
 		m.Inc("squash."+ev.Kind.String(), 1)

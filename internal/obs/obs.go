@@ -117,6 +117,20 @@ type ObserverFunc func(e Event)
 // HandleEvent implements Observer.
 func (f ObserverFunc) HandleEvent(e Event) { f(e) }
 
+// InstObserver is an optional fast-path extension of Observer for the
+// simulator's hottest event. A subscriber that also implements it receives
+// ClassInst events through HandleInst with a pointer to a caller-staged
+// struct, skipping the interface boxing (and its per-instruction heap
+// allocation) that Emit pays. The pointee is reused by the emitter and is
+// only valid for the duration of the call: implementations that retain the
+// event must copy it (*e).
+//
+// The delivered value is identical to the InstEvent that Emit would have
+// carried; HandleInst(e) must behave exactly like HandleEvent(*e).
+type InstObserver interface {
+	HandleInst(e *InstEvent)
+}
+
 // Options filters a subscription.
 type Options struct {
 	// Classes selects the event classes delivered to the observer; empty
@@ -139,6 +153,7 @@ func (o Options) mask() uint32 {
 
 type subscriber struct {
 	obs  Observer
+	inst InstObserver // non-nil when obs also implements the fast path
 	mask uint32
 	id   uint64
 }
@@ -182,6 +197,25 @@ func (b *Bus) Emit(e Event) {
 	}
 }
 
+// EmitInst delivers an instruction event without boxing it: subscribers that
+// implement InstObserver get the pointer, everyone else gets the value
+// through the ordinary Observer interface. Callers guard with On(ClassInst),
+// so EmitInst may assume b is non-nil; e must not be retained past the call.
+func (b *Bus) EmitInst(e *InstEvent) {
+	const m = uint32(1) << ClassInst
+	for i := range b.subs {
+		s := &b.subs[i]
+		if s.mask&m == 0 {
+			continue
+		}
+		if s.inst != nil {
+			s.inst.HandleInst(e)
+		} else {
+			s.obs.HandleEvent(*e)
+		}
+	}
+}
+
 // Subscribe attaches o with the given options and returns a cancel function
 // that detaches exactly this subscription. Subscribing the same observer
 // twice creates two independent subscriptions.
@@ -191,7 +225,8 @@ func (b *Bus) Subscribe(o Observer, opts Options) (cancel func()) {
 	}
 	b.nextID++
 	id := b.nextID
-	b.subs = append(b.subs, subscriber{obs: o, mask: opts.mask(), id: id})
+	inst, _ := o.(InstObserver)
+	b.subs = append(b.subs, subscriber{obs: o, inst: inst, mask: opts.mask(), id: id})
 	b.recomputeMask()
 	return func() {
 		for i := range b.subs {

@@ -68,23 +68,29 @@ func (r *Recorder) push(te traceEvent) {
 	r.mu.Unlock()
 }
 
+// HandleInst implements InstObserver: the boxing-free delivery of the
+// per-instruction event. The event is copied into the buffer, never retained.
+func (r *Recorder) HandleInst(e *InstEvent) {
+	name := e.Inst.Op.String()
+	cat := "arch"
+	if e.Transient {
+		cat = "transient"
+	}
+	r.push(traceEvent{
+		Name: name, Phase: "X", TS: e.RetiredBy, Dur: 1,
+		PID: pidCores, TID: e.CPU, Cat: cat,
+		Args: map[string]any{
+			"pc":  hex(e.PC),
+			"ipa": hex(e.IPA),
+		},
+	})
+}
+
 // HandleEvent implements Observer.
 func (r *Recorder) HandleEvent(e Event) {
 	switch ev := e.(type) {
 	case InstEvent:
-		name := ev.Inst.Op.String()
-		cat := "arch"
-		if ev.Transient {
-			cat = "transient"
-		}
-		r.push(traceEvent{
-			Name: name, Phase: "X", TS: ev.RetiredBy, Dur: 1,
-			PID: pidCores, TID: ev.CPU, Cat: cat,
-			Args: map[string]any{
-				"pc":  hex(ev.PC),
-				"ipa": hex(ev.IPA),
-			},
-		})
+		r.HandleInst(&ev)
 	case SquashEvent:
 		dur := ev.Verify - ev.Start
 		if dur < 1 {

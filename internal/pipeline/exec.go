@@ -36,9 +36,59 @@ func max64(a, b int64) int64 {
 }
 
 // fetchInst translates and reads the instruction at st.pc, applying ITLB
-// timing and the Fig 2 instruction-fetch PMC event.
+// timing and the Fig 2 instruction-fetch PMC event. The fast path serves the
+// decoded-page cache: a hit skips the page walk, the byte copy and the
+// decode, but still performs the exact ITLB timing and PMC accounting of a
+// full fetch, so cached and uncached runs are cycle-identical.
 func (c *Core) fetchInst(mmu MMU, st *runState) (isa.Inst, uint64, mem.Fault) {
 	pc := st.pc
+	if c.fetchOK {
+		vpn := mem.VPN(pc)
+		e := &c.fetchCache[vpn&(fetchCacheSize-1)]
+		off := mem.PageOffset(pc)
+		if e.gen == c.fetchGen && e.vpn == vpn && e.frame.Version == e.fver &&
+			off&(isa.InstBytes-1) == e.align && off <= mem.PageSize-isa.InstBytes {
+			pa := e.paBase | off
+			if _, hit := c.itlb.Lookup(pc); hit {
+				c.pmcs.Inc(pmc.ITLBHit4K)
+			} else {
+				c.itlb.Insert(pc, mem.PFNOf(pa))
+				st.fetchCycle += int64(c.cfg.TLBMissPenalty)
+			}
+			in := e.insts[off>>3]
+			if in.Op == opUndecoded {
+				in = isa.Decode(e.frame.Data[off : off+isa.InstBytes])
+				e.insts[off>>3] = in
+			}
+			return in, pa, mem.FaultNone
+		}
+	}
+	return c.fetchSlow(mmu, st, pc)
+}
+
+// opUndecoded marks a decoded-page slot not yet demand-decoded. isa.Decode
+// can never produce it (invalid opcodes decode to BAD), so the sentinel
+// cannot collide with real code. Slots decode on first execution rather
+// than in a batch when the page enters the cache: pages are cached at page
+// granularity but mitigation-heavy workloads remap constantly, and eagerly
+// decoding 512 slots per refill made those runs slower than no cache at
+// all.
+const opUndecoded isa.Op = 0xFF
+
+// undecodedPage is the refill image: every slot carries the sentinel.
+var undecodedPage = func() (p [pageInsts]isa.Inst) {
+	for i := range p {
+		p[i].Op = opUndecoded
+	}
+	return
+}()
+
+// fetchSlow is the uncached fetch: translate, read, decode, and (when the
+// cache is armed and the fetch is cacheable) claim the page's cache slot,
+// decoding the fetched instruction and marking the rest of the page for
+// demand decode. Page-crossing (misaligned) fetches and fetches from
+// unallocated frames are never cached.
+func (c *Core) fetchSlow(mmu MMU, st *runState, pc uint64) (isa.Inst, uint64, mem.Fault) {
 	pa, f := mmu.Translate(pc, mem.AccessExec)
 	if f != mem.FaultNone {
 		return isa.Inst{}, 0, f
@@ -49,46 +99,110 @@ func (c *Core) fetchInst(mmu MMU, st *runState) (isa.Inst, uint64, mem.Fault) {
 		c.itlb.Insert(pc, mem.PFNOf(pa))
 		st.fetchCycle += int64(c.cfg.TLBMissPenalty)
 	}
-	var buf [isa.InstBytes]byte
 	first := mem.PageSize - mem.PageOffset(pc)
-	if first >= isa.InstBytes {
-		copy(buf[:], c.phys.ReadBytes(pa, isa.InstBytes))
-	} else {
-		copy(buf[:first], c.phys.ReadBytes(pa, int(first)))
+	if first < isa.InstBytes {
+		// Misaligned fetch crossing a page boundary: assemble the bytes
+		// from both pages and decode without caching.
+		var buf [isa.InstBytes]byte
+		c.phys.ReadInto(pa, buf[:first])
 		pa2, f2 := mmu.Translate(pc+first, mem.AccessExec)
 		if f2 != mem.FaultNone {
 			return isa.Inst{}, 0, f2
 		}
-		copy(buf[first:], c.phys.ReadBytes(pa2, int(isa.InstBytes-first)))
+		c.phys.ReadInto(pa2, buf[first:])
+		return isa.Decode(buf[:]), pa, mem.FaultNone
 	}
-	return isa.Decode(buf[:]), pa, mem.FaultNone
+	fr := c.phys.FrameAt(pa)
+	if fr == nil {
+		// Unallocated frames read as zeros (like ReadInto) and are not
+		// cached: allocation would change them without a version bump.
+		return isa.Decode(make([]byte, isa.InstBytes)), pa, mem.FaultNone
+	}
+	off := mem.PageOffset(pc)
+	if !c.fetchOK {
+		return isa.Decode(fr.Data[off : off+isa.InstBytes]), pa, mem.FaultNone
+	}
+	vpn := mem.VPN(pc)
+	e := &c.fetchCache[vpn&(fetchCacheSize-1)]
+	if e.insts == nil {
+		e.insts = new([pageInsts]isa.Inst)
+	}
+	align := off & (isa.InstBytes - 1)
+	*e.insts = undecodedPage
+	e.insts[off>>3] = isa.Decode(fr.Data[off : off+isa.InstBytes])
+	e.vpn = vpn
+	e.paBase = pa &^ uint64(mem.PageMask)
+	e.fver = fr.Version
+	e.gen = c.fetchGen
+	e.align = align
+	e.frame = fr
+	return e.insts[off>>3], pa, mem.FaultNone
 }
 
 func (c *Core) mainLoop(mmu MMU, st *runState, maxInsts uint64) RunResult {
 	start := st.lastRetire
 	var res RunResult
+	// The subscription mask is hoisted out of the loop: the Bus contract says
+	// subscriptions are installed between runs, never concurrently with one.
+	// The event struct is staged in the Core-owned buffer and delivered via
+	// the boxing-free EmitInst (see Core.instEv for why it is not a local).
+	instOn := c.bus.On(obs.ClassInst)
 	for {
 		if st.insts >= maxInsts {
 			res.Stop = StopInstLimit
 			break
 		}
-		in, ipa, f := c.fetchInst(mmu, st)
-		if f != mem.FaultNone {
-			res.Stop, res.Fault, res.FaultVA, res.FaultPC = StopFault, f, st.pc, st.pc
-			break
+		// The decoded-page hit path is open-coded here (and in runEpisode):
+		// fetchInst is too big for the inliner, and a per-instruction call
+		// was the single largest line in the fig11 profile. The logic must
+		// stay byte-for-byte equivalent to fetchInst's fast path.
+		var (
+			in  isa.Inst
+			ipa uint64
+			hot bool
+		)
+		if c.fetchOK {
+			vpn := mem.VPN(st.pc)
+			e := &c.fetchCache[vpn&(fetchCacheSize-1)]
+			off := mem.PageOffset(st.pc)
+			if e.gen == c.fetchGen && e.vpn == vpn && e.frame.Version == e.fver &&
+				off&(isa.InstBytes-1) == e.align && off <= mem.PageSize-isa.InstBytes {
+				ipa = e.paBase | off
+				if _, hit := c.itlb.Lookup(st.pc); hit {
+					c.pmcs.Inc(pmc.ITLBHit4K)
+				} else {
+					c.itlb.Insert(st.pc, mem.PFNOf(ipa))
+					st.fetchCycle += int64(c.cfg.TLBMissPenalty)
+				}
+				in = e.insts[off>>3]
+				if in.Op == opUndecoded {
+					in = isa.Decode(e.frame.Data[off : off+isa.InstBytes])
+					e.insts[off>>3] = in
+				}
+				hot = true
+			}
+		}
+		if !hot {
+			var f mem.Fault
+			in, ipa, f = c.fetchSlow(mmu, st, st.pc)
+			if f != mem.FaultNone {
+				res.Stop, res.Fault, res.FaultVA, res.FaultPC = StopFault, f, st.pc, st.pc
+				break
+			}
 		}
 		pc := st.pc
 		st.pc += isa.InstBytes
 		st.insts++
 		o := c.exec(mmu, st, in, pc, ipa, nil)
 		c.bus.StampCycle(st.lastRetire)
-		if c.bus.On(obs.ClassInst) {
-			c.bus.Emit(obs.InstEvent{
+		if instOn {
+			c.instEv = obs.InstEvent{
 				CPU: c.cpuID, PC: pc, IPA: ipa, Inst: in,
 				Dispatch: st.attr.dispatch, Issue: st.attr.issue, Complete: st.attr.complete,
 				SQStall: st.attr.sqStall, Replay: st.attr.replay,
 				RetiredBy: st.lastRetire,
-			})
+			}
+			c.bus.EmitInst(&c.instEv)
 		}
 		if o.kind == oOK {
 			continue
@@ -106,7 +220,11 @@ func (c *Core) mainLoop(mmu MMU, st *runState, maxInsts uint64) RunResult {
 	res.Cycles = st.lastRetire - start
 	res.EndPC = st.pc
 	res.Insts = st.insts
-	res.Stlds = st.stlds
+	if len(st.stlds) > 0 {
+		// Copy out: st is pooled and its stlds buffer is recycled next Run,
+		// while RunResult.Stlds escapes to callers that may hold it.
+		res.Stlds = append([]StldEvent(nil), st.stlds...)
+	}
 	return res
 }
 
@@ -119,25 +237,58 @@ func (c *Core) mainLoop(mmu MMU, st *runState, maxInsts uint64) RunResult {
 func (c *Core) runEpisode(mmu MMU, st *runState, verifyTime int64) ([]StldEvent, int) {
 	ep := &episodeCtx{verifyTime: verifyTime}
 	executed := 0
+	instOn := c.bus.On(obs.ClassInst)
 	for steps := 0; steps < c.cfg.EpisodeCap; steps++ {
 		if st.fetchCycle >= verifyTime {
 			break
 		}
-		in, ipa, f := c.fetchInst(mmu, st)
-		if f != mem.FaultNone {
-			break
+		// Open-coded decoded-page hit path; must stay equivalent to
+		// fetchInst's fast path (see mainLoop).
+		var (
+			in  isa.Inst
+			ipa uint64
+			hot bool
+		)
+		if c.fetchOK {
+			vpn := mem.VPN(st.pc)
+			e := &c.fetchCache[vpn&(fetchCacheSize-1)]
+			off := mem.PageOffset(st.pc)
+			if e.gen == c.fetchGen && e.vpn == vpn && e.frame.Version == e.fver &&
+				off&(isa.InstBytes-1) == e.align && off <= mem.PageSize-isa.InstBytes {
+				ipa = e.paBase | off
+				if _, hit := c.itlb.Lookup(st.pc); hit {
+					c.pmcs.Inc(pmc.ITLBHit4K)
+				} else {
+					c.itlb.Insert(st.pc, mem.PFNOf(ipa))
+					st.fetchCycle += int64(c.cfg.TLBMissPenalty)
+				}
+				in = e.insts[off>>3]
+				if in.Op == opUndecoded {
+					in = isa.Decode(e.frame.Data[off : off+isa.InstBytes])
+					e.insts[off>>3] = in
+				}
+				hot = true
+			}
+		}
+		if !hot {
+			var f mem.Fault
+			in, ipa, f = c.fetchSlow(mmu, st, st.pc)
+			if f != mem.FaultNone {
+				break
+			}
 		}
 		pc := st.pc
 		st.pc += isa.InstBytes
 		o := c.exec(mmu, st, in, pc, ipa, ep)
 		executed++
-		if c.bus.On(obs.ClassInst) {
-			c.bus.Emit(obs.InstEvent{
+		if instOn {
+			c.instEv = obs.InstEvent{
 				CPU: c.cpuID, PC: pc, IPA: ipa, Inst: in,
 				Dispatch: st.attr.dispatch, Issue: st.attr.issue, Complete: st.attr.complete,
 				SQStall: st.attr.sqStall, Replay: st.attr.replay,
 				RetiredBy: st.lastRetire, Transient: true,
-			})
+			}
+			c.bus.EmitInst(&c.instEv)
 		}
 		if o.kind != oOK {
 			break
@@ -160,11 +311,7 @@ func (c *Core) emitSquash(kind obs.SquashKind, pc uint64, start, verify, penalty
 // translateData translates a data access and returns the extra DTLB-miss
 // latency.
 func (c *Core) translateData(mmu MMU, va uint64, write bool) (uint64, int64, mem.Fault) {
-	acc := mem.AccessRead
-	if write {
-		acc = mem.AccessWrite
-	}
-	pa, f := mmu.Translate(va, acc)
+	pa, f := c.xlate(mmu, va, write)
 	if f != mem.FaultNone {
 		return 0, 0, f
 	}
@@ -176,12 +323,41 @@ func (c *Core) translateData(mmu MMU, va uint64, write bool) (uint64, int64, mem
 	return pa, extra, mem.FaultNone
 }
 
+// xlate is the page-table walk behind translateData, served from the
+// generation-validated translation cache when possible.
+func (c *Core) xlate(mmu MMU, va uint64, write bool) (uint64, mem.Fault) {
+	k := 0
+	if write {
+		k = 1
+	}
+	vpn := mem.VPN(va)
+	if c.fetchOK {
+		e := &c.xlat[k][vpn&(xlatCacheSize-1)]
+		if e.gen == c.fetchGen && e.vpn == vpn {
+			return e.pa | mem.PageOffset(va), mem.FaultNone
+		}
+	}
+	acc := mem.AccessRead
+	if write {
+		acc = mem.AccessWrite
+	}
+	pa, f := mmu.Translate(va, acc)
+	if f != mem.FaultNone {
+		return 0, f
+	}
+	if c.fetchOK {
+		c.xlat[k][vpn&(xlatCacheSize-1)] = xlatEntry{vpn: vpn, pa: pa &^ uint64(mem.PageMask), gen: c.fetchGen}
+	}
+	return pa, mem.FaultNone
+}
+
 // transientRead returns the value a bypassing load observes at time t:
 // memory with every store whose address is still unresolved at t undone,
 // byte by byte (committed stores are already in physical memory; the
 // pre-image log reverts the in-flight ones, youngest first).
 func (c *Core) transientRead(st *runState, pa uint64, t int64) uint64 {
-	buf := c.phys.ReadBytes(pa, 8)
+	var buf [8]byte
+	c.phys.ReadInto(pa, buf[:])
 	for i := len(st.stores) - 1; i >= 0; i-- {
 		s := &st.stores[i]
 		if s.addrTime <= t || !overlap8(s.pa, pa) {
@@ -241,7 +417,7 @@ func evalALU(op isa.Op, a, b uint64, imm int32) uint64 {
 // ep is non-nil inside a transient episode.
 func (c *Core) exec(mmu MMU, st *runState, in isa.Inst, pc, ipa uint64, ep *episodeCtx) outcome {
 	cfg := &c.cfg
-	d := st.dispatchSlot(*cfg)
+	d := st.dispatchSlot(cfg)
 
 	switch in.Op {
 	case isa.NOP:
@@ -437,11 +613,12 @@ func (c *Core) execBranch(mmu MMU, st *runState, in isa.Inst, pc uint64, d int64
 		wrongPC = nextPC
 		correctPC = target
 	}
-	clone := st.clone()
+	clone := c.getClone(st)
 	clone.pc = wrongPC
 	start := clone.fetchCycle
 	ev, n := c.runEpisode(mmu, clone, resolve)
 	st.stlds = append(st.stlds, ev...)
+	c.putClone(clone)
 	c.emitSquash(obs.SquashBranch, pc, start, resolve, int64(c.cfg.BranchMissPenalty), n)
 	st.redirect(correctPC, resolve+int64(c.cfg.BranchMissPenalty))
 	return outcome{}
@@ -619,7 +796,7 @@ func (c *Core) bypassLoad(mmu MMU, st *runState, in isa.Inst, q predict.Query, S
 	c.pmcs.Inc(pmc.Rollbacks)
 	verify := uMaxAddr + 1
 	st.attr.replay = (verify - tA) + int64(c.cfg.RollbackPenalty)
-	clone := st.clone()
+	clone := c.getClone(st)
 	clone.regs[in.Dst] = stale
 	clone.regTime[in.Dst] = tDone
 	if tDone > clone.maxLoadDone {
@@ -627,6 +804,7 @@ func (c *Core) bypassLoad(mmu MMU, st *runState, in isa.Inst, q predict.Query, S
 	}
 	ev, n := c.runEpisode(mmu, clone, verify)
 	st.stlds = append(st.stlds, ev...)
+	c.putClone(clone)
 	c.emitSquash(obs.SquashBypass, q.LoadIVA, tA, verify, int64(c.cfg.RollbackPenalty), n)
 	return c.replayLoad(st, pa, verify)
 }
@@ -665,7 +843,7 @@ func (c *Core) psfLoad(mmu MMU, st *runState, in isa.Inst, q predict.Query, S, U
 		verify = uMaxAddr + 1
 	}
 	st.attr.replay = (verify - tA) + int64(c.cfg.RollbackPenalty)
-	clone := st.clone()
+	clone := c.getClone(st)
 	clone.regs[in.Dst] = S.newVal
 	clone.regTime[in.Dst] = fwdDone
 	if fwdDone > clone.maxLoadDone {
@@ -673,6 +851,7 @@ func (c *Core) psfLoad(mmu MMU, st *runState, in isa.Inst, q predict.Query, S, U
 	}
 	ev, n := c.runEpisode(mmu, clone, verify)
 	st.stlds = append(st.stlds, ev...)
+	c.putClone(clone)
 	c.emitSquash(obs.SquashPSF, q.LoadIVA, tA, verify, int64(c.cfg.RollbackPenalty), n)
 	return c.replayLoad(st, pa, verify)
 }
@@ -707,11 +886,12 @@ func (c *Core) faultingLoad(mmu MMU, st *runState, in isa.Inst, pc, va uint64, d
 	// The fault is raised at retirement; the page walk and the trap entry
 	// leave a window of a few dozen cycles for dependents to run.
 	retireAt := max64(st.lastRetire, complete) + 32
-	clone := st.clone()
+	clone := c.getClone(st)
 	clone.regs[in.Dst] = 0
 	clone.regTime[in.Dst] = complete
 	ev, n := c.runEpisode(mmu, clone, retireAt)
 	st.stlds = append(st.stlds, ev...)
+	c.putClone(clone)
 	c.emitSquash(obs.SquashFault, pc, complete, retireAt, 0, n)
 	st.retire(complete)
 	return outcome{kind: oFault, fault: f, faultVA: va}

@@ -36,14 +36,14 @@ func Golden(phys *mem.Physical, mmu MMU, entry uint64, regs *[isa.NumRegs]uint64
 		var buf [isa.InstBytes]byte
 		first := mem.PageSize - mem.PageOffset(pc)
 		if first >= isa.InstBytes {
-			copy(buf[:], phys.ReadBytes(pa, isa.InstBytes))
+			phys.ReadInto(pa, buf[:])
 		} else {
-			copy(buf[:first], phys.ReadBytes(pa, int(first)))
+			phys.ReadInto(pa, buf[:first])
 			pa2, f2 := mmu.Translate(pc+first, mem.AccessExec)
 			if f2 != mem.FaultNone {
 				return GoldenResult{Stop: StopFault, EndPC: pc, Fault: f2, FaultVA: pc, Insts: insts}
 			}
-			copy(buf[first:], phys.ReadBytes(pa2, int(isa.InstBytes-first)))
+			phys.ReadInto(pa2, buf[first:])
 		}
 		in := isa.Decode(buf[:])
 		insts++

@@ -33,6 +33,13 @@ type MMU interface {
 	Translate(va uint64, acc mem.Access) (uint64, mem.Fault)
 }
 
+// epochMMU is the optional MMU extension the decoded-fetch cache keys on: a
+// counter that changes whenever any translation could. *mem.AddrSpace and
+// *kernel.Process implement it; an MMU without it runs with the cache off.
+type epochMMU interface {
+	TranslationEpoch() uint64
+}
+
 // Config sets the core's microarchitectural parameters. Zero values are
 // replaced by DefaultConfig's.
 type Config struct {
@@ -243,7 +250,90 @@ type Core struct {
 	bus          *obs.Bus
 	cpuID        int
 	tracerCancel func()
+
+	// Hot-loop reuse. All of it is semantics-preserving: the pooled state is
+	// fully re-initialized per use and the fetch cache revalidates against
+	// the frame version and translation epoch, so a Run computes exactly
+	// what it would with fresh allocations and uncached fetches.
+	runSt      *runState   // reusable top-level run state
+	epFree     []*runState // pool of transient-episode clones
+	fetchCache []fetchPage // direct-mapped decoded code pages
+	fetchGen   uint64      // generation tag of the current Run's MMU
+	fetchOK    bool        // cache usable for the current Run
+
+	// fetchGens maps recently seen MMUs to their generation tags so that
+	// alternating between address spaces (a context-switching attacker and
+	// victim) does not evict either one's cached decodes: entries from
+	// different MMUs coexist in fetchCache/xlat, distinguished by gen. An
+	// MMU whose epoch changed gets a fresh gen, orphaning its old entries.
+	fetchGens     [4]fetchGenEntry
+	fetchGenSeq   uint64 // last generation handed out (0 = never matches)
+	fetchGenClock uint64 // round-robin eviction cursor for fetchGens
+
+	// xlat caches successful data translations ([0] reads, [1] writes),
+	// validated by the same generation tag as the fetch cache. Failed
+	// translations (faults, COW write breaks) are never cached, so the
+	// fault behaviour is exactly the page table's.
+	xlat [2][xlatCacheSize]xlatEntry
+
+	// instEv is the staging buffer for the boxing-free EmitInst fast path.
+	// It lives on the Core rather than the loop frame because its address
+	// escapes into the observer call: a stack-declared event would be
+	// heap-allocated once per Run even when nothing is subscribed. The Bus
+	// contract (the pointee is only valid for the duration of the call)
+	// makes the reuse safe.
+	instEv obs.InstEvent
 }
+
+// fetchGenEntry associates one MMU with its current generation tag.
+type fetchGenEntry struct {
+	mmu   MMU
+	epoch uint64
+	gen   uint64
+}
+
+// xlatEntry caches one successful data-page translation.
+type xlatEntry struct {
+	vpn uint64
+	pa  uint64 // page-aligned physical base
+	gen uint64
+}
+
+// xlatCacheSize is the per-kind data-translation cache size (power of two).
+const xlatCacheSize = 256
+
+// fetchPage caches one whole decoded code page: the first fetch from a page
+// decodes all of its instruction slots at once, so freshly placed gadgets
+// (new code at new addresses every probe) pay one page walk and one batch
+// decode instead of a slow fetch per instruction. An entry is valid while
+// the generation matches (same MMU, same translation epoch — see fetchGens)
+// and the backing frame is unwritten (Frame.Version); decoding is a pure
+// function of the frame bytes, so a valid hit is bit-identical to decoding
+// on the spot.
+//
+// Slots are decoded at the alignment class (pc mod InstBytes) of the fetch
+// that filled the entry — code sliding executes at arbitrary byte offsets —
+// and a fetch at a different alignment refills the page. Slot i covers bytes
+// [align+i*8, align+i*8+8); the partial tail slot of a misaligned page is
+// never filled and never served (the fast path bounds the offset).
+type fetchPage struct {
+	vpn    uint64
+	paBase uint64 // page-aligned physical base
+	fver   uint64
+	gen    uint64
+	align  uint64 // pc mod InstBytes this page was decoded at
+	frame  *mem.Frame
+	insts  *[pageInsts]isa.Inst
+}
+
+// pageInsts is the number of fixed-size instruction slots in one page.
+const pageInsts = mem.PageSize / isa.InstBytes
+
+// fetchCacheSize is the direct-mapped decoded-page cache size (power of
+// two). The fingerprinting experiments keep a few hundred code pages live at
+// once (two per placed probe), so the size must comfortably exceed that:
+// decoded-inst arrays are allocated lazily per touched slot (≤4KB each).
+const fetchCacheSize = 1024
 
 // AttachBus connects the core to an event bus as hardware thread cpuID. The
 // kernel model attaches every core of a machine to one shared bus at boot; a
@@ -342,7 +432,8 @@ func (c *Core) Run(mmu MMU, entry uint64, regs *[isa.NumRegs]uint64, maxInsts ui
 	if pmcOn {
 		pmcStart = c.pmcs.Snapshot()
 	}
-	st := newRunState(c, entry, *regs)
+	c.prepFetch(mmu)
+	st := c.acquireRun(entry, *regs)
 	res := c.mainLoop(mmu, st, maxInsts)
 	*regs = st.regs
 	// Advance the global clock past everything this run did, with a small
@@ -358,6 +449,41 @@ func (c *Core) Run(mmu MMU, entry uint64, regs *[isa.NumRegs]uint64, maxInsts ui
 		c.bus.Emit(obs.PMCEvent{CPU: c.cpuID, Cycle: c.cycle, Counts: c.pmcs.Delta(pmcStart)})
 	}
 	return res
+}
+
+// prepFetch arms the decoded-fetch cache for one Run. Translations only
+// change through mapping calls (which bump the MMU's epoch) and never during
+// a Run, so one epoch check per Run suffices; frame content changes are
+// caught per-hit through Frame.Version.
+func (c *Core) prepFetch(mmu MMU) {
+	em, ok := mmu.(epochMMU)
+	if !ok {
+		c.fetchOK = false
+		return
+	}
+	epoch := em.TranslationEpoch()
+	if c.fetchCache == nil {
+		c.fetchCache = make([]fetchPage, fetchCacheSize)
+	}
+	for i := range c.fetchGens {
+		g := &c.fetchGens[i]
+		if g.mmu == mmu {
+			if g.epoch != epoch {
+				c.fetchGenSeq++
+				g.gen = c.fetchGenSeq
+				g.epoch = epoch
+			}
+			c.fetchGen = g.gen
+			c.fetchOK = true
+			return
+		}
+	}
+	slot := &c.fetchGens[c.fetchGenClock%uint64(len(c.fetchGens))]
+	c.fetchGenClock++
+	c.fetchGenSeq++
+	*slot = fetchGenEntry{mmu: mmu, epoch: epoch, gen: c.fetchGenSeq}
+	c.fetchGen = slot.gen
+	c.fetchOK = true
 }
 
 func (c *Core) String() string {

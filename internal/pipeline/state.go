@@ -39,14 +39,29 @@ func newPorts(cfg Config) ports {
 	}
 }
 
-func (p ports) clone() ports {
-	c := ports{
-		alu: append([]int64(nil), p.alu...),
-		mul: append([]int64(nil), p.mul...),
-		ld:  append([]int64(nil), p.ld...),
-		st:  append([]int64(nil), p.st...),
+// copyFrom overwrites p with src, reusing p's backing arrays when they are
+// large enough (they always are after the first use, since port counts are
+// fixed per core).
+func (p *ports) copyFrom(src *ports) {
+	p.alu = append(p.alu[:0], src.alu...)
+	p.mul = append(p.mul[:0], src.mul...)
+	p.ld = append(p.ld[:0], src.ld...)
+	p.st = append(p.st[:0], src.st...)
+}
+
+func (p *ports) fill(v int64) {
+	for i := range p.alu {
+		p.alu[i] = v
 	}
-	return c
+	for i := range p.mul {
+		p.mul[i] = v
+	}
+	for i := range p.ld {
+		p.ld[i] = v
+	}
+	for i := range p.st {
+		p.st[i] = v
+	}
 }
 
 // acquire picks the earliest-free port in group, no earlier than ready, and
@@ -122,53 +137,81 @@ type instAttr struct {
 	replay   int64
 }
 
-func newRunState(c *Core, entry uint64, regs [isa.NumRegs]uint64) *runState {
-	st := &runState{
-		regs:       regs,
-		pc:         entry,
-		fetchCycle: c.cycle,
-		lastRetire: c.cycle,
-		retireRing: make([]int64, c.cfg.ROBSize),
-		sqRing:     make([]int64, c.cfg.SQSize),
-		lqRing:     make([]int64, c.cfg.LQSize),
-		ports:      newPorts(c.cfg),
+// acquireRun returns the core's reusable top-level run state, fully
+// re-initialized — every field a fresh allocation would hold is rewritten, so
+// reuse is invisible to the simulation.
+func (c *Core) acquireRun(entry uint64, regs [isa.NumRegs]uint64) *runState {
+	st := c.runSt
+	if st == nil {
+		st = &runState{
+			retireRing: make([]int64, c.cfg.ROBSize),
+			sqRing:     make([]int64, c.cfg.SQSize),
+			lqRing:     make([]int64, c.cfg.LQSize),
+			ports:      newPorts(c.cfg),
+		}
+		c.runSt = st
 	}
+	st.regs = regs
 	for i := range st.regTime {
 		st.regTime[i] = c.cycle
 	}
-	for i := range st.ports.alu {
-		st.ports.alu[i] = c.cycle
-	}
-	for i := range st.ports.mul {
-		st.ports.mul[i] = c.cycle
-	}
-	for i := range st.ports.ld {
-		st.ports.ld[i] = c.cycle
-	}
-	for i := range st.ports.st {
-		st.ports.st[i] = c.cycle
-	}
+	st.pc = entry
+	st.fetchCycle = c.cycle
+	st.fetchedInCy = 0
+	st.retireLen, st.retireIdx = 0, 0
+	st.lastRetire = c.cycle
+	st.sqLen, st.sqIdx = 0, 0
+	st.lqLen, st.lqIdx = 0, 0
+	st.ports.fill(c.cycle)
+	st.stores = st.stores[:0]
 	st.maxDone = c.cycle
 	st.maxMemDone = c.cycle
 	st.maxStoreDone = c.cycle
 	st.maxLoadDone = c.cycle
+	st.seq = 0
+	st.insts = 0
+	st.stlds = st.stlds[:0]
+	st.attr = instAttr{}
 	return st
 }
 
-func (st *runState) clone() *runState {
-	c := *st
-	c.retireRing = append([]int64(nil), st.retireRing...)
-	c.sqRing = append([]int64(nil), st.sqRing...)
-	c.lqRing = append([]int64(nil), st.lqRing...)
-	c.ports = st.ports.clone()
-	c.stores = append([]storeRec(nil), st.stores...)
-	c.stlds = nil // episode events are appended to the parent by the caller
-	return &c
+// getClone deep-copies st into a pooled episode state. Episodes never nest
+// (every episode-opening path returns early inside one), but the pool keeps a
+// free list anyway so a future nesting change stays correct. Callers must
+// putClone when the episode's events have been copied out.
+func (c *Core) getClone(st *runState) *runState {
+	var dst *runState
+	if n := len(c.epFree); n > 0 {
+		dst = c.epFree[n-1]
+		c.epFree = c.epFree[:n-1]
+	} else {
+		dst = &runState{}
+	}
+	dst.copyFrom(st)
+	return dst
+}
+
+// putClone returns an episode state to the pool.
+func (c *Core) putClone(st *runState) { c.epFree = append(c.epFree, st) }
+
+// copyFrom makes st a deep copy of src, reusing st's backing arrays.
+func (st *runState) copyFrom(src *runState) {
+	retire, sq, lq := st.retireRing, st.sqRing, st.lqRing
+	prts := st.ports
+	stores, stlds := st.stores, st.stlds
+	*st = *src
+	st.retireRing = append(retire[:0], src.retireRing...)
+	st.sqRing = append(sq[:0], src.sqRing...)
+	st.lqRing = append(lq[:0], src.lqRing...)
+	st.ports = prts
+	st.ports.copyFrom(&src.ports)
+	st.stores = append(stores[:0], src.stores...)
+	st.stlds = stlds[:0] // episode events are appended to the parent by the caller
 }
 
 // dispatchSlot returns the dispatch time for the next instruction, modeling
 // fetch width and the ROB window, and advances the fetch bookkeeping.
-func (st *runState) dispatchSlot(cfg Config) int64 {
+func (st *runState) dispatchSlot(cfg *Config) int64 {
 	if st.fetchedInCy >= cfg.FetchWidth {
 		st.fetchCycle++
 		st.fetchedInCy = 0

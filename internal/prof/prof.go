@@ -78,39 +78,45 @@ func New() *Profile {
 // Classes returns the event classes a Profile needs.
 func Classes() []obs.Class { return []obs.Class{obs.ClassInst, obs.ClassSquash} }
 
+// HandleInst implements obs.InstObserver: the boxing-free delivery of the
+// per-instruction event. Must stay equivalent to HandleEvent on the value.
+func (p *Profile) HandleInst(ev *obs.InstEvent) {
+	issue := ev.Issue - ev.Dispatch
+	exec := ev.Complete - ev.Issue - ev.SQStall - ev.Replay
+	retire := ev.RetiredBy - ev.Complete
+	if issue < 0 {
+		issue = 0
+	}
+	if exec < 0 {
+		exec = 0
+	}
+	if retire < 0 || ev.Transient {
+		retire = 0
+	}
+	p.mu.Lock()
+	s := p.sites[Key{ev.PC, ev.Inst.Op}]
+	if s == nil {
+		s = &site{}
+		p.sites[Key{ev.PC, ev.Inst.Op}] = s
+	}
+	if ev.Transient {
+		s.transient++
+	} else {
+		s.count++
+	}
+	s.issue += issue
+	s.execute += exec
+	s.sqStall += ev.SQStall
+	s.replay += ev.Replay
+	s.retire += retire
+	p.mu.Unlock()
+}
+
 // HandleEvent implements obs.Observer.
 func (p *Profile) HandleEvent(e obs.Event) {
 	switch ev := e.(type) {
 	case obs.InstEvent:
-		issue := ev.Issue - ev.Dispatch
-		exec := ev.Complete - ev.Issue - ev.SQStall - ev.Replay
-		retire := ev.RetiredBy - ev.Complete
-		if issue < 0 {
-			issue = 0
-		}
-		if exec < 0 {
-			exec = 0
-		}
-		if retire < 0 || ev.Transient {
-			retire = 0
-		}
-		p.mu.Lock()
-		s := p.sites[Key{ev.PC, ev.Inst.Op}]
-		if s == nil {
-			s = &site{}
-			p.sites[Key{ev.PC, ev.Inst.Op}] = s
-		}
-		if ev.Transient {
-			s.transient++
-		} else {
-			s.count++
-		}
-		s.issue += issue
-		s.execute += exec
-		s.sqStall += ev.SQStall
-		s.replay += ev.Replay
-		s.retire += retire
-		p.mu.Unlock()
+		p.HandleInst(&ev)
 	case obs.SquashEvent:
 		window := ev.Verify - ev.Start
 		if window < 0 {

@@ -216,13 +216,13 @@ type Fig5Result struct {
 // 12; SSBP rises gradually past 50% at 16 and ~90% at 32. Every (size,
 // trial) cell is an independent machine with a seed derived only from the
 // cell, so the grid runs flattened on the harness worker pool.
-func Fig5(cfg kernel.Config, sizes []int, trials int) Fig5Result {
+func Fig5(cfg kernel.Config, pool *harness.ArenaPool, sizes []int, trials int) Fig5Result {
 	type cell struct{ psfp, ssbp int }
-	cells := harness.Trials(harness.Workers(cfg.Parallelism), len(sizes)*trials, func(c int) cell {
+	cells := harness.TrialsArena(pool, harness.Workers(cfg.Parallelism), len(sizes)*trials, func(c int, a *harness.Arena) cell {
 		k, trial := sizes[c/trials], c%trials
 		tcfg := cfg
 		tcfg.Seed = cfg.Seed + int64(trial*1000+k)
-		return cell{fig5PSFPTrial(tcfg, k, trial), fig5SSBPTrial(tcfg, k, trial)}
+		return cell{fig5PSFPTrial(tcfg, a, k, trial), fig5SSBPTrial(tcfg, a, k, trial)}
 	})
 	var res Fig5Result
 	for si, k := range sizes {
@@ -240,14 +240,16 @@ func Fig5(cfg kernel.Config, sizes []int, trials int) Fig5Result {
 // fig5PSFPTrial follows the paper's protocol: train a base entry, clear the
 // shared C3 through a same-load-hash drainer, prime with k random-hash
 // stlds, and probe with (5n): stalls mean the base survived.
-func fig5PSFPTrial(cfg kernel.Config, k, trial int) int {
+func fig5PSFPTrial(cfg kernel.Config, a *harness.Arena, k, trial int) int {
 	l := NewLab(cfg)
 	r := rand.New(rand.NewSource(int64(trial)*7919 + int64(k)))
 	base := l.PlaceStldHash(0x0f0, 0x0e0)
 	drainer := l.PlaceStldHash(0x0f1, 0x0e0) // same load hash, other store hash
 	base.Phi(Seq(7, -1, 7, -1, 7, -1))       // C0=4, C3=15
 	drainer.Phi(Seq(40))                     // clears C3 without touching base PSFP
-	used := map[uint32]bool{0x0f000e0: true, 0x0f100e0: true}
+	used := a.BoolMap32()
+	used[0x0f000e0] = true
+	used[0x0f100e0] = true
 	for i := 0; i < k; i++ {
 		var sh, lh uint16
 		for {
@@ -276,7 +278,7 @@ func fig5PSFPTrial(cfg kernel.Config, k, trial int) int {
 
 // fig5SSBPTrial trains the base SSBP entry to C3=15, primes k random
 // entries, and probes: a fast first probe means the entry was evicted.
-func fig5SSBPTrial(cfg kernel.Config, k, trial int) int {
+func fig5SSBPTrial(cfg kernel.Config, a *harness.Arena, k, trial int) int {
 	l := NewLab(cfg)
 	r := rand.New(rand.NewSource(int64(trial)*104729 + int64(k)))
 	base := l.PlaceStldHash(0x0f0, 0x0e0)
@@ -286,13 +288,14 @@ func fig5SSBPTrial(cfg kernel.Config, k, trial int) int {
 	for i := 0; i < 4; i++ {
 		base.Run(false)
 	}
-	used := map[uint16]bool{0x0e0: true}
+	used := a.BoolMap32()
+	used[0x0e0] = true
 	for i := 0; i < k; i++ {
 		var lh uint16
 		for {
 			lh = uint16(r.Intn(predict.HashEntries))
-			if !used[lh] {
-				used[lh] = true
+			if !used[uint32(lh)] {
+				used[uint32(lh)] = true
 				break
 			}
 		}

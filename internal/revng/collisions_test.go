@@ -19,7 +19,7 @@ func TestFig5EvictionCurves(t *testing.T) {
 	if testing.Short() {
 		t.Skip("eviction curves are slow")
 	}
-	res := Fig5(baseCfg(), []int{8, 11, 12, 16, 32}, 12)
+	res := Fig5(baseCfg(), nil, []int{8, 11, 12, 16, 32}, 12)
 	point := func(ps []EvictionPoint, size int) float64 {
 		for _, p := range ps {
 			if p.SetSize == size {

@@ -34,7 +34,7 @@ func SMTMode(cfg kernel.Config) SMTModeResult {
 		for k := 8; k <= 16; k++ {
 			tcfg := cfg
 			tcfg.SMTThreads = threads
-			if fig5PSFPTrial(tcfg, k, 1) == 1 {
+			if fig5PSFPTrial(tcfg, new(harness.Arena), k, 1) == 1 {
 				return k
 			}
 		}
@@ -135,7 +135,7 @@ func PSFPSizeAblation(cfg kernel.Config, sizes []int) []AblationPoint {
 		tcfg.PredictorConfig = predict.Config{PSFPSize: size}
 		threshold := -1
 		for k := 1; k <= size+6; k++ {
-			if fig5PSFPTrial(tcfg, k, 1) == 1 {
+			if fig5PSFPTrial(tcfg, new(harness.Arena), k, 1) == 1 {
 				threshold = k
 				break
 			}
@@ -157,7 +157,7 @@ func SSBPWaysAblation(cfg kernel.Config, ways []int, trials int) []SSBPWaysPoint
 				tcfg := cfg
 				tcfg.Seed = cfg.Seed + int64(t*131+w)
 				tcfg.PredictorConfig = predict.Config{SSBPWays: w}
-				ev += fig5SSBPTrial(tcfg, k, t)
+				ev += fig5SSBPTrial(tcfg, new(harness.Arena), k, t)
 			}
 			return float64(ev) / float64(trials)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"zenspec/internal/harness"
 	"zenspec/internal/kernel"
 )
 
@@ -84,7 +85,7 @@ func Infer(cfg kernel.Config) InferredParams {
 
 	// PSFP capacity: the Fig 5 step.
 	for k := 2; k <= 24; k++ {
-		if fig5PSFPTrial(cfg, k, 1) == 1 {
+		if fig5PSFPTrial(cfg, new(harness.Arena), k, 1) == 1 {
 			out.PSFPEvictionThreshold = k
 			break
 		}

@@ -28,6 +28,7 @@ type FlushReload struct {
 
 	codeVA    uint64
 	threshold uint64
+	hitsBuf   []int // reused by Reload across sweeps
 }
 
 // New maps the timing routine into p and calibrates the hit/miss threshold.
@@ -109,6 +110,11 @@ func (f *FlushReload) Threshold() uint64 { return f.threshold }
 func (f *FlushReload) slot(v int) uint64 { return f.ProbeVA + uint64(v)*f.Stride }
 
 // FlushAll evicts every probe slot (the Flush phase).
+//
+// Every slot is flushed unconditionally even when its line is already absent:
+// cache.Flush counts the flush in the hierarchy's statistics and emits a
+// cache event per probed line, so skipping "redundant" flush passes would
+// change the metrics reports and recorded traces for an identical attack.
 func (f *FlushReload) FlushAll() {
 	for v := 0; v < f.Entries; v++ {
 		f.P.FlushLine(f.slot(v))
@@ -128,8 +134,10 @@ func (f *FlushReload) emitProbe(slot int, va, t uint64, hit bool) {
 
 // Reload times every slot and returns the indices that hit (the Reload
 // phase). The scan itself refills lines, so each round must FlushAll first.
+// The returned slice is reused by the next Reload on this FlushReload; copy
+// it to retain hits across sweeps.
 func (f *FlushReload) Reload() []int {
-	var hits []int
+	hits := f.hitsBuf[:0]
 	for v := 0; v < f.Entries; v++ {
 		va := f.slot(v)
 		t := f.Time(va)
@@ -139,6 +147,7 @@ func (f *FlushReload) Reload() []int {
 			hits = append(hits, v)
 		}
 	}
+	f.hitsBuf = hits
 	return hits
 }
 

@@ -223,6 +223,20 @@ func schedules(kind Kind, runs int) []schedule {
 	return out
 }
 
+// dynTracer subscribes the machine's trace buffer through the boxing-free
+// obs.InstObserver fast path.
+type dynTracer dynMachine
+
+// HandleInst implements obs.InstObserver.
+func (t *dynTracer) HandleInst(e *obs.InstEvent) { t.trace = append(t.trace, *e) }
+
+// HandleEvent implements obs.Observer.
+func (t *dynTracer) HandleEvent(e obs.Event) {
+	if ie, ok := e.(obs.InstEvent); ok {
+		t.trace = append(t.trace, ie)
+	}
+}
+
 // dynMachine is a minimal single-address-space machine for replays.
 type dynMachine struct {
 	phys  *mem.Physical
@@ -243,11 +257,7 @@ func newDynMachine(code []byte, base, fill uint64) *dynMachine {
 	m.core = pipeline.New(pipeline.Config{}, m.phys, m.ch, m.unit, &pmc.Counters{})
 	bus := obs.NewBus()
 	m.core.AttachBus(bus, 0)
-	bus.Subscribe(obs.ObserverFunc(func(e obs.Event) {
-		if ie, ok := e.(obs.InstEvent); ok {
-			m.trace = append(m.trace, ie)
-		}
-	}), obs.Options{Classes: []obs.Class{obs.ClassInst}})
+	bus.Subscribe((*dynTracer)(m), obs.Options{Classes: []obs.Class{obs.ClassInst}})
 
 	// Low RW region for data: every pointerish register and every masked
 	// secret-derived displacement lands somewhere in here.

@@ -37,6 +37,30 @@ echo "== speccheck summary-equivalence fuzz smoke =="
 go test -run=FuzzSummaryEquivalence -fuzz=FuzzSummaryEquivalence \
     -fuzztime 10s ./internal/speccheck
 
+echo "== core microbenchmark smoke (allocation invariants) =="
+# One short pass over the per-cycle hot-path benchmarks. The grep gates the
+# zero-allocation invariants at the benchmark level too (the dedicated
+# AllocsPerRun tests already ran under -race above): the steady-state
+# pipeline step, both emit paths, and the Flush+Reload sweep must all report
+# 0 allocs/op. benchstat renders the table when installed (CI installs it),
+# with a visible skip locally.
+bench_out=$(mktemp)
+go test -run '^$' \
+    -bench 'BenchmarkCoreStep|BenchmarkObsEmitFast|BenchmarkObsEmitDisabled|BenchmarkFlushReloadSweep' \
+    -benchtime 100x -count 1 . | tee "$bench_out"
+benches=$(grep -c '^Benchmark' "$bench_out")
+zeroalloc=$(grep -c '	 *0 allocs/op' "$bench_out") || true
+if [ "$benches" -ne 4 ] || [ "$zeroalloc" -ne 4 ]; then
+    echo "core benchmarks must all report 0 allocs/op ($zeroalloc of $benches did)" >&2
+    exit 1
+fi
+if command -v benchstat >/dev/null 2>&1; then
+    benchstat "$bench_out"
+else
+    echo "benchstat not installed; raw go test -bench output above" >&2
+fi
+rm -f "$bench_out"
+
 echo "== experiment suite smoke (quick, JSON) =="
 suite_json=$(mktemp)
 fault_json=$(mktemp)

@@ -458,7 +458,7 @@ func Fig4(cfg Config, targets int) revng.Fig4Result {
 
 // Fig5 measures the PSFP/SSBP eviction-rate curves.
 func Fig5(cfg Config, sizes []int, trials int) revng.Fig5Result {
-	return revng.Fig5(cfg.kernelConfig(), sizes, trials)
+	return revng.Fig5(cfg.kernelConfig(), nil, sizes, trials)
 }
 
 // Fig7 measures collision-finding attempts (SSBP) and the PSFP distance
