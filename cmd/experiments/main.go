@@ -5,15 +5,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
+	"syscall"
+	"time"
 
 	"zenspec"
+	"zenspec/internal/service"
 )
 
 func main() { os.Exit(run()) }
@@ -24,6 +30,7 @@ func run() int {
 	seed := flag.Int64("seed", 42, "simulation seed (results are deterministic per seed)")
 	quick := flag.Bool("quick", false, "reduced trial counts and secret sizes")
 	jsonOut := flag.Bool("json", false, "emit the suite report as JSON instead of text")
+	stable := flag.Bool("stable", false, "emit the suite report as StableJSON (host-dependent fields zeroed; byte-comparable across runs and worker counts)")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all; see -list)")
 	faults := flag.String("faults", "", "fault-injection plan: none|mild|default|harsh or an inline JSON plan object")
 	parallel := flag.Int("parallel", 0, "trial-runner workers; 0 means GOMAXPROCS (results are identical at any value)")
@@ -40,6 +47,10 @@ func run() int {
 	traceClasses := flag.String("trace-classes", "", "comma-separated event classes to trace: inst,squash,forward,predict,cache,probe,kernel,fault,pmc (default: all)")
 	validateTrace := flag.String("validate-trace", "", "validate a trace file written by -trace: JSON with at least one complete event")
 	list := flag.Bool("list", false, "list the registered experiments and exit")
+	submit := flag.String("submit", "", "submit the run as a job to a zenspecd service at this base URL (e.g. http://127.0.0.1:8787) instead of running locally")
+	priority := flag.Int("priority", 0, "job priority when submitting with -submit (higher runs first)")
+	deadline := flag.Duration("deadline", 0, "per-shard deadline when submitting with -submit (0 = none)")
+	retries := flag.Int("retries", 0, "per-shard retry budget after deadline overruns when submitting with -submit")
 	flag.Parse()
 
 	if *list {
@@ -134,6 +145,14 @@ func run() int {
 		}
 	}
 
+	if *submit != "" {
+		return submitJob(*submit, service.JobSpec{
+			Seed: *seed, Quick: *quick, Only: ids, Faults: *faults,
+			Metrics: *metrics, Profile: *profile,
+			Priority: *priority, Deadline: *deadline, Retries: *retries,
+		}, *stable, *jsonOut)
+	}
+
 	if *benchJSON != "" {
 		bench, err := zenspec.BenchExperiments(cfg, *quick, ids)
 		if err != nil {
@@ -160,7 +179,55 @@ func run() int {
 		return 0
 	}
 
-	suite, err := zenspec.RunExperiments(cfg, *quick, ids)
+	// Trap SIGINT/SIGTERM: an interrupted suite still writes a partial report
+	// assembled from whatever experiments completed (the rest are marked
+	// skipped), so a long run cut short is never a total loss.
+	var (
+		mu        sync.Mutex
+		collected = make(map[string]zenspec.ExperimentReport)
+	)
+	prevCompleted := cfg.Completed
+	cfg.Completed = func(r zenspec.ExperimentReport) {
+		mu.Lock()
+		collected[r.ID] = r
+		mu.Unlock()
+		if prevCompleted != nil {
+			prevCompleted(r)
+		}
+	}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	type result struct {
+		suite zenspec.ExperimentSuite
+		err   error
+	}
+	done := make(chan result, 1)
+	go func() {
+		s, err := zenspec.RunExperiments(cfg, *quick, ids)
+		done <- result{s, err}
+	}()
+	var suite zenspec.ExperimentSuite
+	select {
+	case sig := <-sigs:
+		mu.Lock()
+		partial := make(map[string]zenspec.ExperimentReport, len(collected))
+		for id, r := range collected {
+			partial[id] = r
+		}
+		mu.Unlock()
+		suite, err = zenspec.AssembleExperiments(cfg, *quick, ids, partial)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "experiments: interrupted by %v after %d/%d experiments; emitting partial report\n",
+			sig, len(partial), len(suite.Experiments))
+		emit(suite, *stable, *jsonOut)
+		return 1
+	case r := <-done:
+		suite, err = r.suite, r.err
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		return 2
@@ -214,15 +281,76 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "experiments: wrote folded flamegraph to %s\n", *flame)
 		}
 	}
-	if *jsonOut {
+	if code := emit(suite, *stable, *jsonOut); code != 0 {
+		return code
+	}
+	if !suite.AllPass() {
+		fmt.Fprintf(os.Stderr, "experiments: outside paper band: %s\n", strings.Join(suite.Failed(), ", "))
+		return 1
+	}
+	return 0
+}
+
+// emit renders a suite report to stdout in the selected format and returns a
+// non-zero exit code only on render failure (band verdicts are the caller's).
+func emit(suite zenspec.ExperimentSuite, stable, jsonOut bool) int {
+	switch {
+	case stable:
+		b, err := suite.StableJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 2
+		}
+		fmt.Println(string(b))
+	case jsonOut:
 		b, err := suite.JSON()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			return 2
 		}
 		fmt.Println(string(b))
-	} else {
+	default:
 		fmt.Print(suite.Text())
+	}
+	return 0
+}
+
+// submitJob runs the suite remotely: it submits the spec to a zenspecd
+// service, waits for the job (SIGINT/SIGTERM abandon the wait but leave the
+// job running server-side — it is journaled and survives both of us), then
+// fetches and renders the merged report with the same formatting and exit
+// semantics as a local run.
+func submitJob(base string, spec service.JobSpec, stable, jsonOut bool) int {
+	c := &service.Client{Base: strings.TrimRight(base, "/")}
+	id, err := c.Submit(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "experiments: submitted %s to %s\n", id, c.Base)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	st, err := c.Wait(ctx, id, 200*time.Millisecond)
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "experiments: interrupted; job %s keeps running on the service (fetch later with GET %s/jobs/%s/report)\n",
+				id, c.Base, id)
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 2
+	}
+	if st.State != service.JobDone {
+		fmt.Fprintf(os.Stderr, "experiments: job %s %s: %s\n", id, st.State, st.Error)
+		return 1
+	}
+	suite, err := c.Report(id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 2
+	}
+	if code := emit(suite, stable, jsonOut); code != 0 {
+		return code
 	}
 	if !suite.AllPass() {
 		fmt.Fprintf(os.Stderr, "experiments: outside paper band: %s\n", strings.Join(suite.Failed(), ", "))

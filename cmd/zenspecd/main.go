@@ -1,0 +1,90 @@
+// Command zenspecd is the crash-safe simulation service: a long-lived daemon
+// exposing the experiment registry over an HTTP JSON API. Submitted jobs are
+// journaled to a checksummed write-ahead log before they run, executed shard
+// by shard (one experiment per shard) by a leased worker pool, and their
+// completed Report fragments persisted idempotently — so a daemon killed at
+// any point resumes every unfinished job at shard granularity on restart,
+// and the resumed job's merged StableJSON report is byte-identical to an
+// uninterrupted run's. SIGINT/SIGTERM drain in-flight shards, checkpoint the
+// journal, and exit; kill -9 loses at most the shards in flight.
+//
+// See the README's "Service" section and EXPERIMENTS.md for the API and a
+// kill-and-resume walkthrough.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"zenspec/internal/harness/suite"
+	"zenspec/internal/service"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	dir := flag.String("dir", "zenspecd.state", "durable state directory (the job journal lives here)")
+	addr := flag.String("addr", "127.0.0.1:8787", "HTTP listen address (\":0\" picks a free port)")
+	workers := flag.Int("workers", 0, "shard worker pool size; 0 means GOMAXPROCS")
+	parallel := flag.Int("parallel", 1, "per-shard trial-loop parallelism (reports are identical at any value)")
+	lease := flag.Duration("lease", 5*time.Second, "shard lease TTL; a worker silent this long is presumed dead and its shard re-queued")
+	backoff := flag.Duration("backoff", 100*time.Millisecond, "base deterministic retry backoff after a shard deadline overrun")
+	maxBackoff := flag.Duration("max-backoff", 5*time.Second, "retry backoff cap")
+	drain := flag.Duration("drain", 10*time.Minute, "graceful-shutdown budget for in-flight shards before they are cancelled")
+	flag.Parse()
+
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	d, err := service.Open(service.Config{
+		Dir:         *dir,
+		Registry:    suite.Registry(),
+		Workers:     w,
+		Parallelism: *parallel,
+		Lease:       *lease,
+		Backoff:     *backoff,
+		MaxBackoff:  *maxBackoff,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zenspecd:", err)
+		return 2
+	}
+	resumed := 0
+	for _, st := range d.Jobs() {
+		if !st.Terminal() {
+			resumed++
+		}
+	}
+	if resumed > 0 {
+		fmt.Fprintf(os.Stderr, "zenspecd: resuming %d unfinished job(s) from the journal\n", resumed)
+	}
+
+	srv := service.NewServer(d)
+	bound, err := srv.Serve(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zenspecd:", err)
+		return 2
+	}
+	// Parsed by tooling (verify.sh) — keep the format stable.
+	fmt.Printf("zenspecd: listening on http://%s\n", bound)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	<-ctx.Done()
+	stop()
+	fmt.Fprintln(os.Stderr, "zenspecd: draining in-flight shards...")
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "zenspecd: shutdown:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "zenspecd: journal checkpointed, exiting")
+	return 0
+}

@@ -37,6 +37,18 @@ type Ctx struct {
 	// ID about to run, and once after the last with done == total. It feeds
 	// live telemetry; leave nil when nothing is watching.
 	Progress func(done, total int, id string)
+	// TrialProgress, when non-nil, is called by ResilientTrials after every
+	// finished trial with the completed count and the trial total of the
+	// current loop. Completion order is scheduling-dependent, so the hook is
+	// observational only (per-shard progress streaming, worker lease
+	// heartbeats); it must tolerate concurrent calls and must never feed
+	// back into results.
+	TrialProgress func(done, total int)
+	// Completed, when non-nil, is called with every finished experiment
+	// report, in completion order, from RunShard and RunTagged alike. It is
+	// how a partial suite survives an interrupted run: the caller accumulates
+	// reports as they land and can assemble a checkpoint at any time.
+	Completed func(Report)
 	// Arenas recycles per-worker scratch arenas (TrialsArena) across the
 	// suite's experiments. RunTagged installs one automatically; a nil pool
 	// still works everywhere and just forgoes recycling.
@@ -168,45 +180,106 @@ func (r *Registry) RunTagged(ctx Ctx, ids []string, tag string) (SuiteReport, er
 		if ctx.Progress != nil {
 			ctx.Progress(i, len(exps), e.ID)
 		}
-		// Collect the previous experiment's garbage outside the timed
-		// region: one experiment's heap debt must not inflate the next
-		// one's wall clock (results are unaffected either way — WallMS is
-		// excluded from the stable report).
-		runtime.GC()
-		start := time.Now()
-		ectx := ctx
-		var mc *obs.Metrics
-		if ctx.Metrics {
-			// A fresh registry per experiment, composed with any caller
-			// observer; the experiment's machines subscribe it at boot.
-			mc = obs.NewMetrics()
-			ectx.Config.Observer = obs.Multi(ectx.Config.Observer, mc)
-		}
-		var pp *prof.Profile
-		if ctx.Profile {
-			// Likewise one profile per experiment, shared by all its trials.
-			pp = prof.New()
-			ectx.Config.Observer = obs.Multi(ectx.Config.Observer, pp)
-		}
-		rep := runIsolated(e, ectx)
-		rep.ID = e.ID
-		rep.Title = e.Title
-		rep.Paper = e.Paper
-		if rep.Status == "" {
-			rep.Status = StatusClean
-		}
-		if mc != nil {
-			rep.Micro = mc.Snapshot()
-		}
-		if pp != nil {
-			rep.Profile = pp.Snapshot()
-		}
-		rep.Pass = rep.computePass()
-		rep.WallMS = float64(time.Since(start).Microseconds()) / 1000
-		suite.Experiments = append(suite.Experiments, rep)
+		suite.Experiments = append(suite.Experiments, runOne(e, ctx))
 	}
 	if ctx.Progress != nil {
 		ctx.Progress(len(exps), len(exps), "")
+	}
+	return suite, nil
+}
+
+// runOne executes a single experiment exactly as one RunTagged iteration
+// would: fresh metrics/profile registries, panic isolation, verdict and wall
+// clock. Both the sequential suite runner and the service's shard workers
+// funnel through it, which is what makes a shard-merged suite byte-identical
+// to an uninterrupted run.
+func runOne(e Experiment, ctx Ctx) Report {
+	// Collect the previous experiment's garbage outside the timed region:
+	// one experiment's heap debt must not inflate the next one's wall clock
+	// (results are unaffected either way — WallMS is excluded from the
+	// stable report).
+	runtime.GC()
+	start := time.Now()
+	ectx := ctx
+	var mc *obs.Metrics
+	if ctx.Metrics {
+		// A fresh registry per experiment, composed with any caller
+		// observer; the experiment's machines subscribe it at boot.
+		mc = obs.NewMetrics()
+		ectx.Config.Observer = obs.Multi(ectx.Config.Observer, mc)
+	}
+	var pp *prof.Profile
+	if ctx.Profile {
+		// Likewise one profile per experiment, shared by all its trials.
+		pp = prof.New()
+		ectx.Config.Observer = obs.Multi(ectx.Config.Observer, pp)
+	}
+	rep := runIsolated(e, ectx)
+	rep.ID = e.ID
+	rep.Title = e.Title
+	rep.Paper = e.Paper
+	if rep.Status == "" {
+		rep.Status = StatusClean
+	}
+	if mc != nil {
+		rep.Micro = mc.Snapshot()
+	}
+	if pp != nil {
+		rep.Profile = pp.Snapshot()
+	}
+	rep.Pass = rep.computePass()
+	rep.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	if ctx.Completed != nil {
+		ctx.Completed(rep)
+	}
+	return rep
+}
+
+// RunShard executes exactly one experiment and returns its finished report —
+// the unit of work the zenspecd service journals, retries and merges. The
+// report depends only on (ctx, id), never on which other experiments ran
+// before or alongside it, so independently produced shard reports assemble
+// into the same suite an uninterrupted Run would have written. An unknown id
+// returns ErrUnknownExperiment (wrapped).
+func (r *Registry) RunShard(ctx Ctx, id string) (Report, error) {
+	e, ok := r.Get(id)
+	if !ok {
+		return Report{}, fmt.Errorf("%w %q", ErrUnknownExperiment, id)
+	}
+	if ctx.Arenas == nil {
+		ctx.Arenas = NewArenaPool()
+	}
+	return runOne(e, ctx), nil
+}
+
+// Assemble builds the SuiteReport an uninterrupted Run over the same
+// selection would have produced, from independently produced per-experiment
+// reports (keyed by experiment ID, supplied in any order — the merge is
+// commutative because the selection fixes report order). Experiments of the
+// selection missing from reports are emitted as skipped stubs, which is what
+// an interrupted run's checkpoint contains; when every report is present the
+// result is byte-identical to Run's. Unknown IDs in the selection are
+// errors, exactly as in Run.
+func (r *Registry) Assemble(ctx Ctx, ids []string, reports map[string]Report) (SuiteReport, error) {
+	exps, err := r.Select(ids, "")
+	if err != nil {
+		return SuiteReport{}, err
+	}
+	suite := SuiteReport{
+		Seed:        ctx.Config.Seed,
+		Quick:       ctx.Quick,
+		Parallelism: Workers(ctx.Config.Parallelism),
+	}
+	if ctx.Config.Faults.Active() {
+		plan := ctx.Config.Faults
+		suite.Faults = &plan
+	}
+	for _, e := range exps {
+		rep, ok := reports[e.ID]
+		if !ok {
+			rep = Report{ID: e.ID, Title: e.Title, Paper: e.Paper, Status: StatusSkipped}
+		}
+		suite.Experiments = append(suite.Experiments, rep)
 	}
 	return suite, nil
 }

@@ -17,6 +17,10 @@ const (
 	StatusClean    = "clean"
 	StatusDegraded = "degraded"
 	StatusFailed   = "failed"
+	// StatusSkipped marks an experiment a partial suite never ran: the stub
+	// an interrupted run's checkpoint (or a still-executing service job's
+	// partial report) carries in place of the real report.
+	StatusSkipped = "skipped"
 )
 
 // Metric is one named measurement compared against the paper's expectation

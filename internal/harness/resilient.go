@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"zenspec/internal/fault"
@@ -18,9 +19,11 @@ type TrialPolicy struct {
 	// single attempt per trial.
 	Retries int
 	// Deadline bounds one attempt's wall-clock time; 0 disables the guard.
-	// A timed-out attempt counts as failed, but its goroutine cannot be
-	// cancelled — the deadline is a liveness guard for the suite, not a
-	// cancellation mechanism, so it should be generous.
+	// A timed-out attempt counts as failed, and its machine is cancelled
+	// cooperatively: the deadline guard sets the attempt's stop flag, the
+	// simulation loop polls it (pipeline.Config.Stop) and abandons the run,
+	// so an overrun trial's goroutine terminates shortly after the deadline
+	// instead of simulating detached forever.
 	Deadline time.Duration
 }
 
@@ -94,15 +97,22 @@ func AttemptSeed(seed int64, id string, trial, attempt int) int64 {
 }
 
 // ResilientTrials runs fn over trials 0..n-1 like Trials, adding per-trial
-// panic isolation, an optional per-attempt deadline, bounded retries with
-// attempt-indexed seeds, and the ctx fault plan's injected trial faults. A
-// trial that exhausts its attempts contributes its zero value and is counted
-// in the stats instead of killing the suite.
+// panic isolation, an optional per-attempt deadline with cooperative
+// cancellation, bounded retries with attempt-indexed seeds, and the ctx
+// fault plan's injected trial faults. A trial that exhausts its attempts
+// contributes its zero value and is counted in the stats instead of killing
+// the suite.
 //
-// fn receives its attempt's derived seed and must base all randomness on it;
-// under that contract the results and stats are identical at any worker
-// count.
-func ResilientTrials[T any](ctx Ctx, id string, pol TrialPolicy, n int, fn func(trial, attempt int, seed int64) (T, error)) ([]T, TrialStats) {
+// fn receives a per-attempt context whose Config carries the attempt's
+// cancellation hook (machines booted from actx.Config stop simulating when
+// the attempt overruns pol.Deadline) and the attempt's derived seed; fn must
+// boot machines from actx.Config and base all randomness on seed. Under that
+// contract the results and stats are identical at any worker count. When
+// ctx.TrialProgress is non-nil it is called after every finished trial with
+// the completed count; completion order is scheduling-dependent, so the hook
+// is observational only (live progress streaming, lease heartbeats) and
+// must be safe for concurrent calls.
+func ResilientTrials[T any](ctx Ctx, id string, pol TrialPolicy, n int, fn func(actx Ctx, trial, attempt int, seed int64) (T, error)) ([]T, TrialStats) {
 	plan := ctx.Config.Faults
 	// Trial-level injections have no machine (and so no bus) to report on;
 	// they go straight to the suite observer. Observers attached to parallel
@@ -120,8 +130,14 @@ func ResilientTrials[T any](ctx Ctx, id string, pol TrialPolicy, n int, fn func(
 		val T
 		out trialOutcome
 	}
+	var completed atomic.Int64
 	slots := Trials(ctx.Workers(), n, func(trial int) slot {
 		var s slot
+		defer func() {
+			if ctx.TrialProgress != nil {
+				ctx.TrialProgress(int(completed.Add(1)), n)
+			}
+		}()
 		for attempt := 0; attempt <= pol.Retries; attempt++ {
 			s.out.attempts++
 			var err error
@@ -138,13 +154,29 @@ func ResilientTrials[T any](ctx Ctx, id string, pol TrialPolicy, n int, fn func(
 			case fault.TrialPanic:
 				s.out.injected++
 				emitTrialFault("trial-panic", trial, attempt)
-				_, err = runGuarded(pol.Deadline, func() (T, error) { panic(ErrInjectedPanic) })
+				_, err = runGuarded(pol.Deadline, nil, func() (T, error) { panic(ErrInjectedPanic) })
 				if errors.Is(err, errRecovered) {
 					s.out.recovered++
 				}
 			default:
 				seed := AttemptSeed(ctx.Config.Seed, id, trial, attempt)
-				s.val, err = runGuarded(pol.Deadline, func() (T, error) { return fn(trial, attempt, seed) })
+				// Each attempt owns a cancel flag; the deadline guard raises
+				// it and machines booted from actx.Config poll it. Polling a
+				// flag that never fires does not perturb the simulation, so
+				// a clean resilient run stays bit-identical to Trials.
+				actx := ctx
+				var cancel *atomic.Bool
+				if pol.Deadline > 0 {
+					cancel = new(atomic.Bool)
+					// Compose with any caller-installed Stop (e.g. the
+					// service's shard-level cancel) instead of replacing it.
+					if prev := actx.Config.Pipeline.Stop; prev != nil {
+						actx.Config.Pipeline.Stop = func() bool { return cancel.Load() || prev() }
+					} else {
+						actx.Config.Pipeline.Stop = cancel.Load
+					}
+				}
+				s.val, err = runGuarded(pol.Deadline, cancel, func() (T, error) { return fn(actx, trial, attempt, seed) })
 				if errors.Is(err, errRecovered) {
 					s.out.recovered++
 				}
@@ -174,9 +206,12 @@ func ResilientTrials[T any](ctx Ctx, id string, pol TrialPolicy, n int, fn func(
 var errRecovered = errors.New("recovered panic")
 
 // runGuarded runs one attempt with panic isolation and, when deadline > 0, a
-// wall-clock guard. The guarded goroutine cannot be cancelled on overrun; its
-// eventual result is discarded.
-func runGuarded[T any](deadline time.Duration, fn func() (T, error)) (T, error) {
+// wall-clock guard. On overrun the attempt's result is discarded and cancel
+// (when non-nil) is raised, so a simulation polling it through
+// pipeline.Config.Stop panics with pipeline.ErrCancelled, the recover guard
+// absorbs it, and the goroutine exits shortly after the deadline instead of
+// leaking.
+func runGuarded[T any](deadline time.Duration, cancel *atomic.Bool, fn func() (T, error)) (T, error) {
 	if deadline <= 0 {
 		return runRecovering(fn)
 	}
@@ -189,10 +224,15 @@ func runGuarded[T any](deadline time.Duration, fn func() (T, error)) (T, error) 
 		v, err := runRecovering(fn)
 		ch <- result{v, err}
 	}()
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
 	select {
 	case r := <-ch:
 		return r.val, r.err
-	case <-time.After(deadline):
+	case <-timer.C:
+		if cancel != nil {
+			cancel.Store(true)
+		}
 		var zero T
 		return zero, fmt.Errorf("%w after %v", ErrDeadline, deadline)
 	}

@@ -4,10 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"runtime"
 	"testing"
 	"time"
 
+	"zenspec/internal/asm"
 	"zenspec/internal/fault"
+	"zenspec/internal/isa"
 	"zenspec/internal/kernel"
 )
 
@@ -44,7 +47,7 @@ func resilientRun(workers int) ([]int, TrialStats) {
 		TrialPanicRate: 0.1,
 	}}}
 	pol := TrialPolicy{Retries: 3}
-	return ResilientTrials(ctx, "acct", pol, 40, func(trial, attempt int, seed int64) (int, error) {
+	return ResilientTrials(ctx, "acct", pol, 40, func(_ Ctx, trial, attempt int, seed int64) (int, error) {
 		if trial%7 == 0 && attempt == 0 {
 			return 0, fmt.Errorf("flaky trial %d", trial)
 		}
@@ -102,7 +105,7 @@ func TestResilientTrialsDeterministicAcrossWorkers(t *testing.T) {
 func TestResilientTrialsCleanPlanIsPlainTrials(t *testing.T) {
 	ctx := Ctx{Config: kernel.Config{Seed: 3, Parallelism: 1}}
 	vals, stats := ResilientTrials(ctx, "clean", TrialPolicy{Retries: 2}, 10,
-		func(trial, attempt int, seed int64) (int64, error) { return seed, nil })
+		func(_ Ctx, trial, attempt int, seed int64) (int64, error) { return seed, nil })
 	if stats.Degraded() || stats.Attempts != 10 {
 		t.Fatalf("clean run degraded: %+v", stats)
 	}
@@ -116,7 +119,7 @@ func TestResilientTrialsCleanPlanIsPlainTrials(t *testing.T) {
 func TestResilientTrialsDeadline(t *testing.T) {
 	ctx := Ctx{Config: kernel.Config{Seed: 1, Parallelism: 1}}
 	pol := TrialPolicy{Deadline: 5 * time.Millisecond}
-	_, stats := ResilientTrials(ctx, "slow", pol, 2, func(trial, attempt int, seed int64) (int, error) {
+	_, stats := ResilientTrials(ctx, "slow", pol, 2, func(_ Ctx, trial, attempt int, seed int64) (int, error) {
 		if trial == 1 {
 			time.Sleep(300 * time.Millisecond)
 		}
@@ -127,6 +130,44 @@ func TestResilientTrialsDeadline(t *testing.T) {
 	}
 	if !errors.Is(ErrDeadline, ErrDeadline) {
 		t.Fatal("sentinel sanity")
+	}
+}
+
+// TestDeadlineCancelsSimulation is the goroutine-leak regression test: an
+// attempt that overruns its deadline used to keep simulating detached forever
+// (runGuarded returned, the worker goroutine spun on). With the cooperative
+// cancel flag threaded into pipeline.Config.Stop, the runaway machine panics
+// out of its run and the goroutine count returns to baseline.
+func TestDeadlineCancelsSimulation(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx := Ctx{Config: kernel.Config{Seed: 1, Parallelism: 1}}
+	pol := TrialPolicy{Deadline: 30 * time.Millisecond}
+	_, stats := ResilientTrials(ctx, "runaway", pol, 1,
+		func(actx Ctx, trial, attempt int, seed int64) (int, error) {
+			// An infinite simulated loop: nothing but the cancel flag (booted
+			// into the machine through actx.Config) can end this run.
+			k := kernel.New(actx.Config)
+			p := k.NewProcess("spin", kernel.DomainUser)
+			b := asm.NewBuilder()
+			b.Movi(isa.RAX, 1)
+			b.Label("spin")
+			b.Jnz(isa.RAX, "spin")
+			p.MapCode(0x400000, b.MustAssemble(0x400000))
+			k.Run(p, 0x400000, 1<<40)
+			return 1, nil
+		})
+	if stats.Overruns != 1 || stats.Failed != 1 {
+		t.Fatalf("deadline not enforced on runaway trial: %+v", stats)
+	}
+	// Goleak-style accounting: the detached goroutine must terminate once the
+	// cancel check fires — poll with a generous grace period.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d at start, %d after grace period",
+				baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -738,7 +738,7 @@ func build() *harness.Registry {
 			const id = "fault-harness"
 			pol := harness.TrialPolicy{Retries: 3}
 			vals, stats := harness.ResilientTrials(ctx, id, pol, n,
-				func(trial, attempt int, seed int64) (int64, error) { return seed, nil })
+				func(_ harness.Ctx, trial, attempt int, seed int64) (int64, error) { return seed, nil })
 			// The expected value of each trial is fully determined by the
 			// plan: the first attempt the plan does not sabotage succeeds and
 			// returns its derived seed.

@@ -129,7 +129,7 @@ func TestSuiteDegradedReport(t *testing.T) {
 		ID: "doomed", Title: "doomed", Paper: "always fails", Tags: []string{"t"},
 		Run: func(ctx harness.Ctx) harness.Report {
 			vals, stats := harness.ResilientTrials(ctx, "doomed", harness.TrialPolicy{Retries: 1}, 4,
-				func(trial, attempt int, seed int64) (int, error) {
+				func(_ harness.Ctx, trial, attempt int, seed int64) (int, error) {
 					if trial == 2 {
 						return 0, errors.New("broken fixture")
 					}

@@ -1,0 +1,66 @@
+package pipeline
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"zenspec/internal/asm"
+	"zenspec/internal/isa"
+)
+
+// infiniteLoop is a program that never halts: the cooperative cancel check is
+// the only way out short of the instruction limit.
+func infiniteLoop() *asm.Builder {
+	b := asm.NewBuilder()
+	b.Movi(isa.RAX, 1)
+	b.Label("spin")
+	b.Jnz(isa.RAX, "spin")
+	return b
+}
+
+func TestStopCancelsRun(t *testing.T) {
+	// Fire after a bounded number of polls by piggybacking on the check
+	// itself: the loop is the only caller, so a plain counter suffices.
+	polls := 0
+	e := newEnv(t, Config{Stop: func() bool {
+		polls++
+		return polls > 3
+	}})
+	e.mapCode(codeBase, infiniteLoop().MustAssemble(codeBase))
+	var regs [isa.NumRegs]uint64
+	defer func() {
+		p := recover()
+		err, ok := p.(error)
+		if !ok || !errors.Is(err, ErrCancelled) {
+			t.Fatalf("recovered %v, want ErrCancelled", p)
+		}
+		if polls != 4 {
+			t.Errorf("stop polled %d times before firing, want 4", polls)
+		}
+	}()
+	e.core.Run(e.as, codeBase, &regs, 1<<40)
+	t.Fatal("run returned despite cancellation")
+}
+
+func TestStopFalseDoesNotPerturbRun(t *testing.T) {
+	prog := func(cfg Config) RunResult {
+		e := newEnv(t, cfg)
+		b := asm.NewBuilder()
+		b.Movi(isa.RCX, 3000)
+		b.Movi(isa.RAX, 0)
+		b.Label("loop")
+		b.Addi(isa.RAX, isa.RAX, 1)
+		b.Subi(isa.RCX, isa.RCX, 1)
+		b.Jnz(isa.RCX, "loop")
+		b.Halt()
+		e.mapCode(codeBase, b.MustAssemble(codeBase))
+		var regs [isa.NumRegs]uint64
+		return e.run(codeBase, &regs)
+	}
+	plain := prog(Config{})
+	polled := prog(Config{Stop: func() bool { return false }})
+	if !reflect.DeepEqual(plain, polled) {
+		t.Fatalf("polling Stop changed the run:\n%+v\nvs\n%+v", plain, polled)
+	}
+}

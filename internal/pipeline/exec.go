@@ -147,10 +147,14 @@ func (c *Core) mainLoop(mmu MMU, st *runState, maxInsts uint64) RunResult {
 	// The event struct is staged in the Core-owned buffer and delivered via
 	// the boxing-free EmitInst (see Core.instEv for why it is not a local).
 	instOn := c.bus.On(obs.ClassInst)
+	stop := c.cfg.Stop
 	for {
 		if st.insts >= maxInsts {
 			res.Stop = StopInstLimit
 			break
+		}
+		if stop != nil && st.insts%stopCheckInterval == 0 && stop() {
+			panic(ErrCancelled)
 		}
 		// The decoded-page hit path is open-coded here (and in runEpisode):
 		// fetchInst is too big for the inliner, and a per-instruction call

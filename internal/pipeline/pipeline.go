@@ -16,6 +16,7 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -26,6 +27,17 @@ import (
 	"zenspec/internal/pmc"
 	"zenspec/internal/predict"
 )
+
+// ErrCancelled is the panic value of a run abandoned by Config.Stop. Callers
+// that guard trials with recover (the harness's resilient loop) observe it as
+// the recovered value; nothing in the pipeline itself recovers it, because a
+// cancelled run's machine is abandoned wholesale.
+var ErrCancelled = errors.New("pipeline: run cancelled")
+
+// stopCheckInterval is how many retired instructions pass between polls of
+// Config.Stop: frequent enough that a runaway trial dies within microseconds,
+// rare enough that the check never shows up in the per-cycle profile.
+const stopCheckInterval = 1024
 
 // MMU translates virtual addresses for the running context. *mem.AddrSpace
 // satisfies it; the kernel model wraps it with COW handling.
@@ -75,6 +87,16 @@ type Config struct {
 	TimerJitter int64
 	// TimerSeed seeds the jitter stream.
 	TimerSeed int64
+
+	// Stop, when non-nil, is the cooperative cancellation check: the main
+	// simulation loop polls it once every stopCheckInterval instructions and,
+	// when it returns true, abandons the run by panicking with ErrCancelled.
+	// The panic unwinds through whatever host code drives the machine, so a
+	// trial that overran its harness deadline actually stops simulating
+	// instead of running detached forever. A nil Stop (the default) costs one
+	// predictable branch per instruction and never fires; polling a Stop that
+	// returns false leaves results bit-identical to a nil one.
+	Stop func() bool
 }
 
 // DefaultConfig approximates the paper's Zen 3 test machines.

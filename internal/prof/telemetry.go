@@ -1,6 +1,7 @@
 package prof
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -33,6 +34,8 @@ type Telemetry struct {
 	done    int
 	total   int
 	current string
+	gauges  map[string]func() float64
+	srv     *http.Server
 }
 
 // NewTelemetry returns an empty telemetry hub; wire in sources with
@@ -60,6 +63,21 @@ func (t *Telemetry) Progress(done, total int, id string) {
 	t.mu.Unlock()
 }
 
+// RegisterGauge publishes a named gauge on /metrics, sampled by calling fn at
+// scrape time (the name goes through the usual zenspec_ prefixing). This is
+// how the service plane exposes queue depth, lease counts and the like without
+// the telemetry hub knowing about jobs. Re-registering a name replaces its
+// sampler; fn must be safe for concurrent calls and is invoked without the
+// hub's lock held, so it may call back into the hub.
+func (t *Telemetry) RegisterGauge(name string, fn func() float64) {
+	t.mu.Lock()
+	if t.gauges == nil {
+		t.gauges = map[string]func() float64{}
+	}
+	t.gauges[name] = fn
+	t.mu.Unlock()
+}
+
 // Handler returns the telemetry mux.
 func (t *Telemetry) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -77,15 +95,33 @@ func (t *Telemetry) Handler() http.Handler {
 
 // Serve binds addr (":0" picks a free port) and serves the telemetry mux in
 // the background. It returns the bound address; the server lives until the
-// process exits.
+// process exits or Shutdown is called.
 func (t *Telemetry) Serve(addr string) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	srv := &http.Server{Handler: t.Handler()}
+	t.mu.Lock()
+	t.srv = srv
+	t.mu.Unlock()
 	go srv.Serve(ln)
 	return ln.Addr(), nil
+}
+
+// Shutdown gracefully stops the server started by Serve: the listener closes
+// immediately (new connections are refused) while requests already in flight
+// run to completion, bounded by ctx. It is a no-op when nothing is serving,
+// and safe to call more than once.
+func (t *Telemetry) Shutdown(ctx context.Context) error {
+	t.mu.Lock()
+	srv := t.srv
+	t.srv = nil
+	t.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
 }
 
 // promName maps a dotted metrics key to a Prometheus metric name.
@@ -107,11 +143,25 @@ func (t *Telemetry) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	t.mu.Lock()
 	m := t.metrics
 	done, total := t.done, t.total
+	gnames := make([]string, 0, len(t.gauges))
+	for k := range t.gauges {
+		gnames = append(gnames, k)
+	}
+	sort.Strings(gnames)
+	gfns := make([]func() float64, len(gnames))
+	for i, k := range gnames {
+		gfns[i] = t.gauges[k]
+	}
 	t.mu.Unlock()
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprintf(w, "# TYPE zenspec_trials_done gauge\nzenspec_trials_done %d\n", done)
 	fmt.Fprintf(w, "# TYPE zenspec_trials_total gauge\nzenspec_trials_total %d\n", total)
+	for i, k := range gnames {
+		n := promName(k)
+		// Sampled outside the lock: a gauge may consult the hub itself.
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, gfns[i]())
+	}
 	if m == nil {
 		return
 	}

@@ -2,11 +2,14 @@ package prof
 
 import (
 	"bytes"
+	"context"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"zenspec/internal/isa"
 	"zenspec/internal/obs"
@@ -96,5 +99,96 @@ func TestHostPprofMounted(t *testing.T) {
 	h := telemetryFixture().Handler()
 	if code, body := get(t, h, "/debug/pprof/cmdline"); code != 200 || body == "" {
 		t.Errorf("host pprof cmdline status %d", code)
+	}
+}
+
+func TestRegisteredGauges(t *testing.T) {
+	tel := telemetryFixture()
+	tel.RegisterGauge("queue.depth", func() float64 { return 7 })
+	tel.RegisterGauge("leases.active", func() float64 { return 2 })
+	// Re-registration replaces the sampler.
+	tel.RegisterGauge("queue.depth", func() float64 { return 9 })
+	code, body := get(t, tel.Handler(), "/metrics")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE zenspec_queue_depth gauge",
+		"zenspec_queue_depth 9",
+		"zenspec_leases_active 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestShutdownDrainsInFlight is the graceful-degradation contract: Shutdown
+// lets a request already being served run to completion while refusing new
+// connections immediately.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	tel := telemetryFixture()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	tel.RegisterGauge("slow.gauge", func() float64 {
+		close(entered)
+		<-release
+		return 1
+	})
+	addr, err := tel.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr.String()
+
+	type result struct {
+		code int
+		body string
+		err  error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		inflight <- result{code: resp.StatusCode, body: string(body)}
+	}()
+	<-entered // the request is now blocked inside the handler
+
+	done := make(chan error, 1)
+	go func() { done <- tel.Shutdown(context.Background()) }()
+
+	// The listener closes before the drain completes: new connections must
+	// fail while the in-flight scrape is still being served.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := net.DialTimeout("tcp", addr.String(), 100*time.Millisecond)
+		if err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting connections after Shutdown")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	close(release)
+	r := <-inflight
+	if r.err != nil {
+		t.Fatalf("in-flight request killed by Shutdown: %v", r.err)
+	}
+	if r.code != 200 || !strings.Contains(r.body, "zenspec_slow_gauge 1") {
+		t.Fatalf("in-flight request not served to completion: status %d body %q", r.code, r.body)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// Idempotent once drained.
+	if err := tel.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
 	}
 }

@@ -1,0 +1,145 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"zenspec/internal/harness"
+)
+
+// Client is a minimal zenspecd API client, used by cmd/experiments -submit
+// and the verify.sh smoke.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8787".
+	Base string
+	// HTTP overrides the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+func (c *Client) get(path string) ([]byte, error) {
+	resp, err := c.http().Get(c.url(path))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("service: GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}
+
+// Submit posts a job and returns its ID.
+func (c *Client) Submit(spec JobSpec) (string, error) {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Post(c.url("/jobs"), "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("service: submit: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return "", fmt.Errorf("service: submit response: %w", err)
+	}
+	return out.ID, nil
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(id string) (JobStatus, error) {
+	body, err := c.get("/jobs/" + id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return JobStatus{}, fmt.Errorf("service: status response: %w", err)
+	}
+	return st, nil
+}
+
+// Wait polls until the job reaches a terminal state or ctx expires.
+//
+// Transport errors (connection refused, reset) are tolerated and polled
+// through: the job is journaled server-side, so a daemon that crashes and
+// restarts mid-wait resumes it and this poll loop picks it back up. Only
+// HTTP-level errors (404 unknown job) fail the wait — the base URL itself
+// was already proven reachable by Submit.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(id)
+		var transport *url.Error
+		switch {
+		case err == nil && st.Terminal():
+			return st, nil
+		case err != nil && !errors.As(err, &transport):
+			return JobStatus{}, err
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Report fetches the merged SuiteReport.
+func (c *Client) Report(id string) (harness.SuiteReport, error) {
+	body, err := c.get("/jobs/" + id + "/report")
+	if err != nil {
+		return harness.SuiteReport{}, err
+	}
+	var rep harness.SuiteReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return harness.SuiteReport{}, fmt.Errorf("service: report response: %w", err)
+	}
+	return rep, nil
+}
+
+// StableReport fetches the report in canonical StableJSON form, byte-
+// comparable with a direct cmd/experiments -stable run of the same spec.
+func (c *Client) StableReport(id string) ([]byte, error) {
+	return c.get("/jobs/" + id + "/report?stable=1")
+}
+
+// TextReport fetches the terminal rendering of the report.
+func (c *Client) TextReport(id string) (string, error) {
+	body, err := c.get("/jobs/" + id + "/report?text=1")
+	return string(body), err
+}

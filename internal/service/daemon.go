@@ -1,0 +1,629 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zenspec/internal/fault"
+	"zenspec/internal/harness"
+	"zenspec/internal/kernel"
+	"zenspec/internal/pipeline"
+	"zenspec/internal/prof"
+)
+
+// ErrDraining is returned by Submit once a shutdown has begun.
+var ErrDraining = errors.New("service: daemon is draining")
+
+// ErrUnknownJob is returned for job IDs the daemon has never seen.
+var ErrUnknownJob = errors.New("service: unknown job")
+
+// Config configures a Daemon.
+type Config struct {
+	// Dir is the daemon's durable state directory (created if absent); the
+	// journal lives at Dir/journal.wal.
+	Dir string
+	// Registry supplies the experiments; nil panics — callers pass
+	// suite.Registry() (cmd/zenspecd does) or a test registry.
+	Registry *harness.Registry
+	// Workers is the shard worker pool size; 0 runs no workers (a queue-only
+	// daemon, useful for tests that drive leases by hand).
+	Workers int
+	// Parallelism is each shard's inner trial-loop parallelism (the
+	// kernel.Config knob); 0 means 1, keeping worker count and machine count
+	// aligned. Results are byte-identical at any value.
+	Parallelism int
+	// Lease is the shard lease TTL; a lease not heartbeaten within it is
+	// revoked and its shard re-queued. 0 means 5s.
+	Lease time.Duration
+	// Backoff and MaxBackoff shape the deterministic retry delay after a
+	// deadline overrun; defaults 100ms and 5s.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+// leaseInfo tracks one outstanding shard lease. The cancel flag is wired
+// into every machine the shard boots (pipeline.Config.Stop), so revoking a
+// lease actually stops the simulation rather than orphaning it.
+type leaseInfo struct {
+	token  int64
+	jobID  string
+	shard  string
+	expiry time.Time
+	cancel *atomic.Bool
+}
+
+// Daemon is the zenspecd core: the journaled job table, the worker pool and
+// the lease monitor. All public methods are safe for concurrent use.
+type Daemon struct {
+	cfg Config
+	reg *harness.Registry
+	tel *prof.Telemetry
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jnl      *journal
+	tab      *jobTable
+	leases   map[int64]*leaseInfo
+	nextID   int
+	nextTok  int64
+	draining bool
+	killed   bool
+	closed   bool
+
+	stop    chan struct{}
+	workers sync.WaitGroup
+	monitor sync.WaitGroup
+}
+
+// Open replays the journal under cfg.Dir (healing a corrupt tail), resumes
+// every unfinished job at shard granularity, and starts the worker pool.
+func Open(cfg Config) (*Daemon, error) {
+	if cfg.Registry == nil {
+		panic("service: Config.Registry is required")
+	}
+	if cfg.Lease <= 0 {
+		cfg.Lease = 5 * time.Second
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 1
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: state dir: %w", err)
+	}
+	jnl, recs, err := openJournal(filepath.Join(cfg.Dir, "journal.wal"))
+	if err != nil {
+		return nil, err
+	}
+	tab := newJobTable()
+	for _, rec := range recs {
+		tab.apply(rec)
+	}
+	d := &Daemon{
+		cfg:    cfg,
+		reg:    cfg.Registry,
+		tel:    prof.NewTelemetry(),
+		jnl:    jnl,
+		tab:    tab,
+		leases: map[int64]*leaseInfo{},
+		nextID: len(tab.order),
+		stop:   make(chan struct{}),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	d.tel.RegisterGauge("service.queue_depth", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		n := 0
+		for _, id := range d.tab.order {
+			j := d.tab.jobs[id]
+			if !j.active() {
+				continue
+			}
+			for _, s := range j.shards {
+				if s.state == ShardPending {
+					n++
+				}
+			}
+		}
+		return float64(n)
+	})
+	d.tel.RegisterGauge("service.leases_active", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(len(d.leases))
+	})
+	d.tel.RegisterGauge("service.jobs_active", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		n := 0
+		for _, j := range d.tab.jobs {
+			if j.active() {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	d.publishProgress()
+	d.monitor.Add(1)
+	go d.monitorLoop()
+	for i := 0; i < cfg.Workers; i++ {
+		d.workers.Add(1)
+		go d.workerLoop()
+	}
+	return d, nil
+}
+
+// Telemetry returns the daemon's telemetry hub (queue gauges pre-registered)
+// for mounting on the service mux.
+func (d *Daemon) Telemetry() *prof.Telemetry { return d.tel }
+
+// Submit validates the spec against the live registry, journals the job, and
+// queues its shards. The returned ID is stable across restarts.
+func (d *Daemon) Submit(spec JobSpec) (string, error) {
+	exps, err := d.reg.Select(spec.Only, "")
+	if err != nil {
+		return "", err // wraps harness.ErrUnknownExperiment
+	}
+	if _, err := fault.Parse(spec.Faults); err != nil {
+		return "", fmt.Errorf("service: faults: %w", err)
+	}
+	shards := make([]string, len(exps))
+	for i, e := range exps {
+		shards[i] = e.ID
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.draining || d.killed || d.closed {
+		return "", ErrDraining
+	}
+	d.nextID++
+	id := fmt.Sprintf("job-%d", d.nextID)
+	for d.tab.jobs[id] != nil {
+		d.nextID++
+		id = fmt.Sprintf("job-%d", d.nextID)
+	}
+	rec := record{Type: recSubmit, Job: id, Spec: &spec, Shards: shards}
+	if err := d.jnl.append(rec); err != nil {
+		return "", err
+	}
+	d.tab.apply(rec)
+	d.publishProgress()
+	d.cond.Broadcast()
+	return id, nil
+}
+
+// Status returns the public view of one job.
+func (d *Daemon) Status(id string) (JobStatus, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j := d.tab.jobs[id]
+	if j == nil {
+		return JobStatus{}, fmt.Errorf("%w %q", ErrUnknownJob, id)
+	}
+	return j.status(), nil
+}
+
+// Jobs lists every known job in submission order.
+func (d *Daemon) Jobs() []JobStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]JobStatus, 0, len(d.tab.order))
+	for _, id := range d.tab.order {
+		out = append(out, d.tab.jobs[id].status())
+	}
+	return out
+}
+
+// Report assembles the job's merged SuiteReport from its completed shard
+// fragments — the same suite an uninterrupted Registry.Run would have
+// produced once every shard is done, with skipped stubs for shards still
+// outstanding (the partial-report view of a running or failed job).
+func (d *Daemon) Report(id string) (harness.SuiteReport, error) {
+	d.mu.Lock()
+	j := d.tab.jobs[id]
+	if j == nil {
+		d.mu.Unlock()
+		return harness.SuiteReport{}, fmt.Errorf("%w %q", ErrUnknownJob, id)
+	}
+	spec := j.spec
+	plan := j.plan
+	reports := make(map[string]harness.Report, len(j.reports))
+	for k, v := range j.reports {
+		reports[k] = v
+	}
+	d.mu.Unlock()
+	return d.reg.Assemble(d.shardCtx(spec, plan), spec.Only, reports)
+}
+
+// shardCtx lowers a job spec onto the harness context a worker runs one
+// shard with. The pipeline SQSize mirrors the facade's default so service
+// reports are byte-identical to cmd/experiments runs of the same spec.
+func (d *Daemon) shardCtx(spec JobSpec, plan fault.Plan) harness.Ctx {
+	return harness.Ctx{
+		Config: kernel.Config{
+			Seed:        spec.Seed,
+			Faults:      plan,
+			Parallelism: d.cfg.Parallelism,
+			Pipeline:    pipeline.Config{SQSize: 48},
+		},
+		Quick:   spec.Quick,
+		Metrics: spec.Metrics,
+		Profile: spec.Profile,
+	}
+}
+
+// acquire blocks until a shard lease is available, the daemon drains, or it
+// is killed; nil means the worker should exit.
+func (d *Daemon) acquire() *leaseInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.draining || d.killed {
+			return nil
+		}
+		if li := d.leaseLocked(time.Now()); li != nil {
+			return li
+		}
+		d.cond.Wait()
+	}
+}
+
+// leaseLocked leases the next pending shard of the best active job: highest
+// priority first, then submission order. Shards inside their retry-backoff
+// window are skipped.
+func (d *Daemon) leaseLocked(now time.Time) *leaseInfo {
+	var best *job
+	var bestShard *shard
+	for _, id := range d.tab.order {
+		j := d.tab.jobs[id]
+		if !j.active() {
+			continue
+		}
+		s := j.nextPending(now)
+		if s == nil {
+			continue
+		}
+		if best == nil || j.spec.Priority > best.spec.Priority {
+			best, bestShard = j, s
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	d.nextTok++
+	li := &leaseInfo{
+		token: d.nextTok, jobID: best.id, shard: bestShard.id,
+		expiry: now.Add(d.cfg.Lease), cancel: new(atomic.Bool),
+	}
+	bestShard.state = ShardRunning
+	bestShard.lease = li.token
+	if best.state == JobQueued {
+		best.state = JobRunning
+	}
+	d.leases[li.token] = li
+	return li
+}
+
+// heartbeat extends a live lease and records trial progress; stale tokens
+// (revoked leases) are ignored.
+func (d *Daemon) heartbeat(token int64, trialsDone, trialsTotal int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	li := d.leases[token]
+	if li == nil {
+		return
+	}
+	li.expiry = time.Now().Add(d.cfg.Lease)
+	if j := d.tab.jobs[li.jobID]; j != nil {
+		if s := j.shards[li.shard]; s != nil && s.lease == token {
+			if trialsTotal > 0 {
+				s.trialsDone, s.trialsTotal = trialsDone, trialsTotal
+			}
+		}
+	}
+}
+
+// monitorLoop revokes expired leases: the dead worker's shard goes back to
+// pending (its zombie simulation, if any, is cooperatively cancelled) and
+// the pool is woken. It also wakes waiters whose retry-backoff windows may
+// have elapsed.
+func (d *Daemon) monitorLoop() {
+	defer d.monitor.Done()
+	tick := d.cfg.Lease / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case now := <-t.C:
+			d.mu.Lock()
+			woke := false
+			for tok, li := range d.leases {
+				if now.Before(li.expiry) {
+					continue
+				}
+				li.cancel.Store(true)
+				delete(d.leases, tok)
+				if j := d.tab.jobs[li.jobID]; j != nil {
+					if s := j.shards[li.shard]; s != nil && s.lease == tok && s.state == ShardRunning {
+						s.state = ShardPending
+						s.lease = 0
+					}
+				}
+				woke = true
+			}
+			if woke || d.anyBackoffReady(now) {
+				d.cond.Broadcast()
+			}
+			d.mu.Unlock()
+		}
+	}
+}
+
+func (d *Daemon) anyBackoffReady(now time.Time) bool {
+	for _, id := range d.tab.order {
+		j := d.tab.jobs[id]
+		if j.active() && j.nextPending(now) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Daemon) workerLoop() {
+	defer d.workers.Done()
+	for {
+		li := d.acquire()
+		if li == nil {
+			return
+		}
+		d.execute(li)
+	}
+}
+
+// execute runs one leased shard to completion: cancel flag threaded into the
+// machines, lease heartbeats from both the trial loop and a keepalive
+// ticker, per-shard deadline enforcement, and the completion protocol.
+func (d *Daemon) execute(li *leaseInfo) {
+	d.mu.Lock()
+	j := d.tab.jobs[li.jobID]
+	if j == nil {
+		delete(d.leases, li.token)
+		d.mu.Unlock()
+		return
+	}
+	spec, plan := j.spec, j.plan
+	d.mu.Unlock()
+
+	ctx := d.shardCtx(spec, plan)
+	ctx.Config.Pipeline.Stop = li.cancel.Load
+	ctx.TrialProgress = func(done, total int) { d.heartbeat(li.token, done, total) }
+
+	// Keepalive: the worker goroutine itself is alive even when the shard's
+	// experiment reports no trial progress.
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(d.cfg.Lease / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-t.C:
+				d.heartbeat(li.token, 0, 0)
+			}
+		}
+	}()
+
+	var overrun atomic.Bool
+	if spec.Deadline > 0 {
+		timer := time.AfterFunc(spec.Deadline, func() {
+			overrun.Store(true)
+			li.cancel.Store(true)
+		})
+		defer timer.Stop()
+	}
+	rep, err := d.reg.RunShard(ctx, li.shard)
+	close(hbStop)
+	hbWG.Wait()
+	d.complete(li, rep, err, overrun.Load())
+}
+
+// complete applies a finished shard attempt: journal + state transition for
+// a durable outcome, retry scheduling for a deadline overrun, silent discard
+// for stale leases and killed daemons.
+func (d *Daemon) complete(li *leaseInfo, rep harness.Report, err error, overrun bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.leases, li.token)
+	j := d.tab.jobs[li.jobID]
+	if j == nil {
+		return
+	}
+	s := j.shards[li.shard]
+	if s == nil || s.lease != li.token || s.state != ShardRunning {
+		return // lease was revoked; a fresh lease owns this shard now
+	}
+	if d.killed {
+		return // crash simulation: the result dies with the process
+	}
+	switch {
+	case err != nil:
+		// Permanent infrastructure failure (e.g. the experiment was
+		// deregistered between submit and replay): the shard fails with the
+		// typed error's text, the job will finalize failed.
+		d.resolveLocked(j, s, record{Type: recShardFailed, Job: j.id, Shard: s.id, Error: err.Error()})
+	case overrun && s.attempt < j.spec.Retries:
+		// Deadline overrun with retry budget left: back off deterministically
+		// — the delay is a pure function of (seed, job/shard, attempt), so a
+		// replayed schedule is reproducible.
+		b := fault.Backoff{
+			Base: d.cfg.Backoff, Max: d.cfg.MaxBackoff,
+			Seed: j.spec.Seed, Key: j.id + "/" + s.id,
+		}
+		delay := b.Delay(s.attempt)
+		s.attempt++
+		s.state = ShardPending
+		s.lease = 0
+		s.notBefore = time.Now().Add(delay)
+	case overrun:
+		d.resolveLocked(j, s, record{
+			Type: recShardFailed, Job: j.id, Shard: s.id,
+			Error: fmt.Sprintf("%v after %d attempts", harness.ErrDeadline, s.attempt+1),
+		})
+	default:
+		// A completed shard — including one whose Report says the experiment
+		// failed its bands or panicked: direct suite runs include those
+		// reports too, and byte-identity demands we keep them.
+		d.resolveLocked(j, s, record{Type: recShardDone, Job: j.id, Shard: s.id, Report: &rep})
+	}
+	d.publishProgress()
+	d.cond.Broadcast()
+}
+
+// resolveLocked journals a terminal shard record, applies it, and journals
+// the job's own terminal record when the shard was the last one out.
+func (d *Daemon) resolveLocked(j *job, s *shard, rec record) {
+	wasActive := j.active()
+	if err := d.jnl.append(rec); err != nil {
+		// A failed append means the outcome is not durable; leave the shard
+		// pending so it reruns (deterministically identical) rather than
+		// recording state the journal cannot replay.
+		s.state = ShardPending
+		s.lease = 0
+		return
+	}
+	d.tab.apply(rec)
+	if wasActive && !j.active() {
+		term := record{Type: recJobDone, Job: j.id}
+		if j.state == JobFailed {
+			term = record{Type: recJobFailed, Job: j.id, Error: j.err}
+		}
+		d.jnl.append(term)
+	}
+}
+
+// publishProgress pushes aggregate shard progress to the telemetry plane.
+func (d *Daemon) publishProgress() {
+	done, total := 0, 0
+	current := ""
+	for _, id := range d.tab.order {
+		j := d.tab.jobs[id]
+		dn, fl, tot := j.counts()
+		done += dn + fl
+		total += tot
+		if j.active() {
+			for _, sid := range j.order {
+				if j.shards[sid].state == ShardRunning && current == "" {
+					current = j.id + "/" + sid
+				}
+			}
+		}
+	}
+	d.tel.Progress(done, total, current)
+}
+
+// Ready reports whether the daemon is accepting submissions (the /readyz
+// verdict).
+func (d *Daemon) Ready() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return !d.draining && !d.killed && !d.closed
+}
+
+// Shutdown drains gracefully: no new leases are handed out, in-flight shards
+// run to completion (their results are journaled as usual), and the journal
+// is compacted to a clean checkpoint. If ctx expires first, in-flight shards
+// are cooperatively cancelled and the journal is closed uncompacted — still
+// a consistent crash-equivalent state — and ctx's error is returned.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.draining = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		d.workers.Wait()
+		close(drained)
+	}()
+	var timedOut bool
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		timedOut = true
+		d.mu.Lock()
+		d.killed = true
+		for _, li := range d.leases {
+			li.cancel.Store(true)
+		}
+		d.cond.Broadcast()
+		d.mu.Unlock()
+		<-drained
+	}
+	close(d.stop)
+	d.monitor.Wait()
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	if timedOut {
+		d.jnl.close()
+		return ctx.Err()
+	}
+	err := d.jnl.checkpoint(d.tab.records())
+	// checkpoint keeps the compacted file open (and flock-ed) so the journal
+	// is never unlocked mid-swap; release it now that the daemon is done.
+	d.jnl.close()
+	return err
+}
+
+// Kill simulates a crash (the in-process stand-in for kill -9): in-flight
+// shards are cancelled and their results discarded, nothing is checkpointed,
+// and the journal is abandoned exactly as a dying process would leave it —
+// every fsynced record intact, everything after the last one lost. Open on
+// the same directory resumes from there.
+func (d *Daemon) Kill() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.killed = true
+	for _, li := range d.leases {
+		li.cancel.Store(true)
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+
+	d.workers.Wait()
+	close(d.stop)
+	d.monitor.Wait()
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	d.jnl.close()
+}

@@ -1,0 +1,345 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zenspec/internal/asm"
+	"zenspec/internal/harness"
+	"zenspec/internal/isa"
+	"zenspec/internal/kernel"
+)
+
+// fakeRegistry builds a registry of trivial deterministic experiments: each
+// report carries the seed so merged output is checkable, and each boots
+// nothing, so tests stay fast.
+func fakeRegistry(ids ...string) *harness.Registry {
+	reg := harness.NewRegistry()
+	for _, id := range ids {
+		id := id
+		reg.Register(harness.Experiment{
+			ID: id, Title: "fake " + id, Paper: "test fixture", Tags: []string{"fake"},
+			Run: func(ctx harness.Ctx) harness.Report {
+				var r harness.Report
+				r.Add("seed", float64(ctx.Config.Seed), 0, 1e9)
+				r.Detail = fmt.Sprintf("%s@%d", id, ctx.Config.Seed)
+				return r
+			},
+		})
+	}
+	return reg
+}
+
+// spinRegistry registers one experiment that simulates forever until the
+// cooperative cancel flag stops it — plus optionally a gate: once gate is
+// nonzero the experiment returns immediately (to test retry-then-succeed).
+func spinRegistry(id string, gate *atomic.Int64) *harness.Registry {
+	reg := harness.NewRegistry()
+	reg.Register(harness.Experiment{
+		ID: id, Title: "spinner", Paper: "test fixture", Tags: []string{"fake"},
+		Run: func(ctx harness.Ctx) harness.Report {
+			var r harness.Report
+			if gate != nil && gate.Add(1) > 1 {
+				r.Add("ok", 1, 1, 1)
+				return r
+			}
+			k := kernel.New(ctx.Config)
+			p := k.NewProcess("spin", kernel.DomainUser)
+			b := asm.NewBuilder()
+			b.Movi(isa.RAX, 1)
+			b.Label("spin")
+			b.Jnz(isa.RAX, "spin")
+			p.MapCode(0x400000, b.MustAssemble(0x400000))
+			k.Run(p, 0x400000, 1<<40)
+			r.Add("ok", 1, 1, 1)
+			return r
+		},
+	})
+	return reg
+}
+
+func waitStatus(t *testing.T, d *Daemon, id string, pred func(JobStatus) bool, what string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		st, err := d.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s; status %+v", what, st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestSubmitRunsToCompletion(t *testing.T) {
+	reg := fakeRegistry("a", "b", "c")
+	d, err := Open(Config{Dir: t.TempDir(), Registry: reg, Workers: 2, Lease: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Seed: 42}
+	id, err := d.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitStatus(t, d, id, JobStatus.Terminal, "job completion")
+	if st.State != JobDone || st.Done != 3 {
+		t.Fatalf("job finished %+v", st)
+	}
+	got, err := d.Report(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := reg.Run(harness.Ctx{Config: d.shardCtx(spec, d.tab.jobs[id].plan).Config, Quick: spec.Quick}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, _ := got.StableJSON()
+	wb, _ := want.StableJSON()
+	if !bytes.Equal(gb, wb) {
+		t.Fatalf("service report differs from direct run:\n%s\nvs\n%s", gb, wb)
+	}
+	if err := d.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	d, err := Open(Config{Dir: t.TempDir(), Registry: fakeRegistry("a"), Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown(context.Background())
+	if _, err := d.Submit(JobSpec{Only: []string{"nope"}}); !errors.Is(err, harness.ErrUnknownExperiment) {
+		t.Fatalf("unknown experiment error = %v", err)
+	}
+	if _, err := d.Submit(JobSpec{Faults: "{broken"}); err == nil {
+		t.Fatal("bad fault plan accepted")
+	}
+	if _, err := d.Status("ghost"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("unknown job error = %v", err)
+	}
+}
+
+// TestReplayDeregisteredExperiment: a journaled job referencing an
+// experiment the registry no longer has must fail that shard with the typed
+// error — job marked failed, no panic, other shards unaffected.
+func TestReplayDeregisteredExperiment(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(Config{Dir: dir, Registry: fakeRegistry("a", "b"), Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := d.Submit(JobSpec{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Kill() // crash before anything ran
+
+	d2, err := Open(Config{Dir: dir, Registry: fakeRegistry("a"), Workers: 1, Lease: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Shutdown(context.Background())
+	st := waitStatus(t, d2, id, JobStatus.Terminal, "replayed job")
+	if st.State != JobFailed {
+		t.Fatalf("job state %q, want failed: %+v", st.State, st)
+	}
+	if !strings.Contains(st.Error, "unknown experiment") {
+		t.Fatalf("job error %q does not carry the typed cause", st.Error)
+	}
+	byID := map[string]ShardStatus{}
+	for _, s := range st.Shards {
+		byID[s.ID] = s
+	}
+	if byID["a"].State != ShardDone {
+		t.Fatalf("surviving shard a: %+v", byID["a"])
+	}
+	if byID["b"].State != ShardFailed || !strings.Contains(byID["b"].Error, "unknown experiment") {
+		t.Fatalf("deregistered shard b: %+v", byID["b"])
+	}
+	// The partial report still assembles, with the failed shard skipped.
+	rep, err := d2.Report(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "a" {
+		t.Fatalf("partial report experiments: %+v", rep.Experiments)
+	}
+}
+
+// TestLeaseExpiryRequeues: a lease that stops heartbeating (its worker died)
+// is revoked by the monitor, its zombie run is cancelled, its shard is
+// re-queued, and a completion arriving on the stale token is discarded.
+func TestLeaseExpiryRequeues(t *testing.T) {
+	d, err := Open(Config{Dir: t.TempDir(), Registry: fakeRegistry("a"), Workers: 0, Lease: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown(context.Background())
+	id, err := d.Submit(JobSpec{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lease by hand, as a worker would, then never heartbeat.
+	d.mu.Lock()
+	li := d.leaseLocked(time.Now())
+	d.mu.Unlock()
+	if li == nil {
+		t.Fatal("no lease available")
+	}
+	waitStatus(t, d, id, func(st JobStatus) bool { return st.Shards[0].State == ShardPending }, "lease revocation")
+	if !li.cancel.Load() {
+		t.Fatal("revoked lease's run was not cancelled")
+	}
+	// The stale completion must be discarded: the shard stays pending.
+	var rep harness.Report
+	rep.Add("stale", 1, 1, 1)
+	d.complete(li, rep, nil, false)
+	st, err := d.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards[0].State != ShardPending || st.Done != 0 {
+		t.Fatalf("stale completion applied: %+v", st)
+	}
+	// A fresh lease owns the shard and completes it for real.
+	d.mu.Lock()
+	li2 := d.leaseLocked(time.Now())
+	d.mu.Unlock()
+	if li2 == nil || li2.token == li.token {
+		t.Fatalf("re-lease failed: %+v", li2)
+	}
+	d.complete(li2, rep, nil, false)
+	st, _ = d.Status(id)
+	if st.State != JobDone {
+		t.Fatalf("job after real completion: %+v", st)
+	}
+}
+
+// TestPriorityOrdersLeases: shards of a higher-priority job are leased ahead
+// of an earlier-submitted lower-priority one.
+func TestPriorityOrdersLeases(t *testing.T) {
+	d, err := Open(Config{Dir: t.TempDir(), Registry: fakeRegistry("a"), Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown(context.Background())
+	low, err := d.Submit(JobSpec{Seed: 1, Priority: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := d.Submit(JobSpec{Seed: 2, Priority: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.mu.Lock()
+	first := d.leaseLocked(time.Now())
+	second := d.leaseLocked(time.Now())
+	d.mu.Unlock()
+	if first == nil || first.jobID != high {
+		t.Fatalf("first lease went to %+v, want high-priority %s", first, high)
+	}
+	if second == nil || second.jobID != low {
+		t.Fatalf("second lease went to %+v, want %s", second, low)
+	}
+}
+
+// TestDeadlineRetryThenSuccess: the first attempt overruns its per-shard
+// deadline and is cooperatively cancelled; the deterministic backoff elapses
+// and the retry succeeds.
+func TestDeadlineRetryThenSuccess(t *testing.T) {
+	var gate atomic.Int64
+	d, err := Open(Config{
+		Dir: t.TempDir(), Registry: spinRegistry("spin", &gate),
+		Workers: 1, Lease: time.Second, Backoff: 5 * time.Millisecond, MaxBackoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown(context.Background())
+	id, err := d.Submit(JobSpec{Seed: 3, Deadline: 50 * time.Millisecond, Retries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitStatus(t, d, id, JobStatus.Terminal, "retried job")
+	if st.State != JobDone {
+		t.Fatalf("job %+v", st)
+	}
+	if st.Shards[0].Attempt == 0 {
+		t.Fatalf("no retry recorded: %+v", st.Shards[0])
+	}
+}
+
+// TestDeadlineRetriesExhausted: a shard that overruns every attempt fails
+// permanently with the deadline error, and the job fails with it.
+func TestDeadlineRetriesExhausted(t *testing.T) {
+	d, err := Open(Config{
+		Dir: t.TempDir(), Registry: spinRegistry("spin", nil),
+		Workers: 1, Lease: time.Second, Backoff: 5 * time.Millisecond, MaxBackoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown(context.Background())
+	id, err := d.Submit(JobSpec{Seed: 3, Deadline: 40 * time.Millisecond, Retries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitStatus(t, d, id, JobStatus.Terminal, "exhausted job")
+	if st.State != JobFailed || !strings.Contains(st.Error, "deadline") {
+		t.Fatalf("job %+v", st)
+	}
+	if !strings.Contains(st.Shards[0].Error, "2 attempts") {
+		t.Fatalf("shard error %q does not count attempts", st.Shards[0].Error)
+	}
+}
+
+// TestShutdownDrainsAndCheckpoints: Shutdown lets queued work finish, then
+// compacts the journal; a reopened daemon sees the completed job without
+// replaying per-append history, and Submit after drain is refused.
+func TestShutdownDrainsAndCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	reg := fakeRegistry("a", "b")
+	d, err := Open(Config{Dir: dir, Registry: reg, Workers: 1, Lease: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := d.Submit(JobSpec{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, d, id, JobStatus.Terminal, "job completion")
+	if err := d.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Submit(JobSpec{Seed: 1}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after shutdown = %v, want ErrDraining", err)
+	}
+	if d.Ready() {
+		t.Fatal("daemon still ready after shutdown")
+	}
+	d2, err := Open(Config{Dir: dir, Registry: reg, Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Shutdown(context.Background())
+	st, err := d2.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobDone || st.Done != 2 {
+		t.Fatalf("checkpointed job replayed as %+v", st)
+	}
+}

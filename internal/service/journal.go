@@ -1,0 +1,214 @@
+package service
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"zenspec/internal/harness"
+)
+
+// The journal is a write-ahead log of job state transitions, one
+// length-framed, checksummed JSON record per transition:
+//
+//	"ZSJ1" | payload length (uint32 LE) | CRC-32/IEEE of payload | payload
+//
+// Records are fsynced as they are appended, so a record either made it to
+// disk whole or is a detectably broken tail. Opening the journal replays
+// every intact record and truncates the file at the first broken one — the
+// same self-healing discipline as the PR 6 summary cache's "SCE1" entries,
+// applied to an append-only log: a crash mid-append loses at most the record
+// being written, never the records before it.
+
+// Record types. A submit record carries the full spec plus the resolved
+// shard list (so replay does not depend on the live registry); shard records
+// carry the completed Report fragment or the terminal error; job records
+// mark the derived terminal state (redundant with the shard records, kept
+// for journal legibility — apply tolerates their absence and their
+// duplication alike).
+const (
+	recSubmit      = "submit"
+	recShardDone   = "shard_done"
+	recShardFailed = "shard_failed"
+	recJobDone     = "job_done"
+	recJobFailed   = "job_failed"
+)
+
+type record struct {
+	Type   string          `json:"type"`
+	Job    string          `json:"job,omitempty"`
+	Spec   *JobSpec        `json:"spec,omitempty"`
+	Shards []string        `json:"shards,omitempty"`
+	Shard  string          `json:"shard,omitempty"`
+	Report *harness.Report `json:"report,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+var journalMagic = [4]byte{'Z', 'S', 'J', '1'}
+
+// maxRecordSize bounds one record's payload; a longer length field can only
+// come from corruption.
+const maxRecordSize = 256 << 20
+
+// journal is the open WAL handle, positioned for appending.
+type journal struct {
+	path string
+	f    *os.File
+}
+
+// openJournal opens (creating if absent) the journal at path, replays every
+// intact record, and self-heals a corrupt tail by truncating the file at the
+// last intact record before returning the handle positioned for appends.
+func openJournal(path string) (*journal, []record, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: open journal: %w", err)
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("service: %w", err)
+	}
+	recs, good, err := scanRecords(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("service: scan journal: %w", err)
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > good {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("service: heal journal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("service: seek journal: %w", err)
+	}
+	return &journal{path: path, f: f}, recs, nil
+}
+
+// scanRecords reads records from the start of f, returning the intact prefix
+// and the offset where it ends. Framing or checksum damage stops the scan
+// without error — the caller truncates there. Only real I/O errors are
+// returned.
+func scanRecords(f *os.File) ([]record, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	br := bufio.NewReader(f)
+	var recs []record
+	var off int64
+	for {
+		var hdr [12]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return recs, off, nil // clean end, or a torn header
+			}
+			return nil, 0, err
+		}
+		if [4]byte(hdr[:4]) != journalMagic {
+			return recs, off, nil
+		}
+		n := binary.LittleEndian.Uint32(hdr[4:8])
+		sum := binary.LittleEndian.Uint32(hdr[8:12])
+		if n > maxRecordSize {
+			return recs, off, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return recs, off, nil // torn payload
+			}
+			return nil, 0, err
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, off, nil
+		}
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, off, nil
+		}
+		recs = append(recs, rec)
+		off += int64(len(hdr)) + int64(n)
+	}
+}
+
+func frame(rec record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 12+len(payload))
+	copy(buf, journalMagic[:])
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[8:12], crc32.ChecksumIEEE(payload))
+	copy(buf[12:], payload)
+	return buf, nil
+}
+
+// append writes one record and fsyncs: when append returns nil the
+// transition is durable.
+func (j *journal) append(rec record) error {
+	buf, err := frame(rec)
+	if err != nil {
+		return fmt.Errorf("service: journal record: %w", err)
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("service: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("service: journal sync: %w", err)
+	}
+	return nil
+}
+
+// checkpoint atomically replaces the journal with the given records (the
+// clean-shutdown compaction: tmp + fsync + rename, like the summary cache's
+// Put). The compacted file becomes the new locked handle — the journal lock
+// is never dropped, so a successor daemon starting during the checkpoint
+// cannot open the journal until this process closes it or exits.
+func (j *journal) checkpoint(recs []record) error {
+	tmp := j.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("service: checkpoint: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, rec := range recs {
+		buf, err := frame(rec)
+		if err == nil {
+			_, err = w.Write(buf)
+		}
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("service: checkpoint: %w", err)
+		}
+	}
+	if err := w.Flush(); err == nil {
+		err = f.Sync()
+	}
+	if err == nil {
+		err = lockFile(f)
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("service: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("service: checkpoint: %w", err)
+	}
+	j.f.Close()
+	j.f = f
+	return nil
+}
+
+// close closes the handle without compacting (the crash-simulation path:
+// appended records are already durable).
+func (j *journal) close() error { return j.f.Close() }

@@ -1,0 +1,196 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"zenspec/internal/harness"
+)
+
+func testRecords() []record {
+	spec := &JobSpec{Seed: 42, Quick: true}
+	rep := &harness.Report{ID: "a", Title: "A", Pass: true, Status: harness.StatusClean}
+	return []record{
+		{Type: recSubmit, Job: "job-1", Spec: spec, Shards: []string{"a", "b"}},
+		{Type: recShardDone, Job: "job-1", Shard: "a", Report: rep},
+		{Type: recShardFailed, Job: "job-1", Shard: "b", Error: "boom"},
+	}
+}
+
+func writeJournal(t *testing.T, path string, recs []record) {
+	t.Helper()
+	j, got, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("fresh journal has %d records", len(got))
+	}
+	for _, rec := range recs {
+		if err := j.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	want := testRecords()
+	writeJournal(t, path, want)
+	j, got, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.close()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed records differ:\n%+v\nwant\n%+v", got, want)
+	}
+}
+
+// TestJournalTruncatedTail: a crash mid-append leaves a torn final record;
+// reopening must recover every record before it, heal the file by truncating
+// the tail, and leave the journal appendable.
+func TestJournalTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	writeJournal(t, path, testRecords())
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	j, got, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("recovered %d records from torn journal, want 2", len(got))
+	}
+	// The tail was healed: appending works and a clean reopen sees 3 records.
+	if err := j.append(record{Type: recJobDone, Job: "job-1"}); err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+	j, got, err = openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.close()
+	if len(got) != 3 || got[2].Type != recJobDone {
+		t.Fatalf("healed journal replayed %d records: %+v", len(got), got)
+	}
+}
+
+// TestJournalCorruptTail: a bit flip inside the final record's payload fails
+// its checksum; the scan must stop there, keeping the intact prefix.
+func TestJournalCorruptTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	writeJournal(t, path, testRecords())
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, got, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.close()
+	if len(got) != 2 {
+		t.Fatalf("recovered %d records past a checksum failure, want 2", len(got))
+	}
+}
+
+// TestJournalGarbageFile: a journal that is not a journal at all replays as
+// empty and self-heals to a clean file.
+func TestJournalGarbageFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	if err := os.WriteFile(path, []byte("not a journal at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, got, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.close()
+	if len(got) != 0 {
+		t.Fatalf("garbage file replayed %d records", len(got))
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != 0 {
+		t.Fatalf("garbage tail not healed: size %d, err %v", fi.Size(), err)
+	}
+}
+
+func TestJournalCheckpointCompacts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords()
+	for _, rec := range recs {
+		if err := j.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Duplicate appends happen in real logs; the checkpoint drops them.
+	if err := j.append(recs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.checkpoint(recs); err != nil {
+		t.Fatal(err)
+	}
+	// checkpoint re-locks the compacted file; release it before reopening.
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, got, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.close()
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("checkpointed journal differs:\n%+v\nwant\n%+v", got, recs)
+	}
+}
+
+// TestApplyDuplicateShardDone: duplicate completion records — possible when
+// a crash lands between an append and the next read of state — must apply
+// idempotently: the first report wins and counts once.
+func TestApplyDuplicateShardDone(t *testing.T) {
+	tab := newJobTable()
+	spec := &JobSpec{Seed: 1}
+	tab.apply(record{Type: recSubmit, Job: "job-1", Spec: spec, Shards: []string{"a", "b"}})
+	first := &harness.Report{ID: "a", Detail: "first", Status: harness.StatusClean}
+	second := &harness.Report{ID: "a", Detail: "second", Status: harness.StatusClean}
+	tab.apply(record{Type: recShardDone, Job: "job-1", Shard: "a", Report: first})
+	tab.apply(record{Type: recShardDone, Job: "job-1", Shard: "a", Report: second})
+	j := tab.jobs["job-1"]
+	done, failed, total := j.counts()
+	if done != 1 || failed != 0 || total != 2 {
+		t.Fatalf("duplicate shard_done double-counted: done=%d failed=%d total=%d", done, failed, total)
+	}
+	if j.reports["a"].Detail != "first" {
+		t.Fatalf("duplicate shard_done overwrote the first report: %q", j.reports["a"].Detail)
+	}
+	if j.state != JobRunning {
+		t.Fatalf("job state %q, want running", j.state)
+	}
+	// A duplicate failure for an already-done shard is likewise ignored.
+	tab.apply(record{Type: recShardFailed, Job: "job-1", Shard: "a", Error: "late"})
+	if j.shards["a"].state != ShardDone {
+		t.Fatal("late shard_failed overrode a completed shard")
+	}
+	// Records referencing unknown jobs or shards are skipped, not fatal.
+	tab.apply(record{Type: recShardDone, Job: "ghost", Shard: "a", Report: first})
+	tab.apply(record{Type: recShardDone, Job: "job-1", Shard: "ghost", Report: first})
+}

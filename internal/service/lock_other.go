@@ -1,0 +1,9 @@
+//go:build !unix
+
+package service
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable; keeping one daemon per
+// state directory is on the operator there.
+func lockFile(*os.File) error { return nil }

@@ -1,0 +1,59 @@
+//go:build unix
+
+package service
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestJournalSingleOwner: two live daemons must never share a journal —
+// concurrent appenders would interleave frames and corrupt the WAL. The
+// second open fails while the first holds the flock, and succeeds again the
+// moment the first shuts down (flock also dies with a kill -9'd process, so
+// a crashed daemon never wedges its successor).
+func TestJournalSingleOwner(t *testing.T) {
+	dir := t.TempDir()
+	j1, _, err := openJournal(filepath.Join(dir, "journal.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := openJournal(filepath.Join(dir, "journal.wal")); err == nil ||
+		!strings.Contains(err.Error(), "locked by another running daemon") {
+		t.Fatalf("second open = %v, want lock error", err)
+	}
+	if err := j1.close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, _, err := openJournal(filepath.Join(dir, "journal.wal"))
+	if err != nil {
+		t.Fatalf("open after close: %v", err)
+	}
+	j2.close()
+}
+
+// TestDaemonSingleOwner covers the same contract end to end, including the
+// checkpoint path: compaction swaps the journal file under the lock, and the
+// directory stays exclusively owned until Shutdown returns.
+func TestDaemonSingleOwner(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Registry: fakeRegistry("a"), Workers: 1, Lease: time.Second}
+	d1, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(cfg); err == nil || !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("concurrent Open = %v, want lock error", err)
+	}
+	if err := d1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open after shutdown: %v", err)
+	}
+	d2.Shutdown(context.Background())
+}

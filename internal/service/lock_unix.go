@@ -1,0 +1,22 @@
+//go:build unix
+
+package service
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive non-blocking advisory lock on f, held for the
+// life of the descriptor. flock semantics are exactly the crash-safety the
+// journal wants: the lock dies with the process, so a kill -9'd daemon never
+// wedges its successor, while two *live* daemons can never share a journal
+// (concurrent appenders would interleave frames and corrupt each other's
+// supposedly-durable records).
+func lockFile(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return fmt.Errorf("journal %s is locked by another running daemon: %w", f.Name(), err)
+	}
+	return nil
+}

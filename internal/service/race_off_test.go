@@ -1,0 +1,7 @@
+//go:build !race
+
+package service
+
+// raceEnabled reports whether this test binary was built with -race; the
+// kill-resume test trades its long-pole experiment for a shorter one there.
+const raceEnabled = false

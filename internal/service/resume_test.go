@@ -1,0 +1,114 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"zenspec/internal/harness"
+	"zenspec/internal/harness/suite"
+	"zenspec/internal/kernel"
+	"zenspec/internal/pipeline"
+)
+
+// TestKillResumeByteIdentity is the acceptance contract of the service: a
+// job killed mid-execution (the daemon crashes between shard completions)
+// and resumed by a fresh daemon over the same journal produces a merged
+// SuiteReport whose StableJSON is byte-identical to an uninterrupted direct
+// run — at 1, 2 and 8 workers. It runs against the real experiment registry,
+// with profiles on, so the journaled Report/prof.Snapshot fragments must
+// round-trip exactly through the WAL's JSON.
+func TestKillResumeByteIdentity(t *testing.T) {
+	// fig7 is the long pole (hundreds of ms in quick mode), giving the kill
+	// a wide mid-flight window after the fast shards before it complete.
+	// Under the race detector everything runs ~20x slower, so fig5 (a
+	// quarter of fig7's wall clock) plays the long pole instead.
+	ids := []string{"fig2", "table1", "table2", "fig4", "fig7"}
+	if raceEnabled {
+		ids = []string{"fig2", "table1", "table2", "fig4", "fig5"}
+	}
+	reg := suite.Registry()
+	spec := JobSpec{Seed: 42, Quick: true, Only: ids, Profile: true}
+
+	// The uninterrupted baseline, with the exact context a worker gives one
+	// shard (shardCtx): same seed, same quick mode, same pipeline geometry.
+	direct, err := reg.Run(harness.Ctx{
+		Config: kernel.Config{Seed: spec.Seed, Parallelism: 1, Pipeline: pipeline.Config{SQSize: 48}},
+		Quick:  spec.Quick, Profile: spec.Profile,
+	}, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.StableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		workers := workers
+		t.Run(map[int]string{1: "1worker", 2: "2workers", 8: "8workers"}[workers], func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := Config{Dir: dir, Registry: reg, Workers: workers, Lease: 5 * time.Second}
+			d, err := Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id, err := d.Submit(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Kill as soon as at least one shard completion is journaled but
+			// the job is still in flight — the crash window the WAL protects.
+			midFlight := false
+			deadline := time.Now().Add(60 * time.Second)
+			for time.Now().Before(deadline) {
+				st, err := d.Status(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.Terminal() {
+					break
+				}
+				if st.Done >= 1 {
+					midFlight = true
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			d.Kill()
+			if !midFlight {
+				t.Log("job finished before the kill landed; resume path not exercised this run")
+			}
+
+			// Restart over the same journal; the resumed daemon replays the
+			// completed shards and reruns only the rest.
+			d2, err := Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d2.Shutdown(context.Background())
+			if st, err := d2.Status(id); err != nil {
+				t.Fatal(err)
+			} else if midFlight && st.Done == 0 {
+				t.Errorf("journaled completions lost across the crash: %+v", st)
+			}
+			st := waitStatus(t, d2, id, JobStatus.Terminal, "resumed job")
+			if st.State != JobDone {
+				t.Fatalf("resumed job %+v", st)
+			}
+			rep, err := d2.Report(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rep.StableJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("resumed report differs from uninterrupted run (workers=%d):\n%s\nvs\n%s",
+					workers, got, want)
+			}
+		})
+	}
+}

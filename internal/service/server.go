@@ -1,0 +1,225 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"zenspec/internal/harness"
+)
+
+// Server is the zenspecd HTTP front end: a JSON job API mounted beside the
+// daemon's telemetry plane (Prometheus /metrics with the queue gauges, live
+// /progress, /profile, host pprof).
+//
+//	POST /jobs              submit a JobSpec, returns {"id": "job-N"}
+//	GET  /jobs              list all jobs
+//	GET  /jobs/{id}         one job's status
+//	GET  /jobs/{id}/watch   NDJSON stream of status snapshots until terminal
+//	GET  /jobs/{id}/report  merged SuiteReport (?stable=1 for StableJSON,
+//	                        ?text=1 for the terminal rendering)
+//	GET  /jobs/{id}/profile merged simulated-machine profile, pprof protobuf
+//	GET  /healthz           liveness (200 while the process serves)
+//	GET  /readyz            readiness (503 once draining)
+type Server struct {
+	d   *Daemon
+	srv *http.Server
+}
+
+// NewServer wraps a daemon.
+func NewServer(d *Daemon) *Server { return &Server{d: d} }
+
+// Handler builds the service mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/watch", s.handleWatch)
+	mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /jobs/{id}/profile", s.handleProfile)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !s.d.Ready() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.Handle("/", s.d.Telemetry().Handler())
+	return mux
+}
+
+// Serve binds addr (":0" picks a free port) and serves in the background.
+func (s *Server) Serve(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.srv = &http.Server{Handler: s.Handler()}
+	go s.srv.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Shutdown drains the HTTP server, then the daemon (in-flight shards finish
+// and the journal is checkpointed), both bounded by ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var httpErr error
+	if s.srv != nil {
+		httpErr = s.srv.Shutdown(ctx)
+	}
+	if err := s.d.Shutdown(ctx); err != nil {
+		return err
+	}
+	return httpErr
+}
+
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownJob), errors.Is(err, harness.ErrUnknownExperiment):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	}
+	http.Error(w, err.Error(), code)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, "bad spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	id, err := s.d.Submit(spec)
+	if err != nil {
+		if errors.Is(err, harness.ErrUnknownExperiment) {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, struct {
+		ID string `json:"id"`
+	}{id})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{s.d.Jobs()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.d.Status(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, st)
+}
+
+// handleWatch streams NDJSON status snapshots — one line per state change,
+// plus an initial one — until the job reaches a terminal state or the client
+// goes away.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := s.d.Status(id)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var last []byte
+	emit := func(st JobStatus) bool {
+		line, _ := json.Marshal(st)
+		if string(line) == string(last) {
+			return true
+		}
+		last = line
+		if err := enc.Encode(st); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	if !emit(st) {
+		return
+	}
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for !st.Terminal() {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+		}
+		st, err = s.d.Status(id)
+		if err != nil || !emit(st) {
+			return
+		}
+	}
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.d.Report(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	switch {
+	case r.URL.Query().Get("stable") != "":
+		b, err := rep.StableJSON()
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	case r.URL.Query().Get("text") != "":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, rep.Text())
+	default:
+		b, err := rep.JSON()
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	}
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.d.Report(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	snap := rep.Profile()
+	if snap == nil {
+		http.Error(w, "job has no profile (submit with \"profile\": true)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="zenspec-job.pb.gz"`)
+	snap.WritePprof(w)
+}

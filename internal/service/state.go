@@ -1,0 +1,302 @@
+// Package service is the zenspecd robustness layer: a durable, crash-safe
+// job queue over the experiment harness. Suite jobs are journaled to a
+// write-ahead log at submission, executed shard by shard (one shard = one
+// experiment, the unit whose Report is independent of everything else that
+// runs), and their per-shard Report fragments are persisted idempotently as
+// they complete. A daemon killed at any point replays the journal on the next
+// Open and resumes exactly the shards that had not completed; because every
+// shard is deterministic in (seed, experiment, trial), the resumed job's
+// merged StableJSON is byte-identical to an uninterrupted run's.
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"zenspec/internal/fault"
+	"zenspec/internal/harness"
+)
+
+// JobSpec is what a client submits: the same knobs cmd/experiments takes on
+// its command line, plus service-side scheduling parameters.
+type JobSpec struct {
+	// Seed is the experiment seed; with Quick and Only it fully determines
+	// every shard's Report.
+	Seed  int64 `json:"seed"`
+	Quick bool  `json:"quick,omitempty"`
+	// Only selects experiment IDs (nil means the whole registry), resolved
+	// against the registry at submission and journaled explicitly so a replay
+	// does not depend on the registry staying unchanged.
+	Only []string `json:"only,omitempty"`
+	// Faults is a fault-plan spec in fault.Parse syntax ("", "none", "mild",
+	// "default", "harsh", or inline JSON).
+	Faults string `json:"faults,omitempty"`
+	// Metrics and Profile request the per-experiment micro/profile sections,
+	// exactly like the cmd/experiments flags.
+	Metrics bool `json:"metrics,omitempty"`
+	Profile bool `json:"profile,omitempty"`
+	// Priority orders the queue: higher-priority jobs' shards are leased
+	// first; ties go to submission order.
+	Priority int `json:"priority,omitempty"`
+	// Deadline bounds one shard attempt's wall clock (nanoseconds in JSON).
+	// An overrunning attempt is cooperatively cancelled and retried with
+	// deterministic backoff, up to Retries times; exhausting the budget fails
+	// the shard. Zero means unbounded.
+	Deadline time.Duration `json:"deadline,omitempty"`
+	// Retries is the per-shard retry budget for deadline overruns.
+	Retries int `json:"retries,omitempty"`
+}
+
+// Job states.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// Shard states.
+const (
+	ShardPending = "pending"
+	ShardRunning = "running"
+	ShardDone    = "done"
+	ShardFailed  = "failed"
+)
+
+// shard is the in-memory execution state of one experiment of a job. Lease
+// and attempt bookkeeping is volatile by design: a crash loses leases, and
+// replay simply re-queues every unresolved shard.
+type shard struct {
+	id      string
+	state   string
+	attempt int // deadline-overrun retries consumed
+	lease   int64
+	// notBefore delays re-leasing after a retry: the deterministic backoff
+	// window.
+	notBefore   time.Time
+	trialsDone  int
+	trialsTotal int
+	err         string
+}
+
+// job is one submitted suite with its shard table.
+type job struct {
+	id     string
+	seq    int // submission order, the priority tiebreak
+	spec   JobSpec
+	plan   fault.Plan
+	state  string
+	err    string
+	order  []string // shard order = registry selection order at submit time
+	shards map[string]*shard
+	// reports holds completed shard reports, keyed by experiment ID; the
+	// coordinator assembles them commutatively into the SuiteReport.
+	reports map[string]harness.Report
+}
+
+func (j *job) active() bool { return j.state == JobQueued || j.state == JobRunning }
+
+func (j *job) nextPending(now time.Time) *shard {
+	for _, id := range j.order {
+		if s := j.shards[id]; s.state == ShardPending && !now.Before(s.notBefore) {
+			return s
+		}
+	}
+	return nil
+}
+
+func (j *job) counts() (done, failed, total int) {
+	for _, s := range j.shards {
+		switch s.state {
+		case ShardDone:
+			done++
+		case ShardFailed:
+			failed++
+		}
+	}
+	return done, failed, len(j.shards)
+}
+
+// finalize moves the job to its terminal state once every shard resolved.
+func (j *job) finalize() {
+	done, failed, total := j.counts()
+	if done+failed < total {
+		return
+	}
+	if failed > 0 {
+		j.state = JobFailed
+		if j.err == "" {
+			for _, id := range j.order {
+				if s := j.shards[id]; s.state == ShardFailed {
+					j.err = fmt.Sprintf("shard %s: %s", id, s.err)
+					break
+				}
+			}
+		}
+		return
+	}
+	j.state = JobDone
+}
+
+// ShardStatus is the public per-shard view.
+type ShardStatus struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Attempt int    `json:"attempt,omitempty"`
+	// TrialsDone/TrialsTotal stream the running shard's trial-loop progress
+	// (zero for experiments that do not report it).
+	TrialsDone  int    `json:"trials_done,omitempty"`
+	TrialsTotal int    `json:"trials_total,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// JobStatus is the public job view served by GET /jobs/{id}.
+type JobStatus struct {
+	ID     string        `json:"id"`
+	State  string        `json:"state"`
+	Spec   JobSpec       `json:"spec"`
+	Done   int           `json:"done"`
+	Failed int           `json:"failed,omitempty"`
+	Total  int           `json:"total"`
+	Shards []ShardStatus `json:"shards"`
+	Error  string        `json:"error,omitempty"`
+}
+
+func (j *job) status() JobStatus {
+	done, failed, total := j.counts()
+	st := JobStatus{
+		ID: j.id, State: j.state, Spec: j.spec,
+		Done: done, Failed: failed, Total: total, Error: j.err,
+	}
+	for _, id := range j.order {
+		s := j.shards[id]
+		st.Shards = append(st.Shards, ShardStatus{
+			ID: s.id, State: s.state, Attempt: s.attempt,
+			TrialsDone: s.trialsDone, TrialsTotal: s.trialsTotal, Error: s.err,
+		})
+	}
+	return st
+}
+
+// Terminal reports whether the job reached a final state.
+func (s JobStatus) Terminal() bool { return s.State == JobDone || s.State == JobFailed }
+
+// jobTable is the replayable state: everything in it is a pure fold of the
+// journal records, so replaying a journal reconstructs it exactly. apply is
+// idempotent — duplicate records (possible when a crash lands between a
+// record's fsync and the next state read) are no-ops.
+type jobTable struct {
+	jobs  map[string]*job
+	order []string
+	seq   int
+}
+
+func newJobTable() *jobTable {
+	return &jobTable{jobs: map[string]*job{}}
+}
+
+// apply folds one journal record into the table. Unknown job or shard
+// references (a journal from a newer layout, or records orphaned by manual
+// edits) are skipped rather than fatal: the journal heals forward.
+func (t *jobTable) apply(rec record) {
+	switch rec.Type {
+	case recSubmit:
+		if rec.Spec == nil || rec.Job == "" {
+			return
+		}
+		if _, dup := t.jobs[rec.Job]; dup {
+			return
+		}
+		t.seq++
+		j := &job{
+			id: rec.Job, seq: t.seq, spec: *rec.Spec, state: JobQueued,
+			order: rec.Shards, shards: map[string]*shard{},
+			reports: map[string]harness.Report{},
+		}
+		for _, id := range rec.Shards {
+			j.shards[id] = &shard{id: id, state: ShardPending}
+		}
+		if plan, err := fault.Parse(j.spec.Faults); err != nil {
+			j.state = JobFailed
+			j.err = err.Error()
+		} else {
+			j.plan = plan
+		}
+		if len(j.shards) == 0 && j.state == JobQueued {
+			j.state = JobDone
+		}
+		t.jobs[rec.Job] = j
+		t.order = append(t.order, rec.Job)
+	case recShardDone:
+		j := t.jobs[rec.Job]
+		if j == nil || rec.Report == nil {
+			return
+		}
+		s := j.shards[rec.Shard]
+		if s == nil || s.state == ShardDone || s.state == ShardFailed {
+			return // idempotent: the first completion wins
+		}
+		s.state = ShardDone
+		s.lease = 0
+		j.reports[rec.Shard] = *rec.Report
+		if j.state == JobQueued {
+			j.state = JobRunning
+		}
+		j.finalize()
+	case recShardFailed:
+		j := t.jobs[rec.Job]
+		if j == nil {
+			return
+		}
+		s := j.shards[rec.Shard]
+		if s == nil || s.state == ShardDone || s.state == ShardFailed {
+			return
+		}
+		s.state = ShardFailed
+		s.lease = 0
+		s.err = rec.Error
+		if j.state == JobQueued {
+			j.state = JobRunning
+		}
+		j.finalize()
+	case recJobDone:
+		if j := t.jobs[rec.Job]; j != nil && j.active() {
+			j.state = JobDone
+		}
+	case recJobFailed:
+		if j := t.jobs[rec.Job]; j != nil && j.active() {
+			j.state = JobFailed
+			if j.err == "" {
+				j.err = rec.Error
+			}
+		}
+	}
+}
+
+// records renders the table back into a minimal equivalent journal — the
+// checkpoint a clean shutdown compacts to.
+func (t *jobTable) records() []record {
+	var out []record
+	for _, id := range t.order {
+		j := t.jobs[id]
+		spec := j.spec
+		out = append(out, record{Type: recSubmit, Job: j.id, Spec: &spec, Shards: j.order})
+		for _, sid := range j.order {
+			s := j.shards[sid]
+			switch s.state {
+			case ShardDone:
+				rep := j.reports[sid]
+				out = append(out, record{Type: recShardDone, Job: j.id, Shard: sid, Report: &rep})
+			case ShardFailed:
+				out = append(out, record{Type: recShardFailed, Job: j.id, Shard: sid, Error: s.err})
+			}
+		}
+		switch j.state {
+		case JobDone:
+			out = append(out, record{Type: recJobDone, Job: j.id})
+		case JobFailed:
+			out = append(out, record{Type: recJobFailed, Job: j.id, Error: j.err})
+		}
+	}
+	return out
+}

@@ -94,4 +94,49 @@ go run ./cmd/experiments -quick -only spectre-stl -profile \
 go tool pprof -top -nodecount=5 "$prof_pb" > /dev/null
 test -s "$prof_flame"
 
+echo "== zenspecd service smoke (submit, byte-identical report, drain) =="
+# Start the daemon (race-instrumented) on a random port, submit a quick
+# subset through the cmd/experiments client, and require the fetched
+# StableJSON report to be byte-identical to a direct local run of the same
+# spec. Then SIGTERM the daemon and require a clean drain + checkpoint.
+svc_tmp=$(mktemp -d)
+svc_pid=
+cleanup_svc() {
+    [ -n "$svc_pid" ] && kill "$svc_pid" 2>/dev/null || true
+    rm -rf "$svc_tmp"
+    rm -f "$suite_json" "$fault_json" "$trace_json" "$prof_pb" "$prof_flame"
+}
+trap cleanup_svc EXIT
+go build -race -o "$svc_tmp/zenspecd" ./cmd/zenspecd
+go build -o "$svc_tmp/experiments" ./cmd/experiments
+"$svc_tmp/zenspecd" -dir "$svc_tmp/state" -addr 127.0.0.1:0 -workers 2 \
+    > "$svc_tmp/out" 2> "$svc_tmp/err" &
+svc_pid=$!
+svc_url=
+i=0
+while [ $i -lt 100 ]; do
+    svc_url=$(sed -n 's/^zenspecd: listening on //p' "$svc_tmp/out")
+    [ -n "$svc_url" ] && break
+    kill -0 "$svc_pid" 2>/dev/null || break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$svc_url" ]; then
+    echo "zenspecd did not start:" >&2
+    cat "$svc_tmp/out" "$svc_tmp/err" >&2
+    exit 1
+fi
+"$svc_tmp/experiments" -submit "$svc_url" -quick -only fig2,table1 -stable \
+    > "$svc_tmp/service.json"
+"$svc_tmp/experiments" -quick -only fig2,table1 -stable > "$svc_tmp/direct.json"
+cmp "$svc_tmp/service.json" "$svc_tmp/direct.json"
+kill -TERM "$svc_pid"
+wait "$svc_pid"
+svc_pid=
+grep -q "journal checkpointed" "$svc_tmp/err" || {
+    echo "zenspecd did not checkpoint on SIGTERM:" >&2
+    cat "$svc_tmp/err" >&2
+    exit 1
+}
+
 echo "verify: OK"

@@ -132,6 +132,12 @@ type Config struct {
 	// about to run, and once at the end with done == total. It feeds the
 	// live telemetry endpoint; leave nil when nothing is watching.
 	Progress func(done, total int, id string)
+	// Completed, when non-nil, receives every finished experiment report as
+	// it lands. Accumulating these is how an interrupted run keeps its
+	// partial results: AssembleExperiments turns the collected reports into
+	// the suite report at any time, with skipped stubs for experiments that
+	// never ran.
+	Completed func(ExperimentReport)
 }
 
 // kernelConfig lowers the public Config onto the OS model.
@@ -590,12 +596,28 @@ func Experiments() []Experiment { return suite.Registry().All() }
 // cfg.Metrics adds a per-experiment "micro" metrics section to each report.
 func RunExperiments(cfg Config, quick bool, ids []string) (ExperimentSuite, error) {
 	return suite.Registry().Run(harness.Ctx{
-		Config:   cfg.kernelConfig(),
-		Quick:    quick,
-		Metrics:  cfg.Metrics,
-		Profile:  cfg.Profile,
-		Progress: cfg.Progress,
+		Config:    cfg.kernelConfig(),
+		Quick:     quick,
+		Metrics:   cfg.Metrics,
+		Profile:   cfg.Profile,
+		Progress:  cfg.Progress,
+		Completed: cfg.Completed,
 	}, ids)
+}
+
+// AssembleExperiments builds the suite report an uninterrupted RunExperiments
+// over the same selection would have produced, from independently collected
+// per-experiment reports (keyed by ID; see Config.Completed). Experiments of
+// the selection missing from reports appear as stubs with status "skipped" —
+// the partial-report shape an interrupted run emits; with every report
+// present the result is byte-identical to RunExperiments'.
+func AssembleExperiments(cfg Config, quick bool, ids []string, reports map[string]ExperimentReport) (ExperimentSuite, error) {
+	return suite.Registry().Assemble(harness.Ctx{
+		Config:  cfg.kernelConfig(),
+		Quick:   quick,
+		Metrics: cfg.Metrics,
+		Profile: cfg.Profile,
+	}, ids, reports)
 }
 
 // BenchExperiments runs the selected entries twice — serial, then at cfg's
