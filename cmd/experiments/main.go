@@ -7,6 +7,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +49,7 @@ func run() int {
 	validateTrace := flag.String("validate-trace", "", "validate a trace file written by -trace: JSON with at least one complete event")
 	list := flag.Bool("list", false, "list the registered experiments and exit")
 	submit := flag.String("submit", "", "submit the run as a job to a zenspecd service at this base URL (e.g. http://127.0.0.1:8787) instead of running locally")
+	split := flag.Int("split", 0, "with -submit: cut each experiment's trial loop into this many range shards so multiple workers can drain one job (report bytes are identical at any split)")
 	priority := flag.Int("priority", 0, "job priority when submitting with -submit (higher runs first)")
 	deadline := flag.Duration("deadline", 0, "per-shard deadline when submitting with -submit (0 = none)")
 	retries := flag.Int("retries", 0, "per-shard retry budget after deadline overruns when submitting with -submit")
@@ -148,7 +150,7 @@ func run() int {
 	if *submit != "" {
 		return submitJob(*submit, service.JobSpec{
 			Seed: *seed, Quick: *quick, Only: ids, Faults: *faults,
-			Metrics: *metrics, Profile: *profile,
+			Metrics: *metrics, Profile: *profile, Split: *split,
 			Priority: *priority, Deadline: *deadline, Retries: *retries,
 		}, *stable, *jsonOut)
 	}
@@ -330,19 +332,20 @@ func submitJob(base string, spec service.JobSpec, stable, jsonOut bool) int {
 	fmt.Fprintf(os.Stderr, "experiments: submitted %s to %s\n", id, c.Base)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	st, err := c.Wait(ctx, id, 200*time.Millisecond)
-	if err != nil {
+	if _, err := c.Wait(ctx, id, 200*time.Millisecond); err != nil {
 		if ctx.Err() != nil {
-			fmt.Fprintf(os.Stderr, "experiments: interrupted; job %s keeps running on the service (fetch later with GET %s/jobs/%s/report)\n",
+			fmt.Fprintf(os.Stderr, "experiments: interrupted; job %s keeps running on the service (fetch later with GET %s/v1/jobs/%s/report)\n",
 				id, c.Base, id)
+			return 1
+		}
+		// A failed job is a job verdict, not a transport problem: exit 1 like a
+		// local run that missed its band, not 2.
+		if errors.Is(err, service.ErrJobFailed) {
+			fmt.Fprintf(os.Stderr, "experiments: job %s: %v\n", id, err)
 			return 1
 		}
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		return 2
-	}
-	if st.State != service.JobDone {
-		fmt.Fprintf(os.Stderr, "experiments: job %s %s: %s\n", id, st.State, st.Error)
-		return 1
 	}
 	suite, err := c.Report(id)
 	if err != nil {

@@ -1,0 +1,57 @@
+// Command zenspec-worker is a remote pull worker for zenspecd: point it at a
+// daemon URL and it leases shards — whole experiments or trial ranges of a
+// split job — over the /v1 job API, runs them against the full experiment
+// registry, heartbeats while running, and pushes the partial reports back.
+// Any number of workers can drain the same daemon; determinism guarantees
+// the merged report is byte-identical however the shards land.
+//
+// The worker is built to be left running: daemon outages and restarts are
+// ridden out with deterministic backoff, and a worker killed mid-shard
+// simply stops heartbeating, so the daemon re-leases its shard elsewhere
+// after the lease TTL with no effect on the job's final bytes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"zenspec"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	url := flag.String("url", "http://127.0.0.1:8787", "base URL of the zenspecd daemon to pull leases from")
+	name := flag.String("name", "", "worker name reported to the daemon (defaults to the hostname)")
+	parallel := flag.Int("parallel", 1, "per-shard trial-loop parallelism (reports are identical at any value)")
+	poll := flag.Duration("poll", 2*time.Second, "how long each lease request waits server-side for work")
+	flag.Parse()
+
+	n := *name
+	if n == "" {
+		if host, err := os.Hostname(); err == nil {
+			n = host
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("zenspec-worker: pulling leases from %s\n", *url)
+	if err := zenspec.ServeWorker(ctx, *url, zenspec.WorkerOptions{
+		Name:        n,
+		Parallelism: *parallel,
+		Poll:        *poll,
+		Log: func(format string, args ...any) {
+			fmt.Printf("zenspec-worker: "+format+"\n", args...)
+		},
+	}); err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "zenspec-worker:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "zenspec-worker: exiting")
+	return 0
+}

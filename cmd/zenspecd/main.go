@@ -1,12 +1,15 @@
 // Command zenspecd is the crash-safe simulation service: a long-lived daemon
-// exposing the experiment registry over an HTTP JSON API. Submitted jobs are
-// journaled to a checksummed write-ahead log before they run, executed shard
-// by shard (one experiment per shard) by a leased worker pool, and their
-// completed Report fragments persisted idempotently — so a daemon killed at
-// any point resumes every unfinished job at shard granularity on restart,
-// and the resumed job's merged StableJSON report is byte-identical to an
-// uninterrupted run's. SIGINT/SIGTERM drain in-flight shards, checkpoint the
-// journal, and exit; kill -9 loses at most the shards in flight.
+// exposing the experiment registry over a versioned HTTP JSON API (/v1).
+// Submitted jobs are journaled to a checksummed, segmented write-ahead log
+// before they run, cut into shards — one per experiment, or finer trial
+// ranges when the job asks for a split — and drained by lease-pull workers:
+// the in-process pool, remote zenspec-worker processes, or any mix. Completed
+// partial reports persist idempotently, so a daemon killed at any point
+// resumes every unfinished job at shard granularity on restart, and the
+// resumed (or arbitrarily sharded) job's merged StableJSON report is
+// byte-identical to an uninterrupted single-machine run's. SIGINT/SIGTERM
+// drain in-flight shards, checkpoint the journal, and exit; kill -9 loses at
+// most the shards in flight.
 //
 // See the README's "Service" section and EXPERIMENTS.md for the API and a
 // kill-and-resume walkthrough.
@@ -31,26 +34,34 @@ func main() { os.Exit(run()) }
 func run() int {
 	dir := flag.String("dir", "zenspecd.state", "durable state directory (the job journal lives here)")
 	addr := flag.String("addr", "127.0.0.1:8787", "HTTP listen address (\":0\" picks a free port)")
-	workers := flag.Int("workers", 0, "shard worker pool size; 0 means GOMAXPROCS")
+	workers := flag.Int("workers", -1, "in-process worker pool size; -1 means GOMAXPROCS, 0 means none (queue-only daemon for remote zenspec-worker fleets)")
 	parallel := flag.Int("parallel", 1, "per-shard trial-loop parallelism (reports are identical at any value)")
 	lease := flag.Duration("lease", 5*time.Second, "shard lease TTL; a worker silent this long is presumed dead and its shard re-queued")
 	backoff := flag.Duration("backoff", 100*time.Millisecond, "base deterministic retry backoff after a shard deadline overrun")
 	maxBackoff := flag.Duration("max-backoff", 5*time.Second, "retry backoff cap")
+	segBytes := flag.Int64("segment-bytes", 4<<20, "journal segment size; full segments seal and compact away at the next checkpoint")
+	keepJobs := flag.Int("keep-jobs", 256, "terminal jobs retained before the oldest are archived out of memory and journal; -1 keeps all")
 	drain := flag.Duration("drain", 10*time.Minute, "graceful-shutdown budget for in-flight shards before they are cancelled")
 	flag.Parse()
 
 	w := *workers
-	if w <= 0 {
+	if w < 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
+	kj := *keepJobs
+	if kj < 0 {
+		kj = -1
+	}
 	d, err := service.Open(service.Config{
-		Dir:         *dir,
-		Registry:    suite.Registry(),
-		Workers:     w,
-		Parallelism: *parallel,
-		Lease:       *lease,
-		Backoff:     *backoff,
-		MaxBackoff:  *maxBackoff,
+		Dir:          *dir,
+		Registry:     suite.Registry(),
+		Workers:      w,
+		Parallelism:  *parallel,
+		Lease:        *lease,
+		Backoff:      *backoff,
+		MaxBackoff:   *maxBackoff,
+		SegmentBytes: *segBytes,
+		KeepJobs:     kj,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "zenspecd:", err)

@@ -1,6 +1,8 @@
 package attack
 
 import (
+	"bytes"
+	"encoding/json"
 	"math/rand"
 	"testing"
 
@@ -216,5 +218,53 @@ func TestSpectreSTLInPlaceBaseline(t *testing.T) {
 	outCalls := float64(outOfPlace.VictimCalls) / float64(len(secret))
 	if inCalls < 4*outCalls {
 		t.Errorf("in-place should need far more victim calls per byte: %.1f vs %.1f", inCalls, outCalls)
+	}
+}
+
+// TestFingerprintRangeIdentity: assembling the sample grid from range
+// shards — any partition, computed in any order — reproduces the monolithic
+// Fingerprint result exactly, including the float64 vectors' JSON round
+// trip through the service journal. This is fig11's half of the service's
+// trial-range sharding contract; the grid is shrunk so the test stays fast.
+func TestFingerprintRangeIdentity(t *testing.T) {
+	opts := FingerprintOptions{
+		ScanRange: 24, Rounds: 2, TrainSamples: 1, TestSamples: 1, Seed: 5,
+	}
+	cfg := kernel.Config{Parallelism: 1}
+	want, wantErr := Fingerprint(cfg, opts)
+	n := FingerprintCells(opts)
+	if n != 12 {
+		t.Fatalf("FingerprintCells = %d, want 12 (6 models x 2 samples)", n)
+	}
+	for _, k := range []int{2, 3, 4} {
+		var samples []FingerprintSample
+		for i := 0; i < k; i++ {
+			part := FingerprintRange(cfg, opts, i*n/k, (i+1)*n/k)
+			// The journal round trip: fragments travel as JSON.
+			raw, err := json.Marshal(part)
+			if err != nil {
+				t.Fatal(err)
+			}
+			part = nil
+			if err := json.Unmarshal(raw, &part); err != nil {
+				t.Fatal(err)
+			}
+			samples = append(samples, part...)
+		}
+		got, gotErr := FingerprintAssemble(opts, samples)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("split %d: err %v vs monolithic %v", k, gotErr, wantErr)
+		}
+		a, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("split %d diverged:\n%s\nvs\n%s", k, a, b)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -147,31 +148,59 @@ func fingerprintSample(cfg kernel.Config, model workload.CNNModel, opts Fingerpr
 	return hist, nil
 }
 
-// Fingerprint runs the full Fig 11 experiment: per-model fingerprint
-// samples, an SVM trained on the training split, and its accuracy on the
-// held-out split. Every (model, sample) cell is a fresh machine with a seed
-// derived only from its indices, so the sample grid runs flattened on the
-// harness worker pool; the train/test split and the SVM stay serial.
-func Fingerprint(cfg kernel.Config, opts FingerprintOptions) (FingerprintResult, error) {
+// FingerprintSample is one (model, sample) grid cell's outcome: the feature
+// vector or the cell's error, rendered as a string so the sample survives a
+// JSON round trip through the service journal unchanged.
+type FingerprintSample struct {
+	Vec []float64 `json:"vec,omitempty"`
+	Err string    `json:"err,omitempty"`
+}
+
+// FingerprintCells returns the size of the experiment's (model, sample)
+// grid: the trial count its range decomposition splits over.
+func FingerprintCells(opts FingerprintOptions) int {
+	opts = opts.withDefaults()
+	return len(workload.CNNModels()) * (opts.TrainSamples + opts.TestSamples)
+}
+
+// FingerprintRange computes grid cells [lo, hi). Every cell is a fresh
+// machine with a seed derived only from its indices, so a cell's sample is
+// independent of which other cells share its range — FingerprintAssemble
+// over any partition of the grid reproduces the unsharded experiment
+// exactly. The range runs flattened on the harness worker pool.
+func FingerprintRange(cfg kernel.Config, opts FingerprintOptions, lo, hi int) []FingerprintSample {
+	opts = opts.withDefaults()
+	models := workload.CNNModels()
+	n := opts.TrainSamples + opts.TestSamples
+	return harness.Trials(harness.Workers(cfg.Parallelism), hi-lo, func(i int) FingerprintSample {
+		c := lo + i
+		mi, s := c/n, c%n
+		seed := opts.Seed + int64(mi*1000+s)*7 + 11
+		vec, err := fingerprintSample(cfg, models[mi], opts, seed)
+		if err != nil {
+			return FingerprintSample{Err: err.Error()}
+		}
+		return FingerprintSample{Vec: vec}
+	})
+}
+
+// FingerprintAssemble finishes the experiment from the full sample grid in
+// cell order: per-model mean vectors, the train/test split, and the SVM
+// (which stays serial, seeded from opts). The first failed cell in grid
+// order surfaces as the error, exactly as the monolithic run reported it.
+func FingerprintAssemble(opts FingerprintOptions, samples []FingerprintSample) (FingerprintResult, error) {
 	opts = opts.withDefaults()
 	models := workload.CNNModels()
 	var res FingerprintResult
 	res.MeanVectors = make(map[string][]float64)
 
 	n := opts.TrainSamples + opts.TestSamples
-	type sample struct {
-		vec []float64
-		err error
+	if len(samples) != len(models)*n {
+		return res, fmt.Errorf("attack: fingerprint grid has %d cells, want %d", len(samples), len(models)*n)
 	}
-	samples := harness.Trials(harness.Workers(cfg.Parallelism), len(models)*n, func(c int) sample {
-		mi, s := c/n, c%n
-		seed := opts.Seed + int64(mi*1000+s)*7 + 11
-		vec, err := fingerprintSample(cfg, models[mi], opts, seed)
-		return sample{vec, err}
-	})
 	for _, s := range samples {
-		if s.err != nil {
-			return res, s.err
+		if s.Err != "" {
+			return res, errors.New(s.Err)
 		}
 	}
 
@@ -181,7 +210,7 @@ func Fingerprint(cfg kernel.Config, opts FingerprintOptions) (FingerprintResult,
 		res.Models = append(res.Models, model.Name)
 		mean := make([]float64, FingerprintVectorLen)
 		for s := 0; s < n; s++ {
-			vec := samples[mi*n+s].vec
+			vec := samples[mi*n+s].Vec
 			for i := range mean {
 				mean[i] += vec[i] / float64(n)
 			}
@@ -201,4 +230,12 @@ func Fingerprint(cfg kernel.Config, opts FingerprintOptions) (FingerprintResult,
 	}
 	res.Accuracy = svm.Accuracy(testX, testY)
 	return res, nil
+}
+
+// Fingerprint runs the full Fig 11 experiment: the whole sample grid in one
+// range, assembled. Sharded runs split the same grid over FingerprintRange
+// calls instead; both paths share the per-cell and assembly code.
+func Fingerprint(cfg kernel.Config, opts FingerprintOptions) (FingerprintResult, error) {
+	opts = opts.withDefaults()
+	return FingerprintAssemble(opts, FingerprintRange(cfg, opts, 0, FingerprintCells(opts)))
 }

@@ -67,6 +67,11 @@ type Experiment struct {
 	Paper string
 	Tags  []string
 	Run   func(ctx Ctx) Report
+	// Range, when non-nil, decomposes the experiment into independent trials
+	// so the service can split it across shards; Run must then be nil — the
+	// unsharded path runs the whole [0, Trials) range through the same
+	// Run+Merge pair, which is what makes any split byte-identical.
+	Range *RangeSpec
 }
 
 // HasTag reports whether the experiment carries tag.
@@ -91,11 +96,18 @@ func NewRegistry() *Registry {
 	return &Registry{byID: map[string]int{}}
 }
 
-// Register adds an experiment; duplicate or empty IDs and nil Run functions
-// are programming errors.
+// Register adds an experiment; duplicate or empty IDs are programming
+// errors, as is anything but exactly one of Run and Range (two execution
+// paths for one experiment would inevitably drift apart).
 func (r *Registry) Register(e Experiment) {
-	if e.ID == "" || e.Run == nil {
-		panic("harness: experiment needs an ID and a Run function")
+	if e.ID == "" {
+		panic("harness: experiment needs an ID")
+	}
+	if (e.Run == nil) == (e.Range == nil) {
+		panic("harness: experiment " + e.ID + " needs exactly one of Run and Range")
+	}
+	if e.Range != nil && (e.Range.Trials == nil || e.Range.Run == nil || e.Range.Merge == nil) {
+		panic("harness: experiment " + e.ID + " has an incomplete RangeSpec")
 	}
 	if _, dup := r.byID[e.ID]; dup {
 		panic("harness: duplicate experiment ID " + e.ID)
@@ -285,7 +297,9 @@ func (r *Registry) Assemble(ctx Ctx, ids []string, reports map[string]Report) (S
 }
 
 // runIsolated runs one experiment with panic isolation: a dying experiment
-// yields a failed report instead of killing the whole suite.
+// yields a failed report instead of killing the whole suite. A rangeable
+// experiment runs its whole [0, Trials) range through the same Run+Merge the
+// sharded path uses, so both paths share one body.
 func runIsolated(e Experiment, ctx Ctx) (rep Report) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -295,5 +309,16 @@ func runIsolated(e Experiment, ctx Ctx) (rep Report) {
 			}
 		}
 	}()
+	if e.Range != nil {
+		n := e.Range.Trials(ctx)
+		frag, err := e.Range.Run(ctx, 0, n)
+		if err != nil {
+			return Report{
+				Status: StatusFailed,
+				Error:  fmt.Sprintf("experiment range failed: %v", err),
+			}
+		}
+		return e.Range.Merge(ctx, []Fragment{{Lo: 0, Hi: n, Data: frag}})
+	}
 	return e.Run(ctx)
 }

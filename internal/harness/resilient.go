@@ -58,6 +58,24 @@ func (s TrialStats) Degraded() bool {
 	return s.Retried > 0 || s.Recovered > 0 || s.Overruns > 0 || s.Injected > 0 || s.Failed > 0
 }
 
+// Merge folds o — the stats of the trial range immediately after s's — into
+// s. Every field is a sum except FirstError, which keeps the earliest trial's
+// error; folding per-range stats in range order therefore reproduces exactly
+// the stats one loop over the union of the ranges would have produced, which
+// is what keeps sharded reports byte-identical to unsharded ones.
+func (s *TrialStats) Merge(o TrialStats) {
+	s.Trials += o.Trials
+	s.Attempts += o.Attempts
+	s.Retried += o.Retried
+	s.Recovered += o.Recovered
+	s.Overruns += o.Overruns
+	s.Injected += o.Injected
+	s.Failed += o.Failed
+	if s.FirstError == "" {
+		s.FirstError = o.FirstError
+	}
+}
+
 func (s *TrialStats) merge(o trialOutcome) {
 	s.Trials++
 	s.Attempts += o.attempts
@@ -113,6 +131,17 @@ func AttemptSeed(seed int64, id string, trial, attempt int) int64 {
 // is observational only (live progress streaming, lease heartbeats) and
 // must be safe for concurrent calls.
 func ResilientTrials[T any](ctx Ctx, id string, pol TrialPolicy, n int, fn func(actx Ctx, trial, attempt int, seed int64) (T, error)) ([]T, TrialStats) {
+	return ResilientTrialRange(ctx, id, pol, 0, n, fn)
+}
+
+// ResilientTrialRange is ResilientTrials over the trial subrange [lo, hi):
+// the unit the service's trial-range shards execute. Trial t of the range is
+// trial t of the full loop — same attempt seeds, same injected faults — so
+// concatenating the value slices of a partition of [0, n) and folding the
+// per-range stats in range order (TrialStats.Merge) reproduces exactly what
+// one ResilientTrials call over [0, n) returns. ctx.TrialProgress reports
+// progress against the range's own size.
+func ResilientTrialRange[T any](ctx Ctx, id string, pol TrialPolicy, lo, hi int, fn func(actx Ctx, trial, attempt int, seed int64) (T, error)) ([]T, TrialStats) {
 	plan := ctx.Config.Faults
 	// Trial-level injections have no machine (and so no bus) to report on;
 	// they go straight to the suite observer. Observers attached to parallel
@@ -130,8 +159,13 @@ func ResilientTrials[T any](ctx Ctx, id string, pol TrialPolicy, n int, fn func(
 		val T
 		out trialOutcome
 	}
+	n := hi - lo
+	if n < 0 {
+		n = 0
+	}
 	var completed atomic.Int64
-	slots := Trials(ctx.Workers(), n, func(trial int) slot {
+	slots := Trials(ctx.Workers(), n, func(i int) slot {
+		trial := lo + i
 		var s slot
 		defer func() {
 			if ctx.TrialProgress != nil {

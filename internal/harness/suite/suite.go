@@ -6,6 +6,7 @@
 package suite
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -429,29 +430,56 @@ func build() *harness.Registry {
 		},
 	})
 
+	// fig11's sample grid is embarrassingly parallel — every (model, sample)
+	// cell is a fresh machine seeded only from its indices — so it carries a
+	// RangeSpec: the service can split the grid across shards (and machines),
+	// and the unsharded run funnels through the same Run+Merge pair. Only the
+	// SVM at the end is serial, and it lives in Merge.
+	fig11Opts := func(ctx harness.Ctx) attack.FingerprintOptions {
+		train, test := 10, 5
+		if ctx.Quick {
+			train, test = 6, 3
+		}
+		return attack.FingerprintOptions{
+			ScanRange: 128, Rounds: 14,
+			TrainSamples: train, TestSamples: test, Seed: ctx.Config.Seed,
+		}
+	}
 	reg.Register(harness.Experiment{
 		ID:    "fig11",
 		Title: "SSBP fingerprinting of CNN models",
 		Paper: "SVM over C3 frequency vectors separates 6 models (>95.5% on hardware)",
 		Tags:  []string{"attack"},
-		Run: func(ctx harness.Ctx) harness.Report {
-			train, test := 10, 5
-			if ctx.Quick {
-				train, test = 6, 3
-			}
-			var r harness.Report
-			res, err := attack.Fingerprint(ctx.Config, attack.FingerprintOptions{
-				ScanRange: 128, Rounds: 14,
-				TrainSamples: train, TestSamples: test, Seed: ctx.Config.Seed,
-			})
-			if err != nil {
-				r.Detail = "fingerprint error: " + err.Error()
-				r.Add("svm_accuracy", 0, 0.7, 1)
+		Range: &harness.RangeSpec{
+			Trials: func(ctx harness.Ctx) int {
+				return attack.FingerprintCells(fig11Opts(ctx))
+			},
+			Run: func(ctx harness.Ctx, lo, hi int) ([]byte, error) {
+				return json.Marshal(attack.FingerprintRange(ctx.Config, fig11Opts(ctx), lo, hi))
+			},
+			Merge: func(ctx harness.Ctx, frags []harness.Fragment) harness.Report {
+				var samples []attack.FingerprintSample
+				for _, f := range frags {
+					var part []attack.FingerprintSample
+					if err := json.Unmarshal(f.Data, &part); err != nil {
+						return harness.Report{
+							Status: harness.StatusFailed,
+							Error:  fmt.Sprintf("fingerprint fragment [%d, %d): %v", f.Lo, f.Hi, err),
+						}
+					}
+					samples = append(samples, part...)
+				}
+				var r harness.Report
+				res, err := attack.FingerprintAssemble(fig11Opts(ctx), samples)
+				if err != nil {
+					r.Detail = "fingerprint error: " + err.Error()
+					r.Add("svm_accuracy", 0, 0.7, 1)
+					return r
+				}
+				r.Detail = res.String()
+				r.Add("svm_accuracy", res.Accuracy, 0.7, 1)
 				return r
-			}
-			r.Detail = res.String()
-			r.Add("svm_accuracy", res.Accuracy, 0.7, 1)
-			return r
+			},
 		},
 	})
 
@@ -723,45 +751,75 @@ func build() *harness.Registry {
 		},
 	})
 
+	// fault-harness exercises ResilientTrials itself, so its RangeSpec rides
+	// directly on ResilientTrialRange: each shard carries its range's values
+	// and TrialStats, and Merge folds the stats in range order — the same
+	// fold one loop over [0, n) performs.
+	type faultHarnessFrag struct {
+		Vals  []int64            `json:"vals"`
+		Stats harness.TrialStats `json:"stats"`
+	}
+	faultHarnessPol := harness.TrialPolicy{Retries: 3}
 	reg.Register(harness.Experiment{
 		ID:    "fault-harness",
 		Title: "resilient trial loop under injected trial faults",
 		Paper: "retries, panic isolation and deadlines turn injected failures into a degraded-but-complete report",
 		Tags:  []string{"harness", "fault"},
-		Run: func(ctx harness.Ctx) harness.Report {
-			ctx = faultCtx(ctx)
-			n := 64
-			if ctx.Quick {
-				n = 32
-			}
-			plan := ctx.Config.Faults
-			const id = "fault-harness"
-			pol := harness.TrialPolicy{Retries: 3}
-			vals, stats := harness.ResilientTrials(ctx, id, pol, n,
-				func(_ harness.Ctx, trial, attempt int, seed int64) (int64, error) { return seed, nil })
-			// The expected value of each trial is fully determined by the
-			// plan: the first attempt the plan does not sabotage succeeds and
-			// returns its derived seed.
-			correct := 0
-			for trial, v := range vals {
-				for attempt := 0; attempt <= pol.Retries; attempt++ {
-					if plan.TrialFaultAt(id, trial, attempt) == fault.TrialNone {
-						if v == harness.AttemptSeed(ctx.Config.Seed, id, trial, attempt) {
-							correct++
+		Range: &harness.RangeSpec{
+			Trials: func(ctx harness.Ctx) int {
+				if ctx.Quick {
+					return 32
+				}
+				return 64
+			},
+			Run: func(ctx harness.Ctx, lo, hi int) ([]byte, error) {
+				ctx = faultCtx(ctx)
+				vals, stats := harness.ResilientTrialRange(ctx, "fault-harness", faultHarnessPol, lo, hi,
+					func(_ harness.Ctx, trial, attempt int, seed int64) (int64, error) { return seed, nil })
+				return json.Marshal(faultHarnessFrag{Vals: vals, Stats: stats})
+			},
+			Merge: func(ctx harness.Ctx, frags []harness.Fragment) harness.Report {
+				ctx = faultCtx(ctx)
+				const id = "fault-harness"
+				var vals []int64
+				var stats harness.TrialStats
+				for _, f := range frags {
+					var part faultHarnessFrag
+					if err := json.Unmarshal(f.Data, &part); err != nil {
+						return harness.Report{
+							Status: harness.StatusFailed,
+							Error:  fmt.Sprintf("fault-harness fragment [%d, %d): %v", f.Lo, f.Hi, err),
 						}
-						break
+					}
+					vals = append(vals, part.Vals...)
+					stats.Merge(part.Stats)
+				}
+				n := len(vals)
+				plan := ctx.Config.Faults
+				// The expected value of each trial is fully determined by the
+				// plan: the first attempt the plan does not sabotage succeeds
+				// and returns its derived seed.
+				correct := 0
+				for trial, v := range vals {
+					for attempt := 0; attempt <= faultHarnessPol.Retries; attempt++ {
+						if plan.TrialFaultAt(id, trial, attempt) == fault.TrialNone {
+							if v == harness.AttemptSeed(ctx.Config.Seed, id, trial, attempt) {
+								correct++
+							}
+							break
+						}
 					}
 				}
-			}
-			var r harness.Report
-			r.Detail = fmt.Sprintf("%s\ntrials %d attempts %d retried %d recovered %d overruns %d injected %d failed %d",
-				plan.String(), stats.Trials, stats.Attempts, stats.Retried,
-				stats.Recovered, stats.Overruns, stats.Injected, stats.Failed)
-			r.Add("values_correct", float64(correct), float64(n), float64(n))
-			r.Add("trials_failed", float64(stats.Failed), 0, 0)
-			r.Add("faults_injected", float64(stats.Injected), 1, float64(4*n))
-			r.RecordTrials(stats)
-			return r
+				var r harness.Report
+				r.Detail = fmt.Sprintf("%s\ntrials %d attempts %d retried %d recovered %d overruns %d injected %d failed %d",
+					plan.String(), stats.Trials, stats.Attempts, stats.Retried,
+					stats.Recovered, stats.Overruns, stats.Injected, stats.Failed)
+				r.Add("values_correct", float64(correct), float64(n), float64(n))
+				r.Add("trials_failed", float64(stats.Failed), 0, 0)
+				r.Add("faults_injected", float64(stats.Injected), 1, float64(4*n))
+				r.RecordTrials(stats)
+				return r
+			},
 		},
 	})
 

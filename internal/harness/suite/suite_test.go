@@ -2,6 +2,7 @@ package suite
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"testing"
 
@@ -171,5 +172,61 @@ func TestSuiteDegradedReport(t *testing.T) {
 	}
 	if rep.AllPass() {
 		t.Fatal("suite passed with a failing row")
+	}
+}
+
+// TestRangeShardIdentity proves the service's trial-range sharding contract
+// on a real rangeable experiment: fault-harness (ResilientTrialRange under
+// the default plan), split 1/2/4 ways with metrics and profiles on, must
+// merge byte-identically to the unsharded shard report. fig11's
+// decomposition is covered at attack level (TestFingerprintRangeIdentity)
+// where the grid can be shrunk — one full fig11 run costs ~50s.
+func TestRangeShardIdentity(t *testing.T) {
+	reg := Registry()
+	for _, id := range []string{"fault-harness"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			ctx := harness.Ctx{
+				Config:  kernel.Config{Seed: 42, Parallelism: 2},
+				Quick:   true,
+				Metrics: true,
+				Profile: true,
+			}
+			want, err := reg.RunShard(ctx, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want.WallMS = 0
+			wantJSON, err := json.Marshal(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, err := reg.Trials(ctx, id)
+			if err != nil || n < 4 {
+				t.Fatalf("Trials(%s) = %d, %v; want a splittable count", id, n, err)
+			}
+			for _, k := range []int{1, 2, 4} {
+				var parts []harness.PartialReport
+				for i := 0; i < k; i++ {
+					p, err := reg.RunTrialRange(ctx, id, i*n/k, (i+1)*n/k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					parts = append(parts, p)
+				}
+				got, err := reg.MergeTrialRanges(ctx, id, parts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got.WallMS = 0
+				gotJSON, err := json.Marshal(got)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(gotJSON, wantJSON) {
+					t.Errorf("%s split %d-way differs from unsharded run", id, k)
+				}
+			}
+		})
 	}
 }

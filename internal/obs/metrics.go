@@ -213,6 +213,45 @@ func (m *Metrics) Snapshot() *MetricsSnapshot {
 	return s
 }
 
+// Merge folds other into s: counters and histogram fields (counts, sums,
+// bucket tallies) are summed, maxima are taken elementwise. Every field is an
+// order-independent fold and encoding/json sorts map keys, so merging the
+// per-range snapshots of a sharded experiment marshals byte-identically to
+// the single snapshot an unsharded run of the same trials would have taken —
+// the property the service's trial-range shards rely on.
+func (s *MetricsSnapshot) Merge(other *MetricsSnapshot) {
+	if other == nil {
+		return
+	}
+	for k, v := range other.Counters {
+		if s.Counters == nil {
+			s.Counters = make(map[string]uint64, len(other.Counters))
+		}
+		s.Counters[k] += v
+	}
+	for k, oh := range other.Histograms {
+		if s.Histograms == nil {
+			s.Histograms = make(map[string]*HistogramSnapshot, len(other.Histograms))
+		}
+		h := s.Histograms[k]
+		if h == nil {
+			h = &HistogramSnapshot{}
+			s.Histograms[k] = h
+		}
+		h.Count += oh.Count
+		h.Sum += oh.Sum
+		if oh.Max > h.Max {
+			h.Max = oh.Max
+		}
+		for bound, n := range oh.Buckets {
+			if h.Buckets == nil {
+				h.Buckets = make(map[string]uint64, len(oh.Buckets))
+			}
+			h.Buckets[bound] += n
+		}
+	}
+}
+
 // Counter returns the named counter's value (0 when absent).
 func (m *Metrics) Counter(name string) uint64 {
 	m.mu.Lock()

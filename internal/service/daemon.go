@@ -2,10 +2,10 @@ package service
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
+	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,22 +17,25 @@ import (
 	"zenspec/internal/prof"
 )
 
-// ErrDraining is returned by Submit once a shutdown has begun.
-var ErrDraining = errors.New("service: daemon is draining")
+// APIVersion is the daemon's wire protocol version, served by GET /v1/meta
+// and asserted by Client before its first real request.
+const APIVersion = "v1"
 
-// ErrUnknownJob is returned for job IDs the daemon has never seen.
-var ErrUnknownJob = errors.New("service: unknown job")
+// defaultKeepJobs bounds how many terminal (done or failed) jobs the daemon
+// retains before archiving the oldest; see Config.KeepJobs.
+const defaultKeepJobs = 256
 
 // Config configures a Daemon.
 type Config struct {
 	// Dir is the daemon's durable state directory (created if absent); the
-	// journal lives at Dir/journal.wal.
+	// journal lives under it as wal-*.seg segments guarded by wal.lock.
 	Dir string
 	// Registry supplies the experiments; nil panics — callers pass
 	// suite.Registry() (cmd/zenspecd does) or a test registry.
 	Registry *harness.Registry
-	// Workers is the shard worker pool size; 0 runs no workers (a queue-only
-	// daemon, useful for tests that drive leases by hand).
+	// Workers is the in-process shard worker pool size; 0 runs no workers (a
+	// queue-only daemon whose shards are drained entirely by remote
+	// zenspec-worker processes, or by tests driving leases by hand).
 	Workers int
 	// Parallelism is each shard's inner trial-loop parallelism (the
 	// kernel.Config knob); 0 means 1, keeping worker count and machine count
@@ -45,31 +48,70 @@ type Config struct {
 	// deadline overrun; defaults 100ms and 5s.
 	Backoff    time.Duration
 	MaxBackoff time.Duration
+	// SegmentBytes is the journal segment size limit — an append pushing the
+	// active segment past it seals the segment and starts a new one, and the
+	// daemon compacts once enough segments pile up. 0 means 4MiB.
+	SegmentBytes int64
+	// KeepJobs bounds how many terminal jobs the daemon retains: beyond it the
+	// oldest terminal jobs are archived (journaled, then dropped at the next
+	// compaction), so a long-lived daemon's state stays bounded. 0 means 256;
+	// negative keeps everything.
+	KeepJobs int
 }
 
-// leaseInfo tracks one outstanding shard lease. The cancel flag is wired
-// into every machine the shard boots (pipeline.Config.Stop), so revoking a
-// lease actually stops the simulation rather than orphaning it.
+// Lease is one granted unit of work: run the shard — RunTrialRange(Shard.Exp,
+// Shard.Lo, Shard.Hi) under the spec's configuration — heartbeat the token
+// before TTL elapses, and Complete with the resulting PartialReport. The
+// same struct serves the in-process pool and the remote /v1/leases wire.
+type Lease struct {
+	Token string        `json:"token"`
+	Job   string        `json:"job"`
+	Shard ShardRef      `json:"shard"`
+	Spec  JobSpec       `json:"spec"`
+	TTL   time.Duration `json:"ttl"`
+	// cancel is the daemon-side revocation flag, wired in-process only; remote
+	// workers learn of revocation from Heartbeat returning ErrLeaseNotFound.
+	cancel *atomic.Bool
+}
+
+// leaseInfo is the daemon's ledger entry for one outstanding lease. The
+// cancel flag is shared with the in-process worker's pipeline.Config.Stop, so
+// revoking a lease actually stops the simulation rather than orphaning it.
 type leaseInfo struct {
-	token  int64
+	token  string
+	worker string
 	jobID  string
 	shard  string
 	expiry time.Time
 	cancel *atomic.Bool
 }
 
-// Daemon is the zenspecd core: the journaled job table, the worker pool and
-// the lease monitor. All public methods are safe for concurrent use.
+// Meta is the daemon's self-description, served by GET /v1/meta.
+type Meta struct {
+	APIVersion  string   `json:"api_version"`
+	GoVersion   string   `json:"go_version"`
+	Revision    string   `json:"revision,omitempty"`
+	Experiments []string `json:"experiments"`
+}
+
+// Daemon is the zenspecd core: the journaled job table, the lease ledger and
+// the in-process worker pool (itself just a lease consumer, interchangeable
+// with remote zenspec-worker processes). All public methods are safe for
+// concurrent use.
 type Daemon struct {
 	cfg Config
 	reg *harness.Registry
 	tel *prof.Telemetry
+	// epoch is this daemon incarnation's token prefix: a token minted before a
+	// crash can never collide with a successor's, so a worker completing
+	// against a restarted daemon gets ErrLeaseNotFound, not silent corruption.
+	epoch int64
 
 	mu       sync.Mutex
 	cond     *sync.Cond
 	jnl      *journal
 	tab      *jobTable
-	leases   map[int64]*leaseInfo
+	leases   map[string]*leaseInfo
 	nextID   int
 	nextTok  int64
 	draining bool
@@ -102,7 +144,7 @@ func Open(cfg Config) (*Daemon, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: state dir: %w", err)
 	}
-	jnl, recs, err := openJournal(filepath.Join(cfg.Dir, "journal.wal"))
+	jnl, recs, err := openJournal(cfg.Dir, cfg.SegmentBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -114,10 +156,11 @@ func Open(cfg Config) (*Daemon, error) {
 		cfg:    cfg,
 		reg:    cfg.Registry,
 		tel:    prof.NewTelemetry(),
+		epoch:  time.Now().UnixNano(),
 		jnl:    jnl,
 		tab:    tab,
-		leases: map[int64]*leaseInfo{},
-		nextID: len(tab.order),
+		leases: map[string]*leaseInfo{},
+		nextID: len(tab.order) + tab.seq,
 		stop:   make(chan struct{}),
 	}
 	d.cond = sync.NewCond(&d.mu)
@@ -154,12 +197,26 @@ func Open(cfg Config) (*Daemon, error) {
 		}
 		return float64(n)
 	})
+	d.mu.Lock()
+	d.gcLocked()
+	d.mu.Unlock()
 	d.publishProgress()
 	d.monitor.Add(1)
 	go d.monitorLoop()
 	for i := 0; i < cfg.Workers; i++ {
+		w := NewWorker(d, WorkerConfig{
+			Name:        fmt.Sprintf("local-%d", i+1),
+			Registry:    cfg.Registry,
+			Parallelism: cfg.Parallelism,
+			Poll:        time.Hour,
+			Heartbeat:   cfg.Lease / 3,
+			ExitOnDrain: true,
+		})
 		d.workers.Add(1)
-		go d.workerLoop()
+		go func() {
+			defer d.workers.Done()
+			w.Run(context.Background())
+		}()
 	}
 	return d, nil
 }
@@ -168,19 +225,73 @@ func Open(cfg Config) (*Daemon, error) {
 // for mounting on the service mux.
 func (d *Daemon) Telemetry() *prof.Telemetry { return d.tel }
 
-// Submit validates the spec against the live registry, journals the job, and
-// queues its shards. The returned ID is stable across restarts.
+// Meta describes this daemon: API version, build, and the experiments its
+// registry can run.
+func (d *Daemon) Meta() Meta {
+	m := Meta{APIVersion: APIVersion, GoVersion: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				m.Revision = s.Value
+			}
+		}
+	}
+	for _, e := range d.reg.All() {
+		m.Experiments = append(m.Experiments, e.ID)
+	}
+	return m
+}
+
+// shardRunCtx lowers a job spec onto the harness context one shard runs with.
+// The pipeline SQSize mirrors the facade's default so service reports are
+// byte-identical to cmd/experiments runs of the same spec; parallelism only
+// changes wall clock, never bytes.
+func shardRunCtx(spec JobSpec, plan fault.Plan, parallelism int) harness.Ctx {
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	return harness.Ctx{
+		Config: kernel.Config{
+			Seed:        spec.Seed,
+			Faults:      plan,
+			Parallelism: parallelism,
+			Pipeline:    pipeline.Config{SQSize: 48},
+		},
+		Quick:   spec.Quick,
+		Metrics: spec.Metrics,
+		Profile: spec.Profile,
+	}
+}
+
+// Submit validates the spec against the live registry, cuts it into shards
+// (trial ranges when the spec asks for a split and the experiment is
+// rangeable), journals the job, and queues it. The returned ID is stable
+// across restarts.
 func (d *Daemon) Submit(spec JobSpec) (string, error) {
 	exps, err := d.reg.Select(spec.Only, "")
 	if err != nil {
 		return "", err // wraps harness.ErrUnknownExperiment
 	}
-	if _, err := fault.Parse(spec.Faults); err != nil {
+	plan, err := fault.Parse(spec.Faults)
+	if err != nil {
 		return "", fmt.Errorf("service: faults: %w", err)
 	}
-	shards := make([]string, len(exps))
-	for i, e := range exps {
-		shards[i] = e.ID
+	ctx := shardRunCtx(spec, plan, d.cfg.Parallelism)
+	defs := make([]ShardRef, 0, len(exps))
+	for _, e := range exps {
+		if spec.Split > 1 {
+			if n, err := d.reg.Trials(ctx, e.ID); err == nil && n >= 2 {
+				k := spec.Split
+				if k > n {
+					k = n
+				}
+				for i := 0; i < k; i++ {
+					defs = append(defs, ShardRef{Exp: e.ID, Lo: i * n / k, Hi: (i + 1) * n / k})
+				}
+				continue
+			}
+		}
+		defs = append(defs, ShardRef{Exp: e.ID})
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -193,11 +304,12 @@ func (d *Daemon) Submit(spec JobSpec) (string, error) {
 		d.nextID++
 		id = fmt.Sprintf("job-%d", d.nextID)
 	}
-	rec := record{Type: recSubmit, Job: id, Spec: &spec, Shards: shards}
+	rec := record{Type: recSubmit, Job: id, Spec: &spec, Defs: defs}
 	if err := d.jnl.append(rec); err != nil {
 		return "", err
 	}
 	d.tab.apply(rec)
+	d.compactLocked()
 	d.publishProgress()
 	d.cond.Broadcast()
 	return id, nil
@@ -209,7 +321,7 @@ func (d *Daemon) Status(id string) (JobStatus, error) {
 	defer d.mu.Unlock()
 	j := d.tab.jobs[id]
 	if j == nil {
-		return JobStatus{}, fmt.Errorf("%w %q", ErrUnknownJob, id)
+		return JobStatus{}, fmt.Errorf("%w %q", ErrJobNotFound, id)
 	}
 	return j.status(), nil
 }
@@ -229,60 +341,100 @@ func (d *Daemon) Jobs() []JobStatus {
 // fragments — the same suite an uninterrupted Registry.Run would have
 // produced once every shard is done, with skipped stubs for shards still
 // outstanding (the partial-report view of a running or failed job).
+// Per-experiment merges are memoized: a done shard's fragment never changes,
+// so once every shard of an experiment resolved its merged report is final.
 func (d *Daemon) Report(id string) (harness.SuiteReport, error) {
 	d.mu.Lock()
 	j := d.tab.jobs[id]
 	if j == nil {
 		d.mu.Unlock()
-		return harness.SuiteReport{}, fmt.Errorf("%w %q", ErrUnknownJob, id)
+		return harness.SuiteReport{}, fmt.Errorf("%w %q", ErrJobNotFound, id)
 	}
-	spec := j.spec
-	plan := j.plan
-	reports := make(map[string]harness.Report, len(j.reports))
-	for k, v := range j.reports {
-		reports[k] = v
+	spec, plan := j.spec, j.plan
+	merged := make(map[string]harness.Report, len(j.exps))
+	type pending struct {
+		exp   string
+		parts []harness.PartialReport
+	}
+	var todo []pending
+	for _, exp := range j.exps {
+		if r, ok := j.merged[exp]; ok {
+			merged[exp] = r
+			continue
+		}
+		if !j.expComplete(exp) {
+			continue
+		}
+		var parts []harness.PartialReport
+		for _, sid := range j.order {
+			if s := j.shards[sid]; s.def.Exp == exp {
+				if p := j.partials[sid]; p != nil {
+					parts = append(parts, *p)
+				}
+			}
+		}
+		todo = append(todo, pending{exp: exp, parts: parts})
 	}
 	d.mu.Unlock()
-	return d.reg.Assemble(d.shardCtx(spec, plan), spec.Only, reports)
-}
 
-// shardCtx lowers a job spec onto the harness context a worker runs one
-// shard with. The pipeline SQSize mirrors the facade's default so service
-// reports are byte-identical to cmd/experiments runs of the same spec.
-func (d *Daemon) shardCtx(spec JobSpec, plan fault.Plan) harness.Ctx {
-	return harness.Ctx{
-		Config: kernel.Config{
-			Seed:        spec.Seed,
-			Faults:      plan,
-			Parallelism: d.cfg.Parallelism,
-			Pipeline:    pipeline.Config{SQSize: 48},
-		},
-		Quick:   spec.Quick,
-		Metrics: spec.Metrics,
-		Profile: spec.Profile,
+	ctx := shardRunCtx(spec, plan, d.cfg.Parallelism)
+	for _, p := range todo {
+		r, err := d.reg.MergeTrialRanges(ctx, p.exp, p.parts)
+		if err != nil {
+			r = harness.Report{ID: p.exp, Status: harness.StatusFailed, Error: err.Error()}
+		}
+		merged[p.exp] = r
 	}
+
+	d.mu.Lock()
+	if jj := d.tab.jobs[id]; jj != nil {
+		for _, p := range todo {
+			if _, ok := jj.merged[p.exp]; !ok {
+				jj.merged[p.exp] = merged[p.exp]
+			}
+		}
+	}
+	d.mu.Unlock()
+	return d.reg.Assemble(ctx, spec.Only, merged)
 }
 
-// acquire blocks until a shard lease is available, the daemon drains, or it
-// is killed; nil means the worker should exit.
-func (d *Daemon) acquire() *leaseInfo {
+// Lease claims the next pending shard, blocking up to wait for one to become
+// available. A nil Lease with a nil error means the wait elapsed with nothing
+// to do (poll again); ErrDraining means the daemon is shutting down and will
+// hand out no more work. worker names the claimant for bookkeeping only.
+func (d *Daemon) Lease(worker string, wait time.Duration) (*Lease, error) {
+	deadline := time.Now().Add(wait)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for {
-		if d.draining || d.killed {
-			return nil
+		if d.draining || d.killed || d.closed {
+			return nil, ErrDraining
 		}
-		if li := d.leaseLocked(time.Now()); li != nil {
-			return li
+		now := time.Now()
+		if li := d.leaseLocked(now, worker); li != nil {
+			j := d.tab.jobs[li.jobID]
+			s := j.shards[li.shard]
+			return &Lease{
+				Token: li.token, Job: li.jobID, Shard: s.def,
+				Spec: j.spec, TTL: d.cfg.Lease, cancel: li.cancel,
+			}, nil
 		}
+		remaining := deadline.Sub(now)
+		if remaining <= 0 {
+			return nil, nil
+		}
+		// cond has no timed wait: arm a wakeup for the deadline (or the next
+		// retry-backoff expiry, whichever the monitor notices first).
+		t := time.AfterFunc(remaining, d.cond.Broadcast)
 		d.cond.Wait()
+		t.Stop()
 	}
 }
 
 // leaseLocked leases the next pending shard of the best active job: highest
 // priority first, then submission order. Shards inside their retry-backoff
 // window are skipped.
-func (d *Daemon) leaseLocked(now time.Time) *leaseInfo {
+func (d *Daemon) leaseLocked(now time.Time, worker string) *leaseInfo {
 	var best *job
 	var bestShard *shard
 	for _, id := range d.tab.order {
@@ -303,7 +455,8 @@ func (d *Daemon) leaseLocked(now time.Time) *leaseInfo {
 	}
 	d.nextTok++
 	li := &leaseInfo{
-		token: d.nextTok, jobID: best.id, shard: bestShard.id,
+		token:  fmt.Sprintf("t%x-%d", d.epoch, d.nextTok),
+		worker: worker, jobID: best.id, shard: bestShard.id,
 		expiry: now.Add(d.cfg.Lease), cancel: new(atomic.Bool),
 	}
 	bestShard.state = ShardRunning
@@ -315,22 +468,160 @@ func (d *Daemon) leaseLocked(now time.Time) *leaseInfo {
 	return li
 }
 
-// heartbeat extends a live lease and records trial progress; stale tokens
-// (revoked leases) are ignored.
-func (d *Daemon) heartbeat(token int64, trialsDone, trialsTotal int) {
+// Heartbeat extends a live lease and records trial progress (when total > 0).
+// ErrLeaseNotFound tells the worker its lease was revoked — another lease
+// owns the shard now, and the worker must abandon its run. Heartbeats are
+// honored while draining: in-flight shards finish under their leases.
+func (d *Daemon) Heartbeat(token string, trialsDone, trialsTotal int) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	li := d.leases[token]
 	if li == nil {
-		return
+		return ErrLeaseNotFound
 	}
 	li.expiry = time.Now().Add(d.cfg.Lease)
 	if j := d.tab.jobs[li.jobID]; j != nil {
-		if s := j.shards[li.shard]; s != nil && s.lease == token {
-			if trialsTotal > 0 {
-				s.trialsDone, s.trialsTotal = trialsDone, trialsTotal
+		if s := j.shards[li.shard]; s != nil && s.lease == token && trialsTotal > 0 {
+			s.trialsDone, s.trialsTotal = trialsDone, trialsTotal
+		}
+	}
+	return nil
+}
+
+// Complete applies a finished shard attempt under its lease token: journal +
+// state transition for a durable outcome, deterministic retry scheduling for
+// a deadline overrun, ErrLeaseNotFound for tokens the daemon no longer holds
+// (revoked, or minted by a crashed predecessor). The partial's shard
+// coordinates are overridden from the lease's own definition, so a confused
+// worker cannot mislabel a fragment.
+func (d *Daemon) Complete(token string, p *harness.PartialReport, errText string, overrun bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	li := d.leases[token]
+	if li == nil {
+		return ErrLeaseNotFound
+	}
+	delete(d.leases, token)
+	j := d.tab.jobs[li.jobID]
+	if j == nil {
+		return nil
+	}
+	s := j.shards[li.shard]
+	if s == nil || s.lease != token || s.state != ShardRunning {
+		return nil
+	}
+	if d.killed {
+		return nil // crash simulation: the result dies with the process
+	}
+	switch {
+	case overrun && s.attempt < j.spec.Retries:
+		// Deadline overrun with retry budget left: back off deterministically
+		// — the delay is a pure function of (seed, job/shard, attempt), so a
+		// replayed schedule is reproducible. Checked before errText because a
+		// cancelled ranged run surfaces its cancellation as an error too.
+		b := fault.Backoff{
+			Base: d.cfg.Backoff, Max: d.cfg.MaxBackoff,
+			Seed: j.spec.Seed, Key: j.id + "/" + s.id,
+		}
+		delay := b.Delay(s.attempt)
+		s.attempt++
+		s.state = ShardPending
+		s.lease = ""
+		s.notBefore = time.Now().Add(delay)
+	case overrun:
+		d.resolveLocked(j, s, record{
+			Type: recShardFailed, Job: j.id, Shard: s.id,
+			Error: fmt.Sprintf("%v after %d attempts", harness.ErrDeadline, s.attempt+1),
+		})
+	case errText != "":
+		// Permanent infrastructure failure (e.g. the experiment was
+		// deregistered between submit and replay): the shard fails with the
+		// error's text, the job will finalize failed.
+		d.resolveLocked(j, s, record{Type: recShardFailed, Job: j.id, Shard: s.id, Error: errText})
+	case p == nil:
+		d.resolveLocked(j, s, record{Type: recShardFailed, Job: j.id, Shard: s.id, Error: "shard completed without a report"})
+	default:
+		// A completed shard — including one whose Report says the experiment
+		// failed its bands or panicked: direct suite runs include those
+		// reports too, and byte-identity demands we keep them.
+		pp := *p
+		pp.Exp, pp.Lo, pp.Hi = s.def.Exp, s.def.Lo, s.def.Hi
+		d.resolveLocked(j, s, record{Type: recShardDone, Job: j.id, Shard: s.id, Partial: &pp})
+	}
+	d.compactLocked()
+	d.publishProgress()
+	d.cond.Broadcast()
+	return nil
+}
+
+// resolveLocked journals a terminal shard record, applies it, journals the
+// job's own terminal record when the shard was the last one out, and archives
+// old terminal jobs past the retention bound.
+func (d *Daemon) resolveLocked(j *job, s *shard, rec record) {
+	wasActive := j.active()
+	if err := d.jnl.append(rec); err != nil {
+		// A failed append means the outcome is not durable; leave the shard
+		// pending so it reruns (deterministically identical) rather than
+		// recording state the journal cannot replay.
+		s.state = ShardPending
+		s.lease = ""
+		return
+	}
+	d.tab.apply(rec)
+	if wasActive && !j.active() {
+		term := record{Type: recJobDone, Job: j.id}
+		if j.state == JobFailed {
+			term = record{Type: recJobFailed, Job: j.id, Error: j.err}
+		}
+		d.jnl.append(term)
+		d.gcLocked()
+	}
+}
+
+// gcLocked archives the oldest terminal jobs beyond the retention bound. The
+// archive record makes the drop durable; the data itself leaves disk at the
+// next compaction, which snapshots the table without the archived jobs.
+func (d *Daemon) gcLocked() {
+	keep := d.cfg.KeepJobs
+	if keep < 0 {
+		return
+	}
+	if keep == 0 {
+		keep = defaultKeepJobs
+	}
+	terminal := 0
+	for _, j := range d.tab.jobs {
+		if !j.active() {
+			terminal++
+		}
+	}
+	for terminal > keep {
+		victim := ""
+		for _, id := range d.tab.order {
+			if !d.tab.jobs[id].active() {
+				victim = id
+				break
 			}
 		}
+		if victim == "" {
+			return
+		}
+		rec := record{Type: recJobArchive, Job: victim}
+		if err := d.jnl.append(rec); err != nil {
+			return
+		}
+		d.tab.apply(rec)
+		terminal--
+	}
+}
+
+// compactLocked rewrites the journal as the live table's snapshot once enough
+// segments have accumulated, bounding the WAL's disk footprint. A failed
+// compaction is harmless — the appended history is still durable and the
+// next trigger retries.
+func (d *Daemon) compactLocked() {
+	if d.jnl.segments() >= compactSegments {
+		d.jnl.checkpoint(d.tab.records())
 	}
 }
 
@@ -362,7 +653,7 @@ func (d *Daemon) monitorLoop() {
 				if j := d.tab.jobs[li.jobID]; j != nil {
 					if s := j.shards[li.shard]; s != nil && s.lease == tok && s.state == ShardRunning {
 						s.state = ShardPending
-						s.lease = 0
+						s.lease = ""
 					}
 				}
 				woke = true
@@ -385,143 +676,8 @@ func (d *Daemon) anyBackoffReady(now time.Time) bool {
 	return false
 }
 
-func (d *Daemon) workerLoop() {
-	defer d.workers.Done()
-	for {
-		li := d.acquire()
-		if li == nil {
-			return
-		}
-		d.execute(li)
-	}
-}
-
-// execute runs one leased shard to completion: cancel flag threaded into the
-// machines, lease heartbeats from both the trial loop and a keepalive
-// ticker, per-shard deadline enforcement, and the completion protocol.
-func (d *Daemon) execute(li *leaseInfo) {
-	d.mu.Lock()
-	j := d.tab.jobs[li.jobID]
-	if j == nil {
-		delete(d.leases, li.token)
-		d.mu.Unlock()
-		return
-	}
-	spec, plan := j.spec, j.plan
-	d.mu.Unlock()
-
-	ctx := d.shardCtx(spec, plan)
-	ctx.Config.Pipeline.Stop = li.cancel.Load
-	ctx.TrialProgress = func(done, total int) { d.heartbeat(li.token, done, total) }
-
-	// Keepalive: the worker goroutine itself is alive even when the shard's
-	// experiment reports no trial progress.
-	hbStop := make(chan struct{})
-	var hbWG sync.WaitGroup
-	hbWG.Add(1)
-	go func() {
-		defer hbWG.Done()
-		t := time.NewTicker(d.cfg.Lease / 3)
-		defer t.Stop()
-		for {
-			select {
-			case <-hbStop:
-				return
-			case <-t.C:
-				d.heartbeat(li.token, 0, 0)
-			}
-		}
-	}()
-
-	var overrun atomic.Bool
-	if spec.Deadline > 0 {
-		timer := time.AfterFunc(spec.Deadline, func() {
-			overrun.Store(true)
-			li.cancel.Store(true)
-		})
-		defer timer.Stop()
-	}
-	rep, err := d.reg.RunShard(ctx, li.shard)
-	close(hbStop)
-	hbWG.Wait()
-	d.complete(li, rep, err, overrun.Load())
-}
-
-// complete applies a finished shard attempt: journal + state transition for
-// a durable outcome, retry scheduling for a deadline overrun, silent discard
-// for stale leases and killed daemons.
-func (d *Daemon) complete(li *leaseInfo, rep harness.Report, err error, overrun bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	delete(d.leases, li.token)
-	j := d.tab.jobs[li.jobID]
-	if j == nil {
-		return
-	}
-	s := j.shards[li.shard]
-	if s == nil || s.lease != li.token || s.state != ShardRunning {
-		return // lease was revoked; a fresh lease owns this shard now
-	}
-	if d.killed {
-		return // crash simulation: the result dies with the process
-	}
-	switch {
-	case err != nil:
-		// Permanent infrastructure failure (e.g. the experiment was
-		// deregistered between submit and replay): the shard fails with the
-		// typed error's text, the job will finalize failed.
-		d.resolveLocked(j, s, record{Type: recShardFailed, Job: j.id, Shard: s.id, Error: err.Error()})
-	case overrun && s.attempt < j.spec.Retries:
-		// Deadline overrun with retry budget left: back off deterministically
-		// — the delay is a pure function of (seed, job/shard, attempt), so a
-		// replayed schedule is reproducible.
-		b := fault.Backoff{
-			Base: d.cfg.Backoff, Max: d.cfg.MaxBackoff,
-			Seed: j.spec.Seed, Key: j.id + "/" + s.id,
-		}
-		delay := b.Delay(s.attempt)
-		s.attempt++
-		s.state = ShardPending
-		s.lease = 0
-		s.notBefore = time.Now().Add(delay)
-	case overrun:
-		d.resolveLocked(j, s, record{
-			Type: recShardFailed, Job: j.id, Shard: s.id,
-			Error: fmt.Sprintf("%v after %d attempts", harness.ErrDeadline, s.attempt+1),
-		})
-	default:
-		// A completed shard — including one whose Report says the experiment
-		// failed its bands or panicked: direct suite runs include those
-		// reports too, and byte-identity demands we keep them.
-		d.resolveLocked(j, s, record{Type: recShardDone, Job: j.id, Shard: s.id, Report: &rep})
-	}
-	d.publishProgress()
-	d.cond.Broadcast()
-}
-
-// resolveLocked journals a terminal shard record, applies it, and journals
-// the job's own terminal record when the shard was the last one out.
-func (d *Daemon) resolveLocked(j *job, s *shard, rec record) {
-	wasActive := j.active()
-	if err := d.jnl.append(rec); err != nil {
-		// A failed append means the outcome is not durable; leave the shard
-		// pending so it reruns (deterministically identical) rather than
-		// recording state the journal cannot replay.
-		s.state = ShardPending
-		s.lease = 0
-		return
-	}
-	d.tab.apply(rec)
-	if wasActive && !j.active() {
-		term := record{Type: recJobDone, Job: j.id}
-		if j.state == JobFailed {
-			term = record{Type: recJobFailed, Job: j.id, Error: j.err}
-		}
-		d.jnl.append(term)
-	}
-}
-
 // publishProgress pushes aggregate shard progress to the telemetry plane.
+// Callers hold d.mu (or, in Open, exclusive access).
 func (d *Daemon) publishProgress() {
 	done, total := 0, 0
 	current := ""
@@ -550,10 +706,11 @@ func (d *Daemon) Ready() bool {
 }
 
 // Shutdown drains gracefully: no new leases are handed out, in-flight shards
-// run to completion (their results are journaled as usual), and the journal
-// is compacted to a clean checkpoint. If ctx expires first, in-flight shards
-// are cooperatively cancelled and the journal is closed uncompacted — still
-// a consistent crash-equivalent state — and ctx's error is returned.
+// run to completion (their results are journaled as usual; remote workers'
+// heartbeats and completions stay honored), and the journal is compacted to
+// a clean checkpoint. If ctx expires first, in-flight shards are
+// cooperatively cancelled and the journal is closed uncompacted — still a
+// consistent crash-equivalent state — and ctx's error is returned.
 func (d *Daemon) Shutdown(ctx context.Context) error {
 	d.mu.Lock()
 	if d.closed {
@@ -594,8 +751,9 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 		return ctx.Err()
 	}
 	err := d.jnl.checkpoint(d.tab.records())
-	// checkpoint keeps the compacted file open (and flock-ed) so the journal
-	// is never unlocked mid-swap; release it now that the daemon is done.
+	// checkpoint keeps the compacted segment open (and the directory flock
+	// held) so the journal is never unlocked mid-swap; release it now that the
+	// daemon is done.
 	d.jnl.close()
 	return err
 }

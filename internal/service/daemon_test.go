@@ -101,7 +101,7 @@ func TestSubmitRunsToCompletion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := reg.Run(harness.Ctx{Config: d.shardCtx(spec, d.tab.jobs[id].plan).Config, Quick: spec.Quick}, nil)
+	want, err := reg.Run(harness.Ctx{Config: shardRunCtx(spec, d.tab.jobs[id].plan, d.cfg.Parallelism).Config, Quick: spec.Quick}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestSubmitValidation(t *testing.T) {
 	if _, err := d.Submit(JobSpec{Faults: "{broken"}); err == nil {
 		t.Fatal("bad fault plan accepted")
 	}
-	if _, err := d.Status("ghost"); !errors.Is(err, ErrUnknownJob) {
+	if _, err := d.Status("ghost"); !errors.Is(err, ErrJobNotFound) {
 		t.Fatalf("unknown job error = %v", err)
 	}
 }
@@ -193,20 +193,22 @@ func TestLeaseExpiryRequeues(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Lease by hand, as a worker would, then never heartbeat.
-	d.mu.Lock()
-	li := d.leaseLocked(time.Now())
-	d.mu.Unlock()
-	if li == nil {
-		t.Fatal("no lease available")
+	li, err := d.Lease("zombie", 0)
+	if err != nil || li == nil {
+		t.Fatalf("no lease available: %v", err)
 	}
 	waitStatus(t, d, id, func(st JobStatus) bool { return st.Shards[0].State == ShardPending }, "lease revocation")
 	if !li.cancel.Load() {
 		t.Fatal("revoked lease's run was not cancelled")
 	}
-	// The stale completion must be discarded: the shard stays pending.
+	// The stale completion must be refused: the token is gone and the shard
+	// stays pending.
 	var rep harness.Report
 	rep.Add("stale", 1, 1, 1)
-	d.complete(li, rep, nil, false)
+	p := &harness.PartialReport{Report: &rep}
+	if err := d.Complete(li.Token, p, "", false); !errors.Is(err, ErrLeaseNotFound) {
+		t.Fatalf("stale completion = %v, want ErrLeaseNotFound", err)
+	}
 	st, err := d.Status(id)
 	if err != nil {
 		t.Fatal(err)
@@ -214,14 +216,21 @@ func TestLeaseExpiryRequeues(t *testing.T) {
 	if st.Shards[0].State != ShardPending || st.Done != 0 {
 		t.Fatalf("stale completion applied: %+v", st)
 	}
-	// A fresh lease owns the shard and completes it for real.
-	d.mu.Lock()
-	li2 := d.leaseLocked(time.Now())
-	d.mu.Unlock()
-	if li2 == nil || li2.token == li.token {
-		t.Fatalf("re-lease failed: %+v", li2)
+	// A stale heartbeat likewise tells the worker its lease is gone.
+	if err := d.Heartbeat(li.Token, 1, 2); !errors.Is(err, ErrLeaseNotFound) {
+		t.Fatalf("stale heartbeat = %v, want ErrLeaseNotFound", err)
 	}
-	d.complete(li2, rep, nil, false)
+	// A fresh lease owns the shard and completes it for real.
+	li2, err := d.Lease("healthy", 0)
+	if err != nil || li2 == nil {
+		t.Fatalf("re-lease failed: %v, %+v", err, li2)
+	}
+	if li2.Token == li.Token {
+		t.Fatal("re-lease reused the revoked token")
+	}
+	if err := d.Complete(li2.Token, p, "", false); err != nil {
+		t.Fatal(err)
+	}
 	st, _ = d.Status(id)
 	if st.State != JobDone {
 		t.Fatalf("job after real completion: %+v", st)
@@ -244,14 +253,18 @@ func TestPriorityOrdersLeases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d.mu.Lock()
-	first := d.leaseLocked(time.Now())
-	second := d.leaseLocked(time.Now())
-	d.mu.Unlock()
-	if first == nil || first.jobID != high {
+	first, err := d.Lease("w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := d.Lease("w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first == nil || first.Job != high {
 		t.Fatalf("first lease went to %+v, want high-priority %s", first, high)
 	}
-	if second == nil || second.jobID != low {
+	if second == nil || second.Job != low {
 		t.Fatalf("second lease went to %+v, want %s", second, low)
 	}
 }

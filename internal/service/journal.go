@@ -8,6 +8,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"zenspec/internal/harness"
 )
@@ -18,34 +20,55 @@ import (
 //	"ZSJ1" | payload length (uint32 LE) | CRC-32/IEEE of payload | payload
 //
 // Records are fsynced as they are appended, so a record either made it to
-// disk whole or is a detectably broken tail. Opening the journal replays
-// every intact record and truncates the file at the first broken one — the
-// same self-healing discipline as the PR 6 summary cache's "SCE1" entries,
-// applied to an append-only log: a crash mid-append loses at most the record
-// being written, never the records before it.
+// disk whole or is a detectably broken tail. The log is segmented: appends go
+// to the newest wal-NNNNNN.seg file, a segment exceeding the size limit is
+// sealed and a fresh one started, and a compaction (triggered by segment
+// count, and by the clean-shutdown checkpoint) writes the live state's
+// snapshot into a new segment and deletes the older ones — so the WAL on disk
+// stays bounded by the snapshot size plus a few segments, however long the
+// daemon lives. Opening the journal replays every intact record across all
+// segments in order and truncates the newest segment at its first broken
+// record — a crash mid-append loses at most the record being written, never
+// the records before it. Because apply is idempotent, a crash between a
+// compaction snapshot and the deletion of the segments it summarizes replays
+// both without harm.
+//
+// A single exclusive flock on wal.lock guards the directory: two live
+// daemons can never interleave appends, while the lock dies with a kill -9'd
+// process so a crashed daemon never wedges its successor. A legacy
+// single-file journal.wal (the pre-segmentation layout) is adopted as the
+// oldest segment on first open.
 
 // Record types. A submit record carries the full spec plus the resolved
 // shard list (so replay does not depend on the live registry); shard records
-// carry the completed Report fragment or the terminal error; job records
-// mark the derived terminal state (redundant with the shard records, kept
-// for journal legibility — apply tolerates their absence and their
-// duplication alike).
+// carry the completed PartialReport fragment or the terminal error; job
+// records mark the derived terminal state (redundant with the shard records,
+// kept for journal legibility — apply tolerates their absence and their
+// duplication alike); an archive record retires a terminal job from the
+// table, so the next compaction drops it from disk.
 const (
 	recSubmit      = "submit"
 	recShardDone   = "shard_done"
 	recShardFailed = "shard_failed"
 	recJobDone     = "job_done"
 	recJobFailed   = "job_failed"
+	recJobArchive  = "job_archive"
 )
 
 type record struct {
-	Type   string          `json:"type"`
-	Job    string          `json:"job,omitempty"`
-	Spec   *JobSpec        `json:"spec,omitempty"`
-	Shards []string        `json:"shards,omitempty"`
-	Shard  string          `json:"shard,omitempty"`
-	Report *harness.Report `json:"report,omitempty"`
-	Error  string          `json:"error,omitempty"`
+	Type string   `json:"type"`
+	Job  string   `json:"job,omitempty"`
+	Spec *JobSpec `json:"spec,omitempty"`
+	// Defs is the submit record's shard list; Shards is its legacy pre-/v1
+	// form (whole-experiment IDs), still replayed.
+	Defs   []ShardRef `json:"defs,omitempty"`
+	Shards []string   `json:"shards,omitempty"`
+	Shard  string     `json:"shard,omitempty"`
+	// Partial is a shard-done record's fragment; Report is its legacy
+	// whole-shard form, still replayed.
+	Partial *harness.PartialReport `json:"partial,omitempty"`
+	Report  *harness.Report        `json:"report,omitempty"`
+	Error   string                 `json:"error,omitempty"`
 }
 
 var journalMagic = [4]byte{'Z', 'S', 'J', '1'}
@@ -54,46 +77,138 @@ var journalMagic = [4]byte{'Z', 'S', 'J', '1'}
 // come from corruption.
 const maxRecordSize = 256 << 20
 
-// journal is the open WAL handle, positioned for appending.
+// defaultSegmentBytes is the segment size limit when the config leaves it 0.
+const defaultSegmentBytes = 4 << 20
+
+// compactSegments is the segment count that triggers a compaction: the WAL
+// never holds more than this many segments for long.
+const compactSegments = 4
+
+const (
+	lockName   = "wal.lock"
+	legacyName = "journal.wal"
+)
+
+func segName(seq int) string { return fmt.Sprintf("wal-%06d.seg", seq) }
+
+// journal is the open segmented WAL handle, positioned for appending to the
+// newest segment.
 type journal struct {
-	path string
-	f    *os.File
+	dir    string
+	lock   *os.File
+	f      *os.File // active (newest) segment
+	seq    int      // active segment's sequence number
+	size   int64    // active segment's intact size
+	limit  int64    // segment size limit; exceeded appends seal the segment
+	sealed []int    // sequence numbers of the sealed (read-only) segments
 }
 
-// openJournal opens (creating if absent) the journal at path, replays every
-// intact record, and self-heals a corrupt tail by truncating the file at the
-// last intact record before returning the handle positioned for appends.
-func openJournal(path string) (*journal, []record, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, nil, fmt.Errorf("service: open journal: %w", err)
+// openJournal locks dir, adopts a legacy single-file journal if present,
+// replays every intact record across all segments in order (healing a corrupt
+// tail of the newest segment by truncation), and returns the handle
+// positioned for appends.
+func openJournal(dir string, limit int64) (*journal, []record, error) {
+	if limit <= 0 {
+		limit = defaultSegmentBytes
 	}
-	if err := lockFile(f); err != nil {
-		f.Close()
+	lock, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: open journal lock: %w", err)
+	}
+	if err := lockFile(lock); err != nil {
+		lock.Close()
 		return nil, nil, fmt.Errorf("service: %w", err)
 	}
-	recs, good, err := scanRecords(f)
-	if err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("service: scan journal: %w", err)
+	fail := func(err error) (*journal, []record, error) {
+		lock.Close()
+		return nil, nil, err
 	}
-	if fi, err := f.Stat(); err == nil && fi.Size() > good {
-		if err := f.Truncate(good); err != nil {
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return fail(fmt.Errorf("service: list journal segments: %w", err))
+	}
+	// Adopt the pre-segmentation single-file layout as the oldest segment.
+	if _, err := os.Stat(filepath.Join(dir, legacyName)); err == nil {
+		seq := 1
+		if len(seqs) > 0 {
+			seq = seqs[0] - 1 // older than everything segmented
+		}
+		if err := os.Rename(filepath.Join(dir, legacyName), filepath.Join(dir, segName(seq))); err != nil {
+			return fail(fmt.Errorf("service: adopt legacy journal: %w", err))
+		}
+		seqs = append([]int{seq}, seqs...)
+	}
+	if len(seqs) == 0 {
+		seqs = []int{1}
+		f, err := os.OpenFile(filepath.Join(dir, segName(1)), os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			return fail(fmt.Errorf("service: create journal segment: %w", err))
+		}
+		f.Close()
+	}
+	var recs []record
+	j := &journal{dir: dir, lock: lock, limit: limit}
+	for i, seq := range seqs {
+		f, err := os.OpenFile(filepath.Join(dir, segName(seq)), os.O_RDWR, 0o644)
+		if err != nil {
+			return fail(fmt.Errorf("service: open journal segment: %w", err))
+		}
+		segRecs, good, err := scanRecords(f)
+		if err != nil {
 			f.Close()
-			return nil, nil, fmt.Errorf("service: heal journal tail: %w", err)
+			return fail(fmt.Errorf("service: scan journal segment %d: %w", seq, err))
+		}
+		recs = append(recs, segRecs...)
+		if i < len(seqs)-1 {
+			// A sealed segment with a damaged tail loses its trailing records;
+			// replay continues with the later segments (and the compaction
+			// snapshot they open with, when one exists) — apply heals forward.
+			f.Close()
+			j.sealed = append(j.sealed, seq)
+			continue
+		}
+		// The newest segment is the append target: heal its tail in place.
+		if fi, err := f.Stat(); err == nil && fi.Size() > good {
+			if err := f.Truncate(good); err != nil {
+				f.Close()
+				return fail(fmt.Errorf("service: heal journal tail: %w", err))
+			}
+		}
+		if _, err := f.Seek(good, io.SeekStart); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("service: seek journal: %w", err))
+		}
+		j.f, j.seq, j.size = f, seq, good
+	}
+	return j, recs, nil
+}
+
+// listSegments returns the existing segment sequence numbers in ascending
+// order.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []int
+	for _, e := range entries {
+		var seq int
+		if n, err := fmt.Sscanf(e.Name(), "wal-%06d.seg", &seq); n == 1 && err == nil {
+			seqs = append(seqs, seq)
 		}
 	}
-	if _, err := f.Seek(good, io.SeekStart); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("service: seek journal: %w", err)
-	}
-	return &journal{path: path, f: f}, recs, nil
+	sort.Ints(seqs)
+	return seqs, nil
 }
+
+// segments returns how many segment files the journal currently spans — the
+// daemon's compaction trigger.
+func (j *journal) segments() int { return len(j.sealed) + 1 }
 
 // scanRecords reads records from the start of f, returning the intact prefix
 // and the offset where it ends. Framing or checksum damage stops the scan
-// without error — the caller truncates there. Only real I/O errors are
-// returned.
+// without error — the caller truncates there (or, for sealed segments,
+// simply moves on). Only real I/O errors are returned.
 func scanRecords(f *os.File) ([]record, int64, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, 0, err
@@ -149,12 +264,30 @@ func frame(rec record) ([]byte, error) {
 	return buf, nil
 }
 
+// rotate seals the active segment and starts the next one.
+func (j *journal) rotate() error {
+	next, err := os.OpenFile(filepath.Join(j.dir, segName(j.seq+1)), os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: rotate journal segment: %w", err)
+	}
+	j.f.Close()
+	j.sealed = append(j.sealed, j.seq)
+	j.f, j.seq, j.size = next, j.seq+1, 0
+	return nil
+}
+
 // append writes one record and fsyncs: when append returns nil the
-// transition is durable.
+// transition is durable. An append that would push the active segment past
+// the size limit seals it and starts a new segment first.
 func (j *journal) append(rec record) error {
 	buf, err := frame(rec)
 	if err != nil {
 		return fmt.Errorf("service: journal record: %w", err)
+	}
+	if j.size > 0 && j.size+int64(len(buf)) > j.limit {
+		if err := j.rotate(); err != nil {
+			return err
+		}
 	}
 	if _, err := j.f.Write(buf); err != nil {
 		return fmt.Errorf("service: journal append: %w", err)
@@ -162,53 +295,67 @@ func (j *journal) append(rec record) error {
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("service: journal sync: %w", err)
 	}
+	j.size += int64(len(buf))
 	return nil
 }
 
-// checkpoint atomically replaces the journal with the given records (the
-// clean-shutdown compaction: tmp + fsync + rename, like the summary cache's
-// Put). The compacted file becomes the new locked handle — the journal lock
-// is never dropped, so a successor daemon starting during the checkpoint
-// cannot open the journal until this process closes it or exits.
+// checkpoint compacts the WAL to the given records (the live state's
+// snapshot): they are written into a fresh segment, fsynced, and only then
+// are the older segments deleted. A crash before the deletes replays old
+// history followed by the (possibly torn) snapshot — idempotent apply folds
+// both to the same state — so the compaction is crash-safe at every step.
+// The directory lock is held throughout; it is never dropped mid-swap.
 func (j *journal) checkpoint(recs []record) error {
-	tmp := j.path + ".tmp"
-	f, err := os.Create(tmp)
+	path := filepath.Join(j.dir, segName(j.seq+1))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("service: checkpoint: %w", err)
 	}
 	w := bufio.NewWriter(f)
+	var size int64
 	for _, rec := range recs {
 		buf, err := frame(rec)
 		if err == nil {
-			_, err = w.Write(buf)
+			var n int
+			n, err = w.Write(buf)
+			size += int64(n)
 		}
 		if err != nil {
 			f.Close()
-			os.Remove(tmp)
+			os.Remove(path)
 			return fmt.Errorf("service: checkpoint: %w", err)
 		}
 	}
 	if err := w.Flush(); err == nil {
 		err = f.Sync()
-	}
-	if err == nil {
-		err = lockFile(f)
+	} else {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("service: checkpoint: %w", err)
 	}
 	if err != nil {
 		f.Close()
-		os.Remove(tmp)
+		os.Remove(path)
 		return fmt.Errorf("service: checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp, j.path); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("service: checkpoint: %w", err)
-	}
+	// The snapshot is durable: retire every older segment, the active one
+	// included.
 	j.f.Close()
-	j.f = f
+	for _, seq := range append(j.sealed, j.seq) {
+		os.Remove(filepath.Join(j.dir, segName(seq)))
+	}
+	j.sealed = nil
+	j.f, j.seq, j.size = f, j.seq+1, size
 	return nil
 }
 
-// close closes the handle without compacting (the crash-simulation path:
-// appended records are already durable).
-func (j *journal) close() error { return j.f.Close() }
+// close closes the handles without compacting (the crash-simulation path:
+// appended records are already durable). Closing the lock file releases the
+// flock.
+func (j *journal) close() error {
+	err := j.f.Close()
+	if lerr := j.lock.Close(); err == nil {
+		err = lerr
+	}
+	return err
+}

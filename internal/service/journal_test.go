@@ -13,15 +13,15 @@ func testRecords() []record {
 	spec := &JobSpec{Seed: 42, Quick: true}
 	rep := &harness.Report{ID: "a", Title: "A", Pass: true, Status: harness.StatusClean}
 	return []record{
-		{Type: recSubmit, Job: "job-1", Spec: spec, Shards: []string{"a", "b"}},
-		{Type: recShardDone, Job: "job-1", Shard: "a", Report: rep},
-		{Type: recShardFailed, Job: "job-1", Shard: "b", Error: "boom"},
+		{Type: recSubmit, Job: "job-1", Spec: spec, Defs: []ShardRef{{Exp: "a"}, {Exp: "b", Lo: 0, Hi: 4}}},
+		{Type: recShardDone, Job: "job-1", Shard: "a", Partial: &harness.PartialReport{Exp: "a", Report: rep}},
+		{Type: recShardFailed, Job: "job-1", Shard: "b[0:4]", Error: "boom"},
 	}
 }
 
-func writeJournal(t *testing.T, path string, recs []record) {
+func writeTestJournal(t *testing.T, dir string, recs []record) {
 	t.Helper()
-	j, got, err := openJournal(path)
+	j, got, err := openJournal(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,11 +38,25 @@ func writeJournal(t *testing.T, path string, recs []record) {
 	}
 }
 
+// segPaths lists the journal's segment files in sequence order.
+func segPaths(t *testing.T, dir string) []string {
+	t.Helper()
+	seqs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := make([]string, len(seqs))
+	for i, seq := range seqs {
+		paths[i] = filepath.Join(dir, segName(seq))
+	}
+	return paths
+}
+
 func TestJournalRoundTrip(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "journal.wal")
+	dir := t.TempDir()
 	want := testRecords()
-	writeJournal(t, path, want)
-	j, got, err := openJournal(path)
+	writeTestJournal(t, dir, want)
+	j, got, err := openJournal(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,11 +67,12 @@ func TestJournalRoundTrip(t *testing.T) {
 }
 
 // TestJournalTruncatedTail: a crash mid-append leaves a torn final record;
-// reopening must recover every record before it, heal the file by truncating
-// the tail, and leave the journal appendable.
+// reopening must recover every record before it, heal the segment by
+// truncating the tail, and leave the journal appendable.
 func TestJournalTruncatedTail(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "journal.wal")
-	writeJournal(t, path, testRecords())
+	dir := t.TempDir()
+	writeTestJournal(t, dir, testRecords())
+	path := segPaths(t, dir)[0]
 	fi, err := os.Stat(path)
 	if err != nil {
 		t.Fatal(err)
@@ -65,7 +80,7 @@ func TestJournalTruncatedTail(t *testing.T) {
 	if err := os.Truncate(path, fi.Size()-5); err != nil {
 		t.Fatal(err)
 	}
-	j, got, err := openJournal(path)
+	j, got, err := openJournal(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +92,7 @@ func TestJournalTruncatedTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	j.close()
-	j, got, err = openJournal(path)
+	j, got, err = openJournal(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,8 +105,9 @@ func TestJournalTruncatedTail(t *testing.T) {
 // TestJournalCorruptTail: a bit flip inside the final record's payload fails
 // its checksum; the scan must stop there, keeping the intact prefix.
 func TestJournalCorruptTail(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "journal.wal")
-	writeJournal(t, path, testRecords())
+	dir := t.TempDir()
+	writeTestJournal(t, dir, testRecords())
+	path := segPaths(t, dir)[0]
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -100,7 +116,7 @@ func TestJournalCorruptTail(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	j, got, err := openJournal(path)
+	j, got, err := openJournal(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,29 +126,153 @@ func TestJournalCorruptTail(t *testing.T) {
 	}
 }
 
-// TestJournalGarbageFile: a journal that is not a journal at all replays as
-// empty and self-heals to a clean file.
-func TestJournalGarbageFile(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "journal.wal")
+// TestJournalGarbageSegment: a segment that is not a journal at all replays
+// as empty and self-heals to a clean file.
+func TestJournalGarbageSegment(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, segName(1))
 	if err := os.WriteFile(path, []byte("not a journal at all"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	j, got, err := openJournal(path)
+	j, got, err := openJournal(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer j.close()
 	if len(got) != 0 {
-		t.Fatalf("garbage file replayed %d records", len(got))
+		t.Fatalf("garbage segment replayed %d records", len(got))
 	}
 	if fi, err := os.Stat(path); err != nil || fi.Size() != 0 {
 		t.Fatalf("garbage tail not healed: size %d, err %v", fi.Size(), err)
 	}
 }
 
+// TestJournalLegacyMigration: a pre-segmentation journal.wal single file is
+// adopted as the oldest segment on open — same records, new layout, no data
+// loss.
+func TestJournalLegacyMigration(t *testing.T) {
+	dir := t.TempDir()
+	want := testRecords()
+	f, err := os.Create(filepath.Join(dir, legacyName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range want {
+		buf, err := frame(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	j, got, err := openJournal(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.close()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("migrated journal differs:\n%+v\nwant\n%+v", got, want)
+	}
+	if _, err := os.Stat(filepath.Join(dir, legacyName)); !os.IsNotExist(err) {
+		t.Fatalf("legacy journal.wal still present after migration: %v", err)
+	}
+	if paths := segPaths(t, dir); len(paths) != 1 {
+		t.Fatalf("migration produced %d segments, want 1", len(paths))
+	}
+	// The migrated journal is appendable like any other.
+	if err := j.append(record{Type: recJobDone, Job: "job-1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalSegmentRotation: sustained appends past the size limit seal
+// segments and start new ones; a reopen replays every record across the
+// boundary in order.
+func TestJournalSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := openJournal(dir, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []record
+	for i := 0; i < 40; i++ {
+		rec := record{Type: recShardDone, Job: "job-1", Shard: segName(i)}
+		want = append(want, rec)
+		if err := j.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.segments() < 3 {
+		t.Fatalf("journal spans %d segments after 40 appends at a 256-byte limit", j.segments())
+	}
+	j.close()
+	if paths := segPaths(t, dir); len(paths) < 3 {
+		t.Fatalf("only %d segment files on disk", len(paths))
+	}
+	j, got, err := openJournal(dir, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.close()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("rotation lost records: replayed %d, want %d", len(got), len(want))
+	}
+}
+
+// TestJournalCorruptSealedTail: damage to a sealed (rotated) segment's tail
+// loses only its trailing records — every record of the later segments still
+// replays, and the journal stays appendable.
+func TestJournalCorruptSealedTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := openJournal(dir, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []record
+	for i := 0; i < 40; i++ {
+		rec := record{Type: recShardDone, Job: "job-1", Shard: segName(i)}
+		want = append(want, rec)
+		if err := j.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.close()
+	paths := segPaths(t, dir)
+	if len(paths) < 3 {
+		t.Fatalf("need >=3 segments, have %d", len(paths))
+	}
+	raw, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0xff
+	if err := os.WriteFile(paths[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, got, err := openJournal(dir, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one record (the corrupted segment's last) is lost; later
+	// segments contribute everything, in order.
+	if len(got) >= len(want) || len(got) < len(want)-3 {
+		t.Fatalf("replayed %d records, want a bit under %d", len(got), len(want))
+	}
+	tail := want[len(want)-1]
+	if got[len(got)-1].Shard != tail.Shard {
+		t.Fatalf("later segments' records lost: last replayed %q, want %q", got[len(got)-1].Shard, tail.Shard)
+	}
+	if err := j.append(record{Type: recJobDone, Job: "job-1"}); err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+}
+
 func TestJournalCheckpointCompacts(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "journal.wal")
-	j, _, err := openJournal(path)
+	dir := t.TempDir()
+	j, _, err := openJournal(dir, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,14 +286,23 @@ func TestJournalCheckpointCompacts(t *testing.T) {
 	if err := j.append(recs[1]); err != nil {
 		t.Fatal(err)
 	}
+	if j.segments() < 2 {
+		t.Fatalf("appends did not rotate: %d segments", j.segments())
+	}
 	if err := j.checkpoint(recs); err != nil {
 		t.Fatal(err)
 	}
-	// checkpoint re-locks the compacted file; release it before reopening.
+	if j.segments() != 1 {
+		t.Fatalf("checkpoint left %d segments, want 1", j.segments())
+	}
+	if paths := segPaths(t, dir); len(paths) != 1 {
+		t.Fatalf("checkpoint left %d segment files, want 1", len(paths))
+	}
+	// checkpoint keeps the directory lock; release it before reopening.
 	if err := j.close(); err != nil {
 		t.Fatal(err)
 	}
-	j2, got, err := openJournal(path)
+	j2, got, err := openJournal(dir, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,22 +314,22 @@ func TestJournalCheckpointCompacts(t *testing.T) {
 
 // TestApplyDuplicateShardDone: duplicate completion records — possible when
 // a crash lands between an append and the next read of state — must apply
-// idempotently: the first report wins and counts once.
+// idempotently: the first fragment wins and counts once.
 func TestApplyDuplicateShardDone(t *testing.T) {
 	tab := newJobTable()
 	spec := &JobSpec{Seed: 1}
-	tab.apply(record{Type: recSubmit, Job: "job-1", Spec: spec, Shards: []string{"a", "b"}})
-	first := &harness.Report{ID: "a", Detail: "first", Status: harness.StatusClean}
-	second := &harness.Report{ID: "a", Detail: "second", Status: harness.StatusClean}
-	tab.apply(record{Type: recShardDone, Job: "job-1", Shard: "a", Report: first})
-	tab.apply(record{Type: recShardDone, Job: "job-1", Shard: "a", Report: second})
+	tab.apply(record{Type: recSubmit, Job: "job-1", Spec: spec, Defs: []ShardRef{{Exp: "a"}, {Exp: "b"}}})
+	first := &harness.PartialReport{Exp: "a", Report: &harness.Report{ID: "a", Detail: "first", Status: harness.StatusClean}}
+	second := &harness.PartialReport{Exp: "a", Report: &harness.Report{ID: "a", Detail: "second", Status: harness.StatusClean}}
+	tab.apply(record{Type: recShardDone, Job: "job-1", Shard: "a", Partial: first})
+	tab.apply(record{Type: recShardDone, Job: "job-1", Shard: "a", Partial: second})
 	j := tab.jobs["job-1"]
 	done, failed, total := j.counts()
 	if done != 1 || failed != 0 || total != 2 {
 		t.Fatalf("duplicate shard_done double-counted: done=%d failed=%d total=%d", done, failed, total)
 	}
-	if j.reports["a"].Detail != "first" {
-		t.Fatalf("duplicate shard_done overwrote the first report: %q", j.reports["a"].Detail)
+	if j.partials["a"].Report.Detail != "first" {
+		t.Fatalf("duplicate shard_done overwrote the first fragment: %q", j.partials["a"].Report.Detail)
 	}
 	if j.state != JobRunning {
 		t.Fatalf("job state %q, want running", j.state)
@@ -191,6 +340,50 @@ func TestApplyDuplicateShardDone(t *testing.T) {
 		t.Fatal("late shard_failed overrode a completed shard")
 	}
 	// Records referencing unknown jobs or shards are skipped, not fatal.
-	tab.apply(record{Type: recShardDone, Job: "ghost", Shard: "a", Report: first})
-	tab.apply(record{Type: recShardDone, Job: "job-1", Shard: "ghost", Report: first})
+	tab.apply(record{Type: recShardDone, Job: "ghost", Shard: "a", Partial: first})
+	tab.apply(record{Type: recShardDone, Job: "job-1", Shard: "ghost", Partial: first})
+}
+
+// TestApplyLegacyRecords: pre-/v1 journals carried whole-experiment shard ID
+// lists and bare Reports; they must still replay into the sharded table.
+func TestApplyLegacyRecords(t *testing.T) {
+	tab := newJobTable()
+	tab.apply(record{Type: recSubmit, Job: "job-1", Spec: &JobSpec{Seed: 1}, Shards: []string{"a", "b"}})
+	rep := &harness.Report{ID: "a", Detail: "legacy", Status: harness.StatusClean}
+	tab.apply(record{Type: recShardDone, Job: "job-1", Shard: "a", Report: rep})
+	j := tab.jobs["job-1"]
+	if j == nil || len(j.shards) != 2 {
+		t.Fatalf("legacy submit replayed %+v", j)
+	}
+	p := j.partials["a"]
+	if p == nil || !p.Whole() || p.Exp != "a" || p.Report.Detail != "legacy" {
+		t.Fatalf("legacy shard_done replayed %+v", p)
+	}
+	tab.apply(record{Type: recShardDone, Job: "job-1", Shard: "b",
+		Partial: &harness.PartialReport{Exp: "b", Report: &harness.Report{ID: "b"}}})
+	if j.state != JobDone {
+		t.Fatalf("mixed legacy/v1 job state %q, want done", j.state)
+	}
+}
+
+// TestApplyJobArchive: an archive record drops a terminal job from the table
+// — and is refused for a live one.
+func TestApplyJobArchive(t *testing.T) {
+	tab := newJobTable()
+	tab.apply(record{Type: recSubmit, Job: "job-1", Spec: &JobSpec{Seed: 1}, Defs: []ShardRef{{Exp: "a"}}})
+	// Archiving a live job is a no-op.
+	tab.apply(record{Type: recJobArchive, Job: "job-1"})
+	if tab.jobs["job-1"] == nil {
+		t.Fatal("live job was archived")
+	}
+	tab.apply(record{Type: recShardDone, Job: "job-1", Shard: "a",
+		Partial: &harness.PartialReport{Exp: "a", Report: &harness.Report{ID: "a"}}})
+	tab.apply(record{Type: recJobArchive, Job: "job-1"})
+	if tab.jobs["job-1"] != nil || len(tab.order) != 0 {
+		t.Fatalf("terminal job not archived: %+v order %v", tab.jobs["job-1"], tab.order)
+	}
+	// The archive survives a snapshot round trip: records() omits the job.
+	if recs := tab.records(); len(recs) != 0 {
+		t.Fatalf("archived job still in snapshot: %+v", recs)
+	}
 }

@@ -4,7 +4,6 @@ package service
 
 import (
 	"context"
-	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -17,18 +16,18 @@ import (
 // a crashed daemon never wedges its successor).
 func TestJournalSingleOwner(t *testing.T) {
 	dir := t.TempDir()
-	j1, _, err := openJournal(filepath.Join(dir, "journal.wal"))
+	j1, _, err := openJournal(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := openJournal(filepath.Join(dir, "journal.wal")); err == nil ||
+	if _, _, err := openJournal(dir, 0); err == nil ||
 		!strings.Contains(err.Error(), "locked by another running daemon") {
 		t.Fatalf("second open = %v, want lock error", err)
 	}
 	if err := j1.close(); err != nil {
 		t.Fatal(err)
 	}
-	j2, _, err := openJournal(filepath.Join(dir, "journal.wal"))
+	j2, _, err := openJournal(dir, 0)
 	if err != nil {
 		t.Fatalf("open after close: %v", err)
 	}

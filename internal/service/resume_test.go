@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"zenspec/internal/fault"
 	"zenspec/internal/harness"
 	"zenspec/internal/harness/suite"
 	"zenspec/internal/kernel"
@@ -110,5 +111,87 @@ func TestKillResumeByteIdentity(t *testing.T) {
 					workers, got, want)
 			}
 		})
+	}
+}
+
+// TestKillResumeSplitByteIdentity is the same crash contract with the
+// scale-out path in play: the job is cut into trial-range shards (Split),
+// the daemon is killed once at least one range completion is journaled, and
+// the resumed daemon's merged report must still match an uninterrupted,
+// unsharded direct run byte for byte — replayed partial fragments and
+// re-leased ranges included. fault-harness is the rangeable long pole here
+// (32 quick trials across 3 range shards); fig2/table1 ride along as whole
+// shards so the mix matches a real split submission.
+func TestKillResumeSplitByteIdentity(t *testing.T) {
+	reg := suite.Registry()
+	ids := []string{"fig2", "table1", "fault-harness"}
+	spec := JobSpec{Seed: 42, Quick: true, Only: ids, Split: 3}
+
+	direct, err := reg.Run(shardRunCtx(spec, fault.Plan{}, 1), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.StableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Registry: reg, Workers: 2, Lease: 5 * time.Second}
+	d, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := d.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := d.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 5 { // fig2 + table1 whole, fault-harness in 3 ranges
+		t.Fatalf("split submission produced %d shards, want 5: %+v", st.Total, st.Shards)
+	}
+	midFlight := false
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := d.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Terminal() {
+			break
+		}
+		if st.Done >= 1 {
+			midFlight = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	d.Kill()
+	if !midFlight {
+		t.Log("job finished before the kill landed; resume path not exercised this run")
+	}
+
+	d2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Shutdown(context.Background())
+	st = waitStatus(t, d2, id, JobStatus.Terminal, "resumed split job")
+	if st.State != JobDone {
+		t.Fatalf("resumed split job %+v", st)
+	}
+	rep, err := d2.Report(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rep.StableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed split report differs from direct unsharded run:\n%s\nvs\n%s", got, want)
 	}
 }

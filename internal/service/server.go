@@ -7,24 +7,35 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strings"
 	"time"
 
 	"zenspec/internal/harness"
 )
 
-// Server is the zenspecd HTTP front end: a JSON job API mounted beside the
-// daemon's telemetry plane (Prometheus /metrics with the queue gauges, live
-// /progress, /profile, host pprof).
+// Server is the zenspecd HTTP front end: the versioned /v1 JSON job API
+// mounted beside the daemon's telemetry plane (Prometheus /metrics with the
+// queue gauges, live /progress, /profile, host pprof).
 //
-//	POST /jobs              submit a JobSpec, returns {"id": "job-N"}
-//	GET  /jobs              list all jobs
-//	GET  /jobs/{id}         one job's status
-//	GET  /jobs/{id}/watch   NDJSON stream of status snapshots until terminal
-//	GET  /jobs/{id}/report  merged SuiteReport (?stable=1 for StableJSON,
-//	                        ?text=1 for the terminal rendering)
-//	GET  /jobs/{id}/profile merged simulated-machine profile, pprof protobuf
-//	GET  /healthz           liveness (200 while the process serves)
-//	GET  /readyz            readiness (503 once draining)
+//	GET  /v1/meta                         API version, build, experiment list
+//	POST /v1/jobs                         submit a JobSpec, returns {"id": "job-N"}
+//	GET  /v1/jobs                         list all jobs
+//	GET  /v1/jobs/{id}                    one job's status
+//	GET  /v1/jobs/{id}/watch              NDJSON stream of status snapshots until terminal
+//	GET  /v1/jobs/{id}/report             merged SuiteReport (?stable=1 for StableJSON,
+//	                                      ?text=1 for the terminal rendering)
+//	GET  /v1/jobs/{id}/profile            merged simulated-machine profile, pprof protobuf
+//	POST /v1/leases                       claim a shard lease ({"worker", "wait_ms"};
+//	                                      204 when nothing is pending)
+//	POST /v1/leases/{token}/heartbeat     keep a lease alive ({"done", "total"})
+//	POST /v1/leases/{token}/complete      hand back a shard ({"partial", "error", "overrun"})
+//	GET  /v1/healthz                      liveness (200 while the process serves)
+//	GET  /v1/readyz                       readiness (503 once draining)
+//
+// Errors come back as {"error": "...", "code": "..."} JSON bodies; Client
+// maps the code to the package's typed sentinels. The job and health
+// endpoints are also mounted at their pre-/v1 paths (POST /jobs, ...) as
+// deprecated aliases for one release; the lease surface is /v1-only.
 type Server struct {
 	d   *Daemon
 	srv *http.Server
@@ -36,22 +47,32 @@ func NewServer(d *Daemon) *Server { return &Server{d: d} }
 // Handler builds the service mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", s.handleSubmit)
-	mux.HandleFunc("GET /jobs", s.handleList)
-	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /jobs/{id}/watch", s.handleWatch)
-	mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
-	mux.HandleFunc("GET /jobs/{id}/profile", s.handleProfile)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	// handle mounts a job-API route under /v1 and at its legacy pre-/v1 path.
+	handle := func(pattern string, h http.HandlerFunc) {
+		method, path, _ := strings.Cut(pattern, " ")
+		mux.HandleFunc(method+" /v1"+path, h)
+		mux.HandleFunc(pattern, h)
+	}
+	handle("POST /jobs", s.handleSubmit)
+	handle("GET /jobs", s.handleList)
+	handle("GET /jobs/{id}", s.handleStatus)
+	handle("GET /jobs/{id}/watch", s.handleWatch)
+	handle("GET /jobs/{id}/report", s.handleReport)
+	handle("GET /jobs/{id}/profile", s.handleProfile)
+	handle("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+	handle("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
 		if !s.d.Ready() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
+			writeError(w, http.StatusServiceUnavailable, "draining", "daemon is draining")
 			return
 		}
 		fmt.Fprintln(w, "ready")
 	})
+	mux.HandleFunc("GET /v1/meta", s.handleMeta)
+	mux.HandleFunc("POST /v1/leases", s.handleLease)
+	mux.HandleFunc("POST /v1/leases/{token}/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("POST /v1/leases/{token}/complete", s.handleComplete)
 	mux.Handle("/", s.d.Telemetry().Handler())
 	return mux
 }
@@ -80,15 +101,33 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return httpErr
 }
 
+// apiError is the wire shape of every error response. Code is machine-
+// readable; Client maps it back to the package sentinels so errors.Is works
+// across the wire.
+type apiError struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(apiError{Error: msg, Code: code})
+}
+
 func (s *Server) fail(w http.ResponseWriter, err error) {
-	code := http.StatusInternalServerError
+	status, code := http.StatusInternalServerError, "internal"
 	switch {
-	case errors.Is(err, ErrUnknownJob), errors.Is(err, harness.ErrUnknownExperiment):
-		code = http.StatusNotFound
+	case errors.Is(err, ErrJobNotFound):
+		status, code = http.StatusNotFound, "job_not_found"
+	case errors.Is(err, ErrLeaseNotFound):
+		status, code = http.StatusNotFound, "lease_not_found"
+	case errors.Is(err, harness.ErrUnknownExperiment):
+		status, code = http.StatusNotFound, "unknown_experiment"
 	case errors.Is(err, ErrDraining):
-		code = http.StatusServiceUnavailable
+		status, code = http.StatusServiceUnavailable, "draining"
 	}
-	http.Error(w, err.Error(), code)
+	writeError(w, status, code, err.Error())
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -98,16 +137,20 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc.Encode(v)
 }
 
+func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.d.Meta())
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		http.Error(w, "bad spec: "+err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad_request", "bad spec: "+err.Error())
 		return
 	}
 	id, err := s.d.Submit(spec)
 	if err != nil {
 		if errors.Is(err, harness.ErrUnknownExperiment) {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "unknown_experiment", err.Error())
 			return
 		}
 		s.fail(w, err)
@@ -131,6 +174,71 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, st)
+}
+
+// handleLease claims the next pending shard for a remote worker. The server
+// caps the long-poll window well below typical client timeouts so a drain
+// never wedges behind parked lease requests; an empty claim is 204, not an
+// error — the worker just polls again.
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Worker string `json:"worker"`
+		WaitMS int64  `json:"wait_ms"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "bad lease request: "+err.Error())
+		return
+	}
+	wait := time.Duration(req.WaitMS) * time.Millisecond
+	if wait < 0 {
+		wait = 0
+	}
+	if max := 5 * time.Second; wait > max {
+		wait = max
+	}
+	l, err := s.d.Lease(req.Worker, wait)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if l == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, l)
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Done  int `json:"done"`
+		Total int `json:"total"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "bad heartbeat: "+err.Error())
+		return
+	}
+	if err := s.d.Heartbeat(r.PathValue("token"), req.Done, req.Total); err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Partial *harness.PartialReport `json:"partial,omitempty"`
+		Error   string                 `json:"error,omitempty"`
+		Overrun bool                   `json:"overrun,omitempty"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "bad completion: "+err.Error())
+		return
+	}
+	if err := s.d.Complete(r.PathValue("token"), req.Partial, req.Error, req.Overrun); err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // handleWatch streams NDJSON status snapshots — one line per state change,
@@ -216,7 +324,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	}
 	snap := rep.Profile()
 	if snap == nil {
-		http.Error(w, "job has no profile (submit with \"profile\": true)", http.StatusNotFound)
+		writeError(w, http.StatusNotFound, "bad_request", "job has no profile (submit with \"profile\": true)")
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")

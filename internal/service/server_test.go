@@ -105,7 +105,7 @@ func TestServerEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := reg.Run(d.shardCtx(spec, d.tab.jobs[id].plan), nil)
+	direct, err := reg.Run(shardRunCtx(spec, d.tab.jobs[id].plan, d.cfg.Parallelism), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,12 +151,43 @@ func TestServerEndToEnd(t *testing.T) {
 		}
 	}
 
-	// Unknown jobs and bad specs map to client errors, not 500s.
-	if _, err := c.Status("ghost"); err == nil || !strings.Contains(err.Error(), "404") {
+	// Unknown jobs and bad specs map to typed client errors, not 500s — the
+	// structured {"error", "code"} body carries the sentinel across the wire.
+	if _, err := c.Status("ghost"); !errors.Is(err, ErrJobNotFound) || !strings.Contains(err.Error(), "404") {
 		t.Fatalf("unknown job error = %v", err)
 	}
-	if _, err := c.Submit(JobSpec{Only: []string{"nope"}}); err == nil || !strings.Contains(err.Error(), "400") {
+	if _, err := c.Submit(JobSpec{Only: []string{"nope"}}); !errors.Is(err, harness.ErrUnknownExperiment) || !strings.Contains(err.Error(), "400") {
 		t.Fatalf("bad submit error = %v", err)
+	}
+
+	// The meta endpoint names the protocol and the registered experiments.
+	meta, err := c.Meta()
+	if err != nil || meta.APIVersion != APIVersion || len(meta.Experiments) != 1 || meta.Experiments[0] != "boot" {
+		t.Fatalf("meta = %+v, %v", meta, err)
+	}
+
+	// A client pinned to a version the daemon does not speak fails typed.
+	strict := &Client{Base: base, APIVersion: "v2"}
+	if _, err := strict.Status(id); !errors.Is(err, ErrAPIVersion) {
+		t.Fatalf("version-mismatch error = %v", err)
+	}
+
+	// Every job route answers at both /v1 and its legacy alias.
+	for _, path := range []string{
+		"/jobs", "/v1/jobs",
+		"/jobs/" + id, "/v1/jobs/" + id,
+		"/jobs/" + id + "/report", "/v1/jobs/" + id + "/report",
+		"/healthz", "/v1/healthz",
+		"/readyz", "/v1/readyz",
+	} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s status %d", path, resp.StatusCode)
+		}
 	}
 
 	if err := srv.Shutdown(context.Background()); err != nil {
@@ -203,8 +234,8 @@ func TestWaitPollsThroughOutage(t *testing.T) {
 	if err != nil || st.State != JobDone {
 		t.Fatalf("Wait through outage = %+v, %v", st, err)
 	}
-	// HTTP-level errors still fail fast: an unknown job is a 404, not a retry.
-	if _, err := c.Wait(context.Background(), "ghost", time.Millisecond); err == nil || !strings.Contains(err.Error(), "404") {
+	// API-level errors still fail fast: an unknown job is typed, not a retry.
+	if _, err := c.Wait(context.Background(), "ghost", time.Millisecond); !errors.Is(err, ErrJobNotFound) {
 		t.Fatalf("unknown-job wait error = %v", err)
 	}
 }

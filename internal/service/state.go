@@ -1,12 +1,14 @@
 // Package service is the zenspecd robustness layer: a durable, crash-safe
 // job queue over the experiment harness. Suite jobs are journaled to a
-// write-ahead log at submission, executed shard by shard (one shard = one
-// experiment, the unit whose Report is independent of everything else that
-// runs), and their per-shard Report fragments are persisted idempotently as
-// they complete. A daemon killed at any point replays the journal on the next
-// Open and resumes exactly the shards that had not completed; because every
-// shard is deterministic in (seed, experiment, trial), the resumed job's
-// merged StableJSON is byte-identical to an uninterrupted run's.
+// write-ahead log at submission, split into shards — one experiment, or one
+// trial range [lo, hi) of a rangeable experiment — and executed by lease-pull
+// workers (the daemon's in-process pool and remote zenspec-worker processes
+// are the same consumer). Per-shard PartialReport fragments are persisted
+// idempotently as they complete. A daemon killed at any point replays the
+// journal on the next Open and resumes exactly the shards that had not
+// completed; because every trial is deterministic in (seed, experiment,
+// trial), the resumed job's merged StableJSON is byte-identical to an
+// uninterrupted run's at any shard split and any worker count.
 package service
 
 import (
@@ -35,6 +37,12 @@ type JobSpec struct {
 	// exactly like the cmd/experiments flags.
 	Metrics bool `json:"metrics,omitempty"`
 	Profile bool `json:"profile,omitempty"`
+	// Split asks the daemon to cut each rangeable experiment into up to this
+	// many trial-range shards, so several workers (or machines) drain one
+	// experiment concurrently. 0 or 1 keeps whole-experiment shards;
+	// experiments without a range decomposition always stay whole. The merged
+	// report is byte-identical at any Split.
+	Split int `json:"split,omitempty"`
 	// Priority orders the queue: higher-priority jobs' shards are leased
 	// first; ties go to submission order.
 	Priority int `json:"priority,omitempty"`
@@ -63,14 +71,36 @@ const (
 	ShardFailed  = "failed"
 )
 
-// shard is the in-memory execution state of one experiment of a job. Lease
-// and attempt bookkeeping is volatile by design: a crash loses leases, and
-// replay simply re-queues every unresolved shard.
+// ShardRef names one unit of leased work: an experiment, or the trial range
+// [Lo, Hi) of one. Lo == Hi == 0 means the whole experiment (the harness's
+// whole-shard convention).
+type ShardRef struct {
+	Exp string `json:"exp"`
+	Lo  int    `json:"lo,omitempty"`
+	Hi  int    `json:"hi,omitempty"`
+}
+
+// Whole reports whether the ref names the whole experiment.
+func (r ShardRef) Whole() bool { return r.Lo == 0 && r.Hi == 0 }
+
+// ID renders the shard's stable identifier: the bare experiment ID for a
+// whole-experiment shard, "exp[lo:hi]" for a trial range.
+func (r ShardRef) ID() string {
+	if r.Whole() {
+		return r.Exp
+	}
+	return fmt.Sprintf("%s[%d:%d]", r.Exp, r.Lo, r.Hi)
+}
+
+// shard is the in-memory execution state of one unit of a job. Lease and
+// attempt bookkeeping is volatile by design: a crash loses leases, and replay
+// simply re-queues every unresolved shard.
 type shard struct {
-	id      string
+	def     ShardRef
+	id      string // def.ID(), precomputed
 	state   string
 	attempt int // deadline-overrun retries consumed
-	lease   int64
+	lease   string
 	// notBefore delays re-leasing after a retry: the deterministic backoff
 	// window.
 	notBefore   time.Time
@@ -87,11 +117,17 @@ type job struct {
 	plan   fault.Plan
 	state  string
 	err    string
-	order  []string // shard order = registry selection order at submit time
+	exps   []string // experiment order = registry selection order at submit time
+	order  []string // shard IDs in lease order
 	shards map[string]*shard
-	// reports holds completed shard reports, keyed by experiment ID; the
-	// coordinator assembles them commutatively into the SuiteReport.
-	reports map[string]harness.Report
+	// partials holds completed shard fragments, keyed by shard ID; the
+	// coordinator assembles them commutatively (MergeTrialRanges per
+	// experiment, then Assemble) into the SuiteReport.
+	partials map[string]*harness.PartialReport
+	// merged memoizes fully-assembled per-experiment reports. A done shard's
+	// partial never changes (first completion wins), so once every shard of
+	// an experiment resolved done its merged report is final.
+	merged map[string]harness.Report
 }
 
 func (j *job) active() bool { return j.state == JobQueued || j.state == JobRunning }
@@ -117,6 +153,20 @@ func (j *job) counts() (done, failed, total int) {
 	return done, failed, len(j.shards)
 }
 
+// expComplete reports whether every shard of the experiment resolved done.
+func (j *job) expComplete(exp string) bool {
+	any := false
+	for _, id := range j.order {
+		if s := j.shards[id]; s.def.Exp == exp {
+			any = true
+			if s.state != ShardDone {
+				return false
+			}
+		}
+	}
+	return any
+}
+
 // finalize moves the job to its terminal state once every shard resolved.
 func (j *job) finalize() {
 	done, failed, total := j.counts()
@@ -128,7 +178,7 @@ func (j *job) finalize() {
 		if j.err == "" {
 			for _, id := range j.order {
 				if s := j.shards[id]; s.state == ShardFailed {
-					j.err = fmt.Sprintf("shard %s: %s", id, s.err)
+					j.err = fmt.Sprintf("shard %s: %s", s.id, s.err)
 					break
 				}
 			}
@@ -150,7 +200,7 @@ type ShardStatus struct {
 	Error       string `json:"error,omitempty"`
 }
 
-// JobStatus is the public job view served by GET /jobs/{id}.
+// JobStatus is the public job view served by GET /v1/jobs/{id}.
 type JobStatus struct {
 	ID     string        `json:"id"`
 	State  string        `json:"state"`
@@ -184,7 +234,8 @@ func (s JobStatus) Terminal() bool { return s.State == JobDone || s.State == Job
 // jobTable is the replayable state: everything in it is a pure fold of the
 // journal records, so replaying a journal reconstructs it exactly. apply is
 // idempotent — duplicate records (possible when a crash lands between a
-// record's fsync and the next state read) are no-ops.
+// record's fsync and the next state read, or when a compaction snapshot
+// replays after the history it summarizes) are no-ops.
 type jobTable struct {
 	jobs  map[string]*job
 	order []string
@@ -193,6 +244,31 @@ type jobTable struct {
 
 func newJobTable() *jobTable {
 	return &jobTable{jobs: map[string]*job{}}
+}
+
+// submitDefs resolves a submit record's shard list: Defs when present, the
+// legacy pre-/v1 whole-experiment Shards list otherwise.
+func submitDefs(rec record) []ShardRef {
+	if len(rec.Defs) > 0 {
+		return rec.Defs
+	}
+	defs := make([]ShardRef, 0, len(rec.Shards))
+	for _, id := range rec.Shards {
+		defs = append(defs, ShardRef{Exp: id})
+	}
+	return defs
+}
+
+// donePartial resolves a shard-done record's fragment: Partial when present,
+// the legacy whole-shard Report otherwise.
+func donePartial(rec record) *harness.PartialReport {
+	if rec.Partial != nil {
+		return rec.Partial
+	}
+	if rec.Report != nil {
+		return &harness.PartialReport{Exp: rec.Shard, Report: rec.Report}
+	}
+	return nil
 }
 
 // apply folds one journal record into the table. Unknown job or shard
@@ -210,11 +286,22 @@ func (t *jobTable) apply(rec record) {
 		t.seq++
 		j := &job{
 			id: rec.Job, seq: t.seq, spec: *rec.Spec, state: JobQueued,
-			order: rec.Shards, shards: map[string]*shard{},
-			reports: map[string]harness.Report{},
+			shards:   map[string]*shard{},
+			partials: map[string]*harness.PartialReport{},
+			merged:   map[string]harness.Report{},
 		}
-		for _, id := range rec.Shards {
-			j.shards[id] = &shard{id: id, state: ShardPending}
+		seenExp := map[string]bool{}
+		for _, def := range submitDefs(rec) {
+			id := def.ID()
+			if _, dup := j.shards[id]; dup {
+				continue
+			}
+			j.shards[id] = &shard{def: def, id: id, state: ShardPending}
+			j.order = append(j.order, id)
+			if !seenExp[def.Exp] {
+				seenExp[def.Exp] = true
+				j.exps = append(j.exps, def.Exp)
+			}
 		}
 		if plan, err := fault.Parse(j.spec.Faults); err != nil {
 			j.state = JobFailed
@@ -229,7 +316,8 @@ func (t *jobTable) apply(rec record) {
 		t.order = append(t.order, rec.Job)
 	case recShardDone:
 		j := t.jobs[rec.Job]
-		if j == nil || rec.Report == nil {
+		p := donePartial(rec)
+		if j == nil || p == nil {
 			return
 		}
 		s := j.shards[rec.Shard]
@@ -237,8 +325,8 @@ func (t *jobTable) apply(rec record) {
 			return // idempotent: the first completion wins
 		}
 		s.state = ShardDone
-		s.lease = 0
-		j.reports[rec.Shard] = *rec.Report
+		s.lease = ""
+		j.partials[rec.Shard] = p
 		if j.state == JobQueued {
 			j.state = JobRunning
 		}
@@ -253,7 +341,7 @@ func (t *jobTable) apply(rec record) {
 			return
 		}
 		s.state = ShardFailed
-		s.lease = 0
+		s.lease = ""
 		s.err = rec.Error
 		if j.state == JobQueued {
 			j.state = JobRunning
@@ -270,23 +358,39 @@ func (t *jobTable) apply(rec record) {
 				j.err = rec.Error
 			}
 		}
+	case recJobArchive:
+		j := t.jobs[rec.Job]
+		if j == nil || j.active() {
+			return // never archive live work
+		}
+		delete(t.jobs, rec.Job)
+		for i, id := range t.order {
+			if id == rec.Job {
+				t.order = append(t.order[:i], t.order[i+1:]...)
+				break
+			}
+		}
 	}
 }
 
 // records renders the table back into a minimal equivalent journal — the
-// checkpoint a clean shutdown compacts to.
+// snapshot a compaction or clean-shutdown checkpoint writes. Archived jobs
+// are simply absent.
 func (t *jobTable) records() []record {
 	var out []record
 	for _, id := range t.order {
 		j := t.jobs[id]
 		spec := j.spec
-		out = append(out, record{Type: recSubmit, Job: j.id, Spec: &spec, Shards: j.order})
+		defs := make([]ShardRef, 0, len(j.order))
+		for _, sid := range j.order {
+			defs = append(defs, j.shards[sid].def)
+		}
+		out = append(out, record{Type: recSubmit, Job: j.id, Spec: &spec, Defs: defs})
 		for _, sid := range j.order {
 			s := j.shards[sid]
 			switch s.state {
 			case ShardDone:
-				rep := j.reports[sid]
-				out = append(out, record{Type: recShardDone, Job: j.id, Shard: sid, Report: &rep})
+				out = append(out, record{Type: recShardDone, Job: j.id, Shard: sid, Partial: j.partials[sid]})
 			case ShardFailed:
 				out = append(out, record{Type: recShardFailed, Job: j.id, Shard: sid, Error: s.err})
 			}

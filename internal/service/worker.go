@@ -1,0 +1,238 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zenspec/internal/fault"
+	"zenspec/internal/harness"
+)
+
+// LeaseSource is the pull side of the job API: claim a shard, keep its lease
+// alive, hand back the result. *Daemon implements it in-process; *Client
+// implements it over /v1, so the daemon's own pool and remote zenspec-worker
+// processes are the same consumer pointed at different transports.
+type LeaseSource interface {
+	// Lease claims the next pending shard, blocking up to wait. (nil, nil)
+	// means nothing was available; ErrDraining means the source is shutting
+	// down and will hand out no more work.
+	Lease(worker string, wait time.Duration) (*Lease, error)
+	// Heartbeat extends the lease and reports trial progress.
+	// ErrLeaseNotFound means the lease was revoked: abandon the shard.
+	Heartbeat(token string, trialsDone, trialsTotal int) error
+	// Complete hands back the shard attempt's outcome.
+	Complete(token string, p *harness.PartialReport, errText string, overrun bool) error
+}
+
+// WorkerConfig configures one Worker.
+type WorkerConfig struct {
+	// Name identifies the worker to the daemon (bookkeeping only). Defaults
+	// to "worker".
+	Name string
+	// Registry supplies the experiments; it must register the IDs the daemon
+	// hands out, or those shards fail with harness.ErrUnknownExperiment.
+	Registry *harness.Registry
+	// Parallelism is the shard's inner trial-loop parallelism; 0 means 1.
+	// Results are byte-identical at any value.
+	Parallelism int
+	// Poll is how long each Lease call blocks waiting for work; 0 means 2s.
+	Poll time.Duration
+	// Heartbeat is the keepalive interval; 0 derives TTL/3 from each lease.
+	Heartbeat time.Duration
+	// ExitOnDrain makes Run return nil when the source reports ErrDraining
+	// (the in-process pool's shutdown path). Remote workers leave it false and
+	// ride out daemon restarts instead.
+	ExitOnDrain bool
+	// Backoff and MaxBackoff shape the retry delay after a transport outage;
+	// defaults 100ms and 5s.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Log, when set, receives one line per lease event (claimed, completed,
+	// failed, abandoned). Nil means silent.
+	Log func(format string, args ...any)
+}
+
+// Worker pulls leases from a source and runs the shards on its own registry:
+// the execution half of the service, with the scheduling half left entirely
+// to the daemon. A worker that dies mid-shard simply stops heartbeating —
+// the daemon re-leases the shard, and determinism makes the rerun identical.
+type Worker struct {
+	src LeaseSource
+	cfg WorkerConfig
+}
+
+// NewWorker builds a worker over the given lease source.
+func NewWorker(src LeaseSource, cfg WorkerConfig) *Worker {
+	if cfg.Name == "" {
+		cfg.Name = "worker"
+	}
+	if cfg.Log == nil {
+		cfg.Log = func(string, ...any) {}
+	}
+	if cfg.Registry == nil {
+		panic("service: WorkerConfig.Registry is required")
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 2 * time.Second
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	return &Worker{src: src, cfg: cfg}
+}
+
+// Run pulls and executes leases until ctx is cancelled (returning ctx's
+// error) or — with ExitOnDrain — the source drains (returning nil).
+// Transport outages are ridden out with jittered exponential backoff: a
+// remote worker started before its daemon, or surviving a daemon restart,
+// reconnects by itself.
+func (w *Worker) Run(ctx context.Context) error {
+	outages := 0
+	bo := fault.Backoff{Base: w.cfg.Backoff, Max: w.cfg.MaxBackoff, Key: "worker/" + w.cfg.Name}
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		l, err := w.src.Lease(w.cfg.Name, w.cfg.Poll)
+		switch {
+		case err == nil && l == nil:
+			outages = 0 // idle poll: the source is healthy, just empty
+		case err == nil:
+			outages = 0
+			w.execute(ctx, l)
+		case errors.Is(err, ErrDraining) && w.cfg.ExitOnDrain:
+			return nil
+		default:
+			// Draining (for a persistent worker) and transport failures alike:
+			// back off and try again.
+			if !sleepCtx(ctx, bo.Delay(outages)) {
+				return ctx.Err()
+			}
+			outages++
+		}
+	}
+}
+
+// execute runs one leased shard: cancel flag threaded into the machines,
+// lease heartbeats carrying trial progress, per-shard deadline enforcement,
+// and the completion handshake.
+func (w *Worker) execute(ctx context.Context, l *Lease) {
+	w.cfg.Log("lease %s: shard %s of %s", l.Token, l.Shard.ID(), l.Job)
+	plan, err := fault.Parse(l.Spec.Faults)
+	if err != nil {
+		w.complete(ctx, l, nil, fmt.Sprintf("faults: %v", err), false)
+		return
+	}
+	rctx := shardRunCtx(l.Spec, plan, w.cfg.Parallelism)
+
+	// Local cancellation composed with the daemon's in-process revocation
+	// flag when present; remote workers learn of revocation from Heartbeat.
+	cancel := new(atomic.Bool)
+	stop := cancel.Load
+	if l.cancel != nil {
+		remote := l.cancel
+		stop = func() bool { return cancel.Load() || remote.Load() }
+	}
+	rctx.Config.Pipeline.Stop = stop
+
+	var done64, total64 atomic.Int64
+	rctx.TrialProgress = func(done, total int) {
+		done64.Store(int64(done))
+		total64.Store(int64(total))
+	}
+
+	hb := w.cfg.Heartbeat
+	if hb <= 0 {
+		hb = l.TTL / 3
+	}
+	if hb <= 0 {
+		hb = time.Second
+	}
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-ctx.Done():
+				cancel.Store(true)
+				return
+			case <-t.C:
+				if err := w.src.Heartbeat(l.Token, int(done64.Load()), int(total64.Load())); errors.Is(err, ErrLeaseNotFound) {
+					// Revoked: another lease owns the shard. Stop burning CPU.
+					cancel.Store(true)
+					return
+				}
+			}
+		}
+	}()
+
+	var overrun atomic.Bool
+	if l.Spec.Deadline > 0 {
+		timer := time.AfterFunc(l.Spec.Deadline, func() {
+			overrun.Store(true)
+			cancel.Store(true)
+		})
+		defer timer.Stop()
+	}
+
+	p, runErr := w.cfg.Registry.RunTrialRange(rctx, l.Shard.Exp, l.Shard.Lo, l.Shard.Hi)
+	close(hbStop)
+	hbWG.Wait()
+	if ctx.Err() != nil {
+		w.cfg.Log("lease %s: abandoned (worker stopping)", l.Token)
+		return // abandoned: the lease expires and the daemon re-leases
+	}
+	errText := ""
+	if runErr != nil {
+		errText = runErr.Error()
+		w.cfg.Log("lease %s: shard %s failed: %s", l.Token, l.Shard.ID(), errText)
+	} else {
+		w.cfg.Log("lease %s: shard %s done", l.Token, l.Shard.ID())
+	}
+	w.complete(ctx, l, &p, errText, overrun.Load())
+}
+
+// complete hands the outcome back, retrying transient failures so one
+// dropped connection does not discard a finished shard. ErrLeaseNotFound and
+// ErrDraining are terminal: the result has no home anymore.
+func (w *Worker) complete(ctx context.Context, l *Lease, p *harness.PartialReport, errText string, overrun bool) {
+	bo := fault.Backoff{Base: w.cfg.Backoff, Max: w.cfg.MaxBackoff, Key: "complete/" + w.cfg.Name}
+	for attempt := 0; attempt < 5; attempt++ {
+		err := w.src.Complete(l.Token, p, errText, overrun)
+		if err == nil || errors.Is(err, ErrLeaseNotFound) || errors.Is(err, ErrDraining) {
+			return
+		}
+		if !sleepCtx(ctx, bo.Delay(attempt)) {
+			return
+		}
+	}
+}
+
+// sleepCtx sleeps d unless ctx is cancelled first; it reports whether the
+// caller should continue.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

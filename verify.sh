@@ -101,14 +101,19 @@ echo "== zenspecd service smoke (submit, byte-identical report, drain) =="
 # spec. Then SIGTERM the daemon and require a clean drain + checkpoint.
 svc_tmp=$(mktemp -d)
 svc_pid=
+wrk_a_pid=
+wrk_b_pid=
 cleanup_svc() {
     [ -n "$svc_pid" ] && kill "$svc_pid" 2>/dev/null || true
+    [ -n "$wrk_a_pid" ] && kill -9 "$wrk_a_pid" 2>/dev/null || true
+    [ -n "$wrk_b_pid" ] && kill "$wrk_b_pid" 2>/dev/null || true
     rm -rf "$svc_tmp"
     rm -f "$suite_json" "$fault_json" "$trace_json" "$prof_pb" "$prof_flame"
 }
 trap cleanup_svc EXIT
 go build -race -o "$svc_tmp/zenspecd" ./cmd/zenspecd
 go build -o "$svc_tmp/experiments" ./cmd/experiments
+go build -o "$svc_tmp/zenspec-worker" ./cmd/zenspec-worker
 "$svc_tmp/zenspecd" -dir "$svc_tmp/state" -addr 127.0.0.1:0 -workers 2 \
     > "$svc_tmp/out" 2> "$svc_tmp/err" &
 svc_pid=$!
@@ -136,6 +141,68 @@ svc_pid=
 grep -q "journal checkpointed" "$svc_tmp/err" || {
     echo "zenspecd did not checkpoint on SIGTERM:" >&2
     cat "$svc_tmp/err" >&2
+    exit 1
+}
+
+echo "== distributed smoke (queue-only daemon, 2 pull workers, one SIGKILLed) =="
+# The same spec again, but through the scale-out path: a queue-only daemon
+# (-workers 0) cuts the job into trial-range shards (-split 4), two external
+# zenspec-worker processes drain it over /v1 leases, and one worker is
+# SIGKILLed mid-drain — its abandoned lease expires and the survivor reruns
+# the shard. The merged StableJSON must still be byte-identical to the direct
+# local run.
+"$svc_tmp/zenspecd" -dir "$svc_tmp/dist-state" -addr 127.0.0.1:0 -workers 0 \
+    -lease 2s > "$svc_tmp/dist-out" 2> "$svc_tmp/dist-err" &
+svc_pid=$!
+svc_url=
+i=0
+while [ $i -lt 100 ]; do
+    svc_url=$(sed -n 's/^zenspecd: listening on //p' "$svc_tmp/dist-out")
+    [ -n "$svc_url" ] && break
+    kill -0 "$svc_pid" 2>/dev/null || break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$svc_url" ]; then
+    echo "queue-only zenspecd did not start:" >&2
+    cat "$svc_tmp/dist-out" "$svc_tmp/dist-err" >&2
+    exit 1
+fi
+"$svc_tmp/zenspec-worker" -url "$svc_url" -name doomed -poll 200ms \
+    > "$svc_tmp/wrk-a.log" 2>&1 &
+wrk_a_pid=$!
+"$svc_tmp/zenspec-worker" -url "$svc_url" -name survivor -poll 200ms \
+    > "$svc_tmp/wrk-b.log" 2>&1 &
+wrk_b_pid=$!
+"$svc_tmp/experiments" -submit "$svc_url" -quick -only fig2,table1 -split 4 \
+    -stable > "$svc_tmp/dist.json" &
+submit_pid=$!
+# Let the workers lease shards, then SIGKILL one mid-drain: no Complete, no
+# heartbeat — the daemon only learns from the lease expiring.
+sleep 2
+kill -9 "$wrk_a_pid" 2>/dev/null || true
+wait "$wrk_a_pid" 2>/dev/null || true
+wrk_a_pid=
+grep -q "lease " "$svc_tmp/wrk-a.log" || {
+    echo "SIGKILLed worker never claimed a lease; smoke did not exercise re-lease:" >&2
+    cat "$svc_tmp/wrk-a.log" >&2
+    exit 1
+}
+if ! wait "$submit_pid"; then
+    echo "distributed submit failed:" >&2
+    cat "$svc_tmp/dist-err" "$svc_tmp/wrk-b.log" >&2
+    exit 1
+fi
+cmp "$svc_tmp/dist.json" "$svc_tmp/direct.json"
+kill "$wrk_b_pid" 2>/dev/null || true
+wait "$wrk_b_pid" 2>/dev/null || true
+wrk_b_pid=
+kill -TERM "$svc_pid"
+wait "$svc_pid"
+svc_pid=
+grep -q "journal checkpointed" "$svc_tmp/dist-err" || {
+    echo "queue-only zenspecd did not checkpoint on SIGTERM:" >&2
+    cat "$svc_tmp/dist-err" >&2
     exit 1
 }
 

@@ -19,6 +19,9 @@
 package zenspec
 
 import (
+	"context"
+	"time"
+
 	"zenspec/internal/asm"
 	"zenspec/internal/attack"
 	"zenspec/internal/fault"
@@ -32,6 +35,7 @@ import (
 	"zenspec/internal/prof"
 	"zenspec/internal/revng"
 	"zenspec/internal/sandbox"
+	"zenspec/internal/service"
 	"zenspec/internal/speccheck"
 	"zenspec/internal/workload"
 )
@@ -209,15 +213,6 @@ const (
 
 // RunResult reports one program run on a Machine.
 type RunResult = pipeline.RunResult
-
-// TraceEntry is one record of the legacy per-core instruction tracer.
-//
-// Deprecated: the SetTracer/TraceEntry mechanism is superseded by the
-// Observer API. Set Config.Observer (or call Observe on a booted Machine)
-// with ObserverClasses limited to ClassInst and handle InstEvent, which
-// carries everything TraceEntry did plus the hardware thread, the
-// instruction physical address, and transient-execution provenance.
-type TraceEntry = pipeline.TraceEntry
 
 // --- Observability ---
 
@@ -625,4 +620,38 @@ func AssembleExperiments(cfg Config, quick bool, ids []string, reports map[strin
 // whether both runs agreed byte for byte.
 func BenchExperiments(cfg Config, quick bool, ids []string) (ExperimentBench, error) {
 	return suite.Registry().Bench(harness.Ctx{Config: cfg.kernelConfig(), Quick: quick, Metrics: cfg.Metrics, Profile: cfg.Profile}, ids)
+}
+
+// --- Remote workers ---
+
+// WorkerOptions tunes ServeWorker.
+type WorkerOptions struct {
+	// Name identifies the worker to the daemon (defaults to "worker").
+	Name string
+	// Parallelism is the per-shard trial-loop parallelism; 0 means 1. Reports
+	// are byte-identical at any value.
+	Parallelism int
+	// Poll is how long each lease request waits server-side for work before
+	// coming back empty; 0 means 2s.
+	Poll time.Duration
+	// Log, when set, receives one line per lease event. Nil means silent.
+	Log func(format string, args ...any)
+}
+
+// ServeWorker connects to a zenspecd daemon at url (e.g.
+// "http://127.0.0.1:8787"), pulls shard leases over the /v1 job API, and runs
+// them on the full experiment registry until ctx is cancelled — the core of
+// cmd/zenspec-worker, exported so programs can embed a worker. Daemon
+// outages and restarts are ridden out with backoff; a worker killed
+// mid-shard just stops heartbeating, and the daemon re-leases the shard to
+// someone else with no effect on the job's final bytes.
+func ServeWorker(ctx context.Context, url string, opts WorkerOptions) error {
+	w := service.NewWorker(&service.Client{Base: url}, service.WorkerConfig{
+		Name:        opts.Name,
+		Registry:    suite.Registry(),
+		Parallelism: opts.Parallelism,
+		Poll:        opts.Poll,
+		Log:         opts.Log,
+	})
+	return w.Run(ctx)
 }
