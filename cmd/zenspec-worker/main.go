@@ -9,6 +9,10 @@
 // ridden out with deterministic backoff, and a worker killed mid-shard
 // simply stops heartbeating, so the daemon re-leases its shard elsewhere
 // after the lease TTL with no effect on the job's final bytes.
+//
+// Lease events are logged to stderr with structured job/shard/lease/
+// attempt/trace fields; -log-format=json makes every line machine-parseable
+// and -log-level tunes verbosity.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"time"
 
 	"zenspec"
+	"zenspec/internal/svcobs"
 )
 
 func main() { os.Exit(run()) }
@@ -30,7 +35,15 @@ func run() int {
 	name := flag.String("name", "", "worker name reported to the daemon (defaults to the hostname)")
 	parallel := flag.Int("parallel", 1, "per-shard trial-loop parallelism (reports are identical at any value)")
 	poll := flag.Duration("poll", 2*time.Second, "how long each lease request waits server-side for work")
+	logFormat := flag.String("log-format", svcobs.FormatText, "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	flag.Parse()
+
+	lg, err := svcobs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zenspec-worker:", err)
+		return 2
+	}
 
 	n := *name
 	if n == "" {
@@ -40,18 +53,16 @@ func run() int {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Printf("zenspec-worker: pulling leases from %s\n", *url)
+	lg.Info("pulling leases", "url", *url, "worker", n)
 	if err := zenspec.ServeWorker(ctx, *url, zenspec.WorkerOptions{
 		Name:        n,
 		Parallelism: *parallel,
 		Poll:        *poll,
-		Log: func(format string, args ...any) {
-			fmt.Printf("zenspec-worker: "+format+"\n", args...)
-		},
+		Logger:      lg,
 	}); err != nil && ctx.Err() == nil {
-		fmt.Fprintln(os.Stderr, "zenspec-worker:", err)
+		lg.Error("worker failed", "err", err)
 		return 1
 	}
-	fmt.Fprintln(os.Stderr, "zenspec-worker: exiting")
+	lg.Info("exiting", "worker", n)
 	return 0
 }

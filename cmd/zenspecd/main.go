@@ -11,6 +11,13 @@
 // drain in-flight shards, checkpoint the journal, and exit; kill -9 loses at
 // most the shards in flight.
 //
+// The daemon's whole lifecycle is observable: every job carries a trace ID
+// from submit to archive, /v1/jobs/{id}/trace serves the stitched Perfetto
+// trace of a run (remote worker spans included), /metrics exposes the
+// zenspec_service_* counter and histogram registry, and structured logs go
+// to stderr with job/shard/lease/worker/attempt fields (-log-format=json
+// for machine-parseable lines).
+//
 // See the README's "Service" section and EXPERIMENTS.md for the API and a
 // kill-and-resume walkthrough.
 package main
@@ -27,6 +34,7 @@ import (
 
 	"zenspec/internal/harness/suite"
 	"zenspec/internal/service"
+	"zenspec/internal/svcobs"
 )
 
 func main() { os.Exit(run()) }
@@ -42,7 +50,20 @@ func run() int {
 	segBytes := flag.Int64("segment-bytes", 4<<20, "journal segment size; full segments seal and compact away at the next checkpoint")
 	keepJobs := flag.Int("keep-jobs", 256, "terminal jobs retained before the oldest are archived out of memory and journal; -1 keeps all")
 	drain := flag.Duration("drain", 10*time.Minute, "graceful-shutdown budget for in-flight shards before they are cancelled")
+	logFormat := flag.String("log-format", svcobs.FormatText, "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+	noObs := flag.Bool("no-obs", false, "disable tracing and service metrics (logging stays on; reports are byte-identical either way)")
 	flag.Parse()
+
+	lg, err := svcobs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zenspecd:", err)
+		return 2
+	}
+	var hub *svcobs.Hub
+	if !*noObs {
+		hub = svcobs.New(lg)
+	}
 
 	w := *workers
 	if w < 0 {
@@ -62,9 +83,10 @@ func run() int {
 		MaxBackoff:   *maxBackoff,
 		SegmentBytes: *segBytes,
 		KeepJobs:     kj,
+		Obs:          hub,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "zenspecd:", err)
+		lg.Error("open failed", "dir", *dir, "err", err)
 		return 2
 	}
 	resumed := 0
@@ -74,28 +96,29 @@ func run() int {
 		}
 	}
 	if resumed > 0 {
-		fmt.Fprintf(os.Stderr, "zenspecd: resuming %d unfinished job(s) from the journal\n", resumed)
+		lg.Info("resuming unfinished jobs from the journal", "jobs", resumed)
 	}
 
 	srv := service.NewServer(d)
 	bound, err := srv.Serve(*addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "zenspecd:", err)
+		lg.Error("listen failed", "addr", *addr, "err", err)
 		return 2
 	}
 	// Parsed by tooling (verify.sh) — keep the format stable.
 	fmt.Printf("zenspecd: listening on http://%s\n", bound)
+	lg.Info("listening", "addr", bound, "workers", w)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	<-ctx.Done()
 	stop()
-	fmt.Fprintln(os.Stderr, "zenspecd: draining in-flight shards...")
+	lg.Info("draining in-flight shards")
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {
-		fmt.Fprintln(os.Stderr, "zenspecd: shutdown:", err)
+		lg.Error("shutdown failed", "err", err)
 		return 1
 	}
-	fmt.Fprintln(os.Stderr, "zenspecd: journal checkpointed, exiting")
+	lg.Info("journal checkpointed, exiting")
 	return 0
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -28,14 +29,15 @@ import (
 // same mux: one is the machine under study, the other the simulator studying
 // it.
 type Telemetry struct {
-	mu      sync.Mutex
-	metrics *obs.Metrics
-	profile *Profile
-	done    int
-	total   int
-	current string
-	gauges  map[string]func() float64
-	srv     *http.Server
+	mu         sync.Mutex
+	metrics    *obs.Metrics
+	profile    *Profile
+	done       int
+	total      int
+	current    string
+	gauges     map[string]func() float64
+	collectors map[string]func(io.Writer)
+	srv        *http.Server
 }
 
 // NewTelemetry returns an empty telemetry hub; wire in sources with
@@ -74,7 +76,38 @@ func (t *Telemetry) RegisterGauge(name string, fn func() float64) {
 	if t.gauges == nil {
 		t.gauges = map[string]func() float64{}
 	}
-	t.gauges[name] = fn
+	t.gauges[gaugeKey(name)] = fn
+	t.mu.Unlock()
+}
+
+// gaugeKey canonicalizes a gauge registration name to the underscore form
+// promName exports. Early service builds registered dotted keys
+// ("service.queue_depth"); accepting both spellings as the same key keeps
+// those call sites one release of aliasing away from removal without ever
+// exporting two series for one gauge.
+func gaugeKey(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// RegisterCollector publishes a raw Prometheus-text collector on /metrics:
+// fn is called at scrape time (outside the hub's lock) and writes its own
+// fully-formed exposition lines — HELP/TYPE included — after the gauge and
+// obs sections. This is how the service plane mounts its zenspec_service_*
+// counter and histogram registry without the telemetry hub knowing about
+// jobs. Re-registering a name replaces its collector.
+func (t *Telemetry) RegisterCollector(name string, fn func(io.Writer)) {
+	t.mu.Lock()
+	if t.collectors == nil {
+		t.collectors = map[string]func(io.Writer){}
+	}
+	t.collectors[name] = fn
 	t.mu.Unlock()
 }
 
@@ -152,6 +185,15 @@ func (t *Telemetry) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	for i, k := range gnames {
 		gfns[i] = t.gauges[k]
 	}
+	cnames := make([]string, 0, len(t.collectors))
+	for k := range t.collectors {
+		cnames = append(cnames, k)
+	}
+	sort.Strings(cnames)
+	cfns := make([]func(io.Writer), len(cnames))
+	for i, k := range cnames {
+		cfns[i] = t.collectors[k]
+	}
 	t.mu.Unlock()
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -161,6 +203,10 @@ func (t *Telemetry) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		n := promName(k)
 		// Sampled outside the lock: a gauge may consult the hub itself.
 		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, gfns[i]())
+	}
+	for _, fn := range cfns {
+		// Likewise outside the lock; collectors write their own exposition.
+		fn(w)
 	}
 	if m == nil {
 		return

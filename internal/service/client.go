@@ -278,13 +278,14 @@ func (c *Client) Heartbeat(token string, trialsDone, trialsTotal int) error {
 	return err
 }
 
-// Complete hands a finished shard back under its lease token. Part of
-// LeaseSource.
-func (c *Client) Complete(token string, p *harness.PartialReport, errText string, overrun bool) error {
-	_, err := c.request("POST", "/v1/leases/"+token+"/complete", struct {
-		Partial *harness.PartialReport `json:"partial,omitempty"`
-		Error   string                 `json:"error,omitempty"`
-		Overrun bool                   `json:"overrun,omitempty"`
-	}{p, errText, overrun})
+// Complete hands a finished shard back under its lease token, attempt spans
+// included. Part of LeaseSource.
+func (c *Client) Complete(token string, comp Completion) error {
+	_, err := c.request("POST", "/v1/leases/"+token+"/complete", comp)
 	return err
+}
+
+// Trace fetches the job's stitched Perfetto trace (Chrome trace-event JSON).
+func (c *Client) Trace(id string) ([]byte, error) {
+	return c.request("GET", "/v1/jobs/"+id+"/trace", nil)
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/debug"
@@ -15,6 +16,7 @@ import (
 	"zenspec/internal/kernel"
 	"zenspec/internal/pipeline"
 	"zenspec/internal/prof"
+	"zenspec/internal/svcobs"
 )
 
 // APIVersion is the daemon's wire protocol version, served by GET /v1/meta
@@ -57,6 +59,12 @@ type Config struct {
 	// compaction), so a long-lived daemon's state stays bounded. 0 means 256;
 	// negative keeps everything.
 	KeepJobs int
+	// Obs is the service observability hub: job-lifecycle traces, the
+	// zenspec_service_* metrics on /metrics, and the daemon's structured log.
+	// Nil disables all three (every emission site is nil-safe). Observability
+	// is strictly off the report path: job StableJSON is byte-identical with
+	// Obs set or nil.
+	Obs *svcobs.Hub
 }
 
 // Lease is one granted unit of work: run the shard — RunTrialRange(Shard.Exp,
@@ -69,6 +77,12 @@ type Lease struct {
 	Shard ShardRef      `json:"shard"`
 	Spec  JobSpec       `json:"spec"`
 	TTL   time.Duration `json:"ttl"`
+	// Trace is the job's observability correlation ID: the worker tags its
+	// log records and attempt spans with it, so a remote attempt stitches
+	// into the daemon's trace. Empty when the job predates tracing.
+	Trace string `json:"trace,omitempty"`
+	// Attempt numbers this lease's shard attempt (1-based).
+	Attempt int `json:"attempt,omitempty"`
 	// cancel is the daemon-side revocation flag, wired in-process only; remote
 	// workers learn of revocation from Heartbeat returning ErrLeaseNotFound.
 	cancel *atomic.Bool
@@ -84,6 +98,14 @@ type leaseInfo struct {
 	shard  string
 	expiry time.Time
 	cancel *atomic.Bool
+	// Observability bookkeeping: the job's trace, the shard's experiment and
+	// attempt number, the grant time (lease round-trip = grant to first
+	// heartbeat), and whether that first heartbeat arrived.
+	trace        string
+	exp          string
+	attempt      int
+	grantedAt    time.Time
+	sawHeartbeat bool
 }
 
 // Meta is the daemon's self-description, served by GET /v1/meta.
@@ -102,6 +124,8 @@ type Daemon struct {
 	cfg Config
 	reg *harness.Registry
 	tel *prof.Telemetry
+	obs *svcobs.Hub  // nil when observability is off; all uses are nil-safe
+	log *slog.Logger // never nil (discard logger when obs is off)
 	// epoch is this daemon incarnation's token prefix: a token minted before a
 	// crash can never collide with a successor's, so a worker completing
 	// against a restarted daemon gets ErrLeaseNotFound, not silent corruption.
@@ -156,6 +180,8 @@ func Open(cfg Config) (*Daemon, error) {
 		cfg:    cfg,
 		reg:    cfg.Registry,
 		tel:    prof.NewTelemetry(),
+		obs:    cfg.Obs,
+		log:    cfg.Obs.Logger(),
 		epoch:  time.Now().UnixNano(),
 		jnl:    jnl,
 		tab:    tab,
@@ -164,7 +190,8 @@ func Open(cfg Config) (*Daemon, error) {
 		stop:   make(chan struct{}),
 	}
 	d.cond = sync.NewCond(&d.mu)
-	d.tel.RegisterGauge("service.queue_depth", func() float64 {
+	d.initObs()
+	d.tel.RegisterGauge("service_queue_depth", func() float64 {
 		d.mu.Lock()
 		defer d.mu.Unlock()
 		n := 0
@@ -181,12 +208,12 @@ func Open(cfg Config) (*Daemon, error) {
 		}
 		return float64(n)
 	})
-	d.tel.RegisterGauge("service.leases_active", func() float64 {
+	d.tel.RegisterGauge("service_leases_active", func() float64 {
 		d.mu.Lock()
 		defer d.mu.Unlock()
 		return float64(len(d.leases))
 	})
-	d.tel.RegisterGauge("service.jobs_active", func() float64 {
+	d.tel.RegisterGauge("service_jobs_active", func() float64 {
 		d.mu.Lock()
 		defer d.mu.Unlock()
 		n := 0
@@ -219,6 +246,93 @@ func Open(cfg Config) (*Daemon, error) {
 		}()
 	}
 	return d, nil
+}
+
+// initObs wires the observability plane: metric descriptions and volatility
+// marks, the zenspec_service_* collector on the telemetry /metrics endpoint,
+// and the journal's timing hooks. Every emission is nil-safe, so a daemon
+// opened without Config.Obs pays one nil check per event and nothing else.
+func (d *Daemon) initObs() {
+	m := d.obs.Metrics()
+	m.Describe("jobs_submitted_total", "Jobs accepted by Submit.")
+	m.Describe("jobs_completed_total", "Jobs that finalized done.")
+	m.Describe("jobs_failed_total", "Jobs that finalized failed.")
+	m.Describe("jobs_archived_total", "Terminal jobs archived past the retention bound.")
+	m.Describe("shards_completed_total", "Shard attempts that completed with a report, by experiment.")
+	m.Describe("shards_retried_total", "Shard attempts requeued after a deadline overrun, by experiment.")
+	m.Describe("shards_failed_total", "Shards that resolved failed, by experiment.")
+	m.Describe("shards_abandoned_total", "Running shards requeued by a lease revocation, by experiment.")
+	m.Describe("leases_granted_total", "Shard leases handed out.")
+	m.Describe("lease_revocations_total", "Leases revoked after missing heartbeats.")
+	m.Describe("journal_rotations_total", "Journal segment seals.")
+	m.Describe("journal_checkpoints_total", "Journal compactions.")
+	m.Describe("readyz_draining_total", "Readiness probes answered 503 while draining.")
+	m.Describe("watch_requests_total", "NDJSON watch streams served.")
+	m.Describe("shard_wall_ms", "Completed shard wall clock in ms, by experiment.")
+	m.Describe("queue_wait_ms", "Shard wait from enqueue to lease grant in ms.")
+	m.Describe("lease_rtt_ms", "Lease grant to first heartbeat in ms.")
+	m.Describe("fsync_ms", "Journal record write+fsync latency in ms.")
+	m.Describe("checkpoint_ms", "Journal compaction latency in ms.")
+	m.Describe("watch_fanout", "Status snapshots emitted per watch stream.")
+	// Host-timing-shaped series: their very observation counts depend on
+	// heartbeat races, segment boundaries and probe cadence, so they are
+	// excluded from the deterministic StableSnapshot the cross-worker
+	// identity tests compare.
+	m.MarkVolatile("lease_rtt_ms", "fsync_ms", "checkpoint_ms",
+		"journal_rotations_total", "journal_checkpoints_total",
+		"readyz_draining_total", "watch_requests_total", "watch_fanout")
+	d.tel.RegisterCollector("service", m.WritePrometheus)
+
+	// Journal hooks run under d.mu (every append does); a submit record's
+	// job is not in the table yet, so prefer the record's own trace.
+	d.jnl.onAppend = func(rec *record, dur time.Duration) {
+		m.Observe("fsync_ms", float64(dur.Microseconds())/1000)
+		trace := rec.Trace
+		if trace == "" && rec.Job != "" {
+			if j := d.tab.jobs[rec.Job]; j != nil {
+				trace = j.trace
+			}
+		}
+		if trace != "" {
+			d.obs.Traces().Span(trace, svcobs.ActorDaemon, "journal", "fsync "+rec.Type,
+				time.Now().Add(-dur), dur, nil)
+		}
+	}
+	d.jnl.onRotate = func(seq int) {
+		m.Inc("journal_rotations_total", 1)
+		d.log.Info("journal segment rotated", "segment", seq)
+	}
+	d.jnl.onCheckpoint = func(recs int, dur time.Duration) {
+		m.Inc("journal_checkpoints_total", 1)
+		m.Observe("checkpoint_ms", float64(dur.Microseconds())/1000)
+		d.log.Info("journal checkpointed", "records", recs, "ms", dur.Milliseconds())
+	}
+}
+
+// spanX records one completed daemon-actor span on the job's trace.
+func (d *Daemon) spanX(trace, track, name string, start time.Time, args map[string]any) {
+	d.obs.Traces().Span(trace, svcobs.ActorDaemon, track, name, start, time.Since(start), args)
+}
+
+// Obs returns the daemon's observability hub (nil when disabled).
+func (d *Daemon) Obs() *svcobs.Hub { return d.obs }
+
+// TracePerfetto renders the job's stitched daemon+worker trace as Chrome
+// trace-event JSON (GET /v1/jobs/{id}/trace). Jobs without a trace — tracing
+// disabled, a legacy journal, or a trace already evicted — return an error.
+func (d *Daemon) TracePerfetto(id string) ([]byte, error) {
+	d.mu.Lock()
+	j := d.tab.jobs[id]
+	if j == nil {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("%w %q", ErrJobNotFound, id)
+	}
+	trace := j.trace
+	d.mu.Unlock()
+	if d.obs == nil || trace == "" {
+		return nil, fmt.Errorf("service: job %q has no trace (observability disabled?)", id)
+	}
+	return d.obs.Traces().Perfetto(trace)
 }
 
 // Telemetry returns the daemon's telemetry hub (queue gauges pre-registered)
@@ -304,11 +418,23 @@ func (d *Daemon) Submit(spec JobSpec) (string, error) {
 		d.nextID++
 		id = fmt.Sprintf("job-%d", d.nextID)
 	}
-	rec := record{Type: recSubmit, Job: id, Spec: &spec, Defs: defs}
+	// The correlation ID is minted here and journaled with the job: it is
+	// stable across restarts, unique across daemon incarnations (the epoch),
+	// and carried in every lease so remote workers stitch into it.
+	trace := ""
+	if d.obs.Enabled() {
+		trace = fmt.Sprintf("%s.%x", id, d.epoch)
+	}
+	rec := record{Type: recSubmit, Job: id, Trace: trace, Spec: &spec, Defs: defs}
 	if err := d.jnl.append(rec); err != nil {
 		return "", err
 	}
 	d.tab.apply(rec)
+	d.obs.Metrics().Inc("jobs_submitted_total", 1)
+	d.obs.Traces().Begin(trace, svcobs.ActorDaemon, "job", "job "+id,
+		map[string]any{"job": id, "shards": len(defs), "split": spec.Split, "seed": spec.Seed})
+	d.log.Info("job submitted", "job", id, "trace", trace,
+		"shards", len(defs), "experiments", len(exps), "split", spec.Split)
 	d.compactLocked()
 	d.publishProgress()
 	d.cond.Broadcast()
@@ -417,6 +543,7 @@ func (d *Daemon) Lease(worker string, wait time.Duration) (*Lease, error) {
 			return &Lease{
 				Token: li.token, Job: li.jobID, Shard: s.def,
 				Spec: j.spec, TTL: d.cfg.Lease, cancel: li.cancel,
+				Trace: li.trace, Attempt: li.attempt,
 			}, nil
 		}
 		remaining := deadline.Sub(now)
@@ -458,6 +585,8 @@ func (d *Daemon) leaseLocked(now time.Time, worker string) *leaseInfo {
 		token:  fmt.Sprintf("t%x-%d", d.epoch, d.nextTok),
 		worker: worker, jobID: best.id, shard: bestShard.id,
 		expiry: now.Add(d.cfg.Lease), cancel: new(atomic.Bool),
+		trace: best.trace, exp: bestShard.def.Exp,
+		attempt: bestShard.attempt + 1, grantedAt: now,
 	}
 	bestShard.state = ShardRunning
 	bestShard.lease = li.token
@@ -465,6 +594,17 @@ func (d *Daemon) leaseLocked(now time.Time, worker string) *leaseInfo {
 		best.state = JobRunning
 	}
 	d.leases[li.token] = li
+	d.obs.Metrics().Inc("leases_granted_total", 1)
+	if !bestShard.enqueuedAt.IsZero() {
+		wait := now.Sub(bestShard.enqueuedAt)
+		d.obs.Metrics().Observe("queue_wait_ms", float64(wait.Microseconds())/1000)
+		d.obs.Traces().Span(li.trace, svcobs.ActorDaemon, bestShard.id, "queue-wait",
+			bestShard.enqueuedAt, wait, nil)
+	}
+	d.obs.Traces().Begin(li.trace, svcobs.ActorDaemon, bestShard.id, "lease",
+		map[string]any{"token": li.token, "worker": worker, "attempt": li.attempt})
+	d.log.Info("lease granted", "job", best.id, "shard", bestShard.id,
+		"lease", li.token, "worker", worker, "attempt", li.attempt, "trace", li.trace)
 	return li
 }
 
@@ -480,6 +620,12 @@ func (d *Daemon) Heartbeat(token string, trialsDone, trialsTotal int) error {
 		return ErrLeaseNotFound
 	}
 	li.expiry = time.Now().Add(d.cfg.Lease)
+	if !li.sawHeartbeat {
+		// Grant-to-first-heartbeat is the lease round-trip: scheduler lock,
+		// wire, and worker startup, before any simulation work.
+		li.sawHeartbeat = true
+		d.obs.Metrics().Observe("lease_rtt_ms", float64(time.Since(li.grantedAt).Microseconds())/1000)
+	}
 	if j := d.tab.jobs[li.jobID]; j != nil {
 		if s := j.shards[li.shard]; s != nil && s.lease == token && trialsTotal > 0 {
 			s.trialsDone, s.trialsTotal = trialsDone, trialsTotal
@@ -493,8 +639,9 @@ func (d *Daemon) Heartbeat(token string, trialsDone, trialsTotal int) error {
 // a deadline overrun, ErrLeaseNotFound for tokens the daemon no longer holds
 // (revoked, or minted by a crashed predecessor). The partial's shard
 // coordinates are overridden from the lease's own definition, so a confused
-// worker cannot mislabel a fragment.
-func (d *Daemon) Complete(token string, p *harness.PartialReport, errText string, overrun bool) error {
+// worker cannot mislabel a fragment. The completion's worker spans are
+// stitched into the job's trace under its own correlation ID.
+func (d *Daemon) Complete(token string, comp Completion) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	li := d.leases[token]
@@ -513,6 +660,21 @@ func (d *Daemon) Complete(token string, p *harness.PartialReport, errText string
 	if d.killed {
 		return nil // crash simulation: the result dies with the process
 	}
+	if j.trace != "" && len(comp.Spans) > 0 {
+		// The trace ID is authoritative daemon-side: a worker cannot file
+		// spans under someone else's trace.
+		for i := range comp.Spans {
+			comp.Spans[i].Trace = j.trace
+		}
+		d.obs.Traces().Add(comp.Spans...)
+	}
+	p, errText, overrun := comp.Partial, comp.Error, comp.Overrun
+	lg := d.log.With("job", j.id, "shard", s.id, "lease", token,
+		"worker", li.worker, "attempt", li.attempt, "trace", j.trace)
+	endLease := func(outcome string) {
+		d.obs.Traces().End(j.trace, svcobs.ActorDaemon, s.id, "lease",
+			map[string]any{"outcome": outcome})
+	}
 	switch {
 	case overrun && s.attempt < j.spec.Retries:
 		// Deadline overrun with retry budget left: back off deterministically
@@ -528,7 +690,17 @@ func (d *Daemon) Complete(token string, p *harness.PartialReport, errText string
 		s.state = ShardPending
 		s.lease = ""
 		s.notBefore = time.Now().Add(delay)
+		s.enqueuedAt = time.Now()
+		endLease("retry")
+		d.obs.Metrics().IncL("shards_retried_total", svcobs.Label("exp", s.def.Exp), 1)
+		d.obs.Traces().Span(j.trace, svcobs.ActorDaemon, s.id, "backoff",
+			time.Now(), delay, map[string]any{"attempt": s.attempt, "delay_ms": delay.Milliseconds()})
+		lg.Warn("shard overran deadline, retrying", "delay_ms", delay.Milliseconds(),
+			"retries_left", j.spec.Retries-s.attempt)
 	case overrun:
+		endLease("failed")
+		d.obs.Metrics().IncL("shards_failed_total", svcobs.Label("exp", s.def.Exp), 1)
+		lg.Error("shard failed", "error", "deadline overrun, retry budget exhausted")
 		d.resolveLocked(j, s, record{
 			Type: recShardFailed, Job: j.id, Shard: s.id,
 			Error: fmt.Sprintf("%v after %d attempts", harness.ErrDeadline, s.attempt+1),
@@ -537,8 +709,14 @@ func (d *Daemon) Complete(token string, p *harness.PartialReport, errText string
 		// Permanent infrastructure failure (e.g. the experiment was
 		// deregistered between submit and replay): the shard fails with the
 		// error's text, the job will finalize failed.
+		endLease("failed")
+		d.obs.Metrics().IncL("shards_failed_total", svcobs.Label("exp", s.def.Exp), 1)
+		lg.Error("shard failed", "error", errText)
 		d.resolveLocked(j, s, record{Type: recShardFailed, Job: j.id, Shard: s.id, Error: errText})
 	case p == nil:
+		endLease("failed")
+		d.obs.Metrics().IncL("shards_failed_total", svcobs.Label("exp", s.def.Exp), 1)
+		lg.Error("shard failed", "error", "shard completed without a report")
 		d.resolveLocked(j, s, record{Type: recShardFailed, Job: j.id, Shard: s.id, Error: "shard completed without a report"})
 	default:
 		// A completed shard — including one whose Report says the experiment
@@ -546,6 +724,10 @@ func (d *Daemon) Complete(token string, p *harness.PartialReport, errText string
 		// reports too, and byte-identity demands we keep them.
 		pp := *p
 		pp.Exp, pp.Lo, pp.Hi = s.def.Exp, s.def.Lo, s.def.Hi
+		endLease("done")
+		d.obs.Metrics().IncL("shards_completed_total", svcobs.Label("exp", s.def.Exp), 1)
+		d.obs.Metrics().ObserveL("shard_wall_ms", svcobs.Label("exp", s.def.Exp), pp.WallMS)
+		lg.Info("shard done", "wall_ms", int64(pp.WallMS))
 		d.resolveLocked(j, s, record{Type: recShardDone, Job: j.id, Shard: s.id, Partial: &pp})
 	}
 	d.compactLocked()
@@ -574,6 +756,15 @@ func (d *Daemon) resolveLocked(j *job, s *shard, rec record) {
 			term = record{Type: recJobFailed, Job: j.id, Error: j.err}
 		}
 		d.jnl.append(term)
+		d.obs.Traces().End(j.trace, svcobs.ActorDaemon, "job", "job "+j.id,
+			map[string]any{"state": j.state})
+		if j.state == JobFailed {
+			d.obs.Metrics().Inc("jobs_failed_total", 1)
+			d.log.Error("job failed", "job", j.id, "trace", j.trace, "error", j.err)
+		} else {
+			d.obs.Metrics().Inc("jobs_completed_total", 1)
+			d.log.Info("job done", "job", j.id, "trace", j.trace)
+		}
 		d.gcLocked()
 	}
 }
@@ -606,11 +797,15 @@ func (d *Daemon) gcLocked() {
 		if victim == "" {
 			return
 		}
+		trace := d.tab.jobs[victim].trace
 		rec := record{Type: recJobArchive, Job: victim}
 		if err := d.jnl.append(rec); err != nil {
 			return
 		}
 		d.tab.apply(rec)
+		d.obs.Metrics().Inc("jobs_archived_total", 1)
+		d.obs.Traces().Drop(trace)
+		d.log.Info("job archived", "job", victim, "trace", trace)
 		terminal--
 	}
 }
@@ -650,10 +845,18 @@ func (d *Daemon) monitorLoop() {
 				}
 				li.cancel.Store(true)
 				delete(d.leases, tok)
+				d.obs.Metrics().Inc("lease_revocations_total", 1)
+				d.obs.Traces().End(li.trace, svcobs.ActorDaemon, li.shard, "lease",
+					map[string]any{"outcome": "revoked", "worker": li.worker})
+				d.log.Warn("lease revoked", "job", li.jobID, "shard", li.shard,
+					"lease", tok, "worker", li.worker, "attempt", li.attempt,
+					"trace", li.trace, "reason", "heartbeat deadline missed")
 				if j := d.tab.jobs[li.jobID]; j != nil {
 					if s := j.shards[li.shard]; s != nil && s.lease == tok && s.state == ShardRunning {
 						s.state = ShardPending
 						s.lease = ""
+						s.enqueuedAt = now
+						d.obs.Metrics().IncL("shards_abandoned_total", svcobs.Label("exp", s.def.Exp), 1)
 					}
 				}
 				woke = true
@@ -720,6 +923,7 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 	d.draining = true
 	d.cond.Broadcast()
 	d.mu.Unlock()
+	d.log.Info("draining", "reason", "shutdown requested")
 
 	drained := make(chan struct{})
 	go func() {

@@ -14,6 +14,7 @@ import (
 	"zenspec/internal/harness"
 	"zenspec/internal/isa"
 	"zenspec/internal/kernel"
+	"zenspec/internal/svcobs"
 )
 
 // fakeRegistry builds a registry of trivial deterministic experiments: each
@@ -183,7 +184,7 @@ func TestReplayDeregisteredExperiment(t *testing.T) {
 // is revoked by the monitor, its zombie run is cancelled, its shard is
 // re-queued, and a completion arriving on the stale token is discarded.
 func TestLeaseExpiryRequeues(t *testing.T) {
-	d, err := Open(Config{Dir: t.TempDir(), Registry: fakeRegistry("a"), Workers: 0, Lease: 30 * time.Millisecond})
+	d, err := Open(Config{Dir: t.TempDir(), Registry: fakeRegistry("a"), Workers: 0, Lease: 30 * time.Millisecond, Obs: svcobs.New(nil)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,12 +202,20 @@ func TestLeaseExpiryRequeues(t *testing.T) {
 	if !li.cancel.Load() {
 		t.Fatal("revoked lease's run was not cancelled")
 	}
+	// The revocation is an observable event: counted globally and attributed
+	// to the abandoned shard's experiment.
+	if got := d.Obs().Metrics().Counter("lease_revocations_total", ""); got != 1 {
+		t.Fatalf("lease_revocations_total = %d, want 1", got)
+	}
+	if got := d.Obs().Metrics().Counter("shards_abandoned_total", svcobs.Label("exp", "a")); got != 1 {
+		t.Fatalf(`shards_abandoned_total{exp="a"} = %d, want 1`, got)
+	}
 	// The stale completion must be refused: the token is gone and the shard
 	// stays pending.
 	var rep harness.Report
 	rep.Add("stale", 1, 1, 1)
 	p := &harness.PartialReport{Report: &rep}
-	if err := d.Complete(li.Token, p, "", false); !errors.Is(err, ErrLeaseNotFound) {
+	if err := d.Complete(li.Token, Completion{Partial: p}); !errors.Is(err, ErrLeaseNotFound) {
 		t.Fatalf("stale completion = %v, want ErrLeaseNotFound", err)
 	}
 	st, err := d.Status(id)
@@ -228,7 +237,7 @@ func TestLeaseExpiryRequeues(t *testing.T) {
 	if li2.Token == li.Token {
 		t.Fatal("re-lease reused the revoked token")
 	}
-	if err := d.Complete(li2.Token, p, "", false); err != nil {
+	if err := d.Complete(li2.Token, Completion{Partial: p}); err != nil {
 		t.Fatal(err)
 	}
 	st, _ = d.Status(id)

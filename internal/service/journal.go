@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"zenspec/internal/harness"
 )
@@ -59,6 +60,11 @@ type record struct {
 	Type string   `json:"type"`
 	Job  string   `json:"job,omitempty"`
 	Spec *JobSpec `json:"spec,omitempty"`
+	// Trace is the submit record's observability correlation ID: minted by
+	// the daemon at submission and journaled with the job, so a resumed job
+	// keeps its trace identity across restarts. Legacy journals without it
+	// replay fine — the job simply has no trace.
+	Trace string `json:"trace,omitempty"`
 	// Defs is the submit record's shard list; Shards is its legacy pre-/v1
 	// form (whole-experiment IDs), still replayed.
 	Defs   []ShardRef `json:"defs,omitempty"`
@@ -101,6 +107,12 @@ type journal struct {
 	size   int64    // active segment's intact size
 	limit  int64    // segment size limit; exceeded appends seal the segment
 	sealed []int    // sequence numbers of the sealed (read-only) segments
+
+	// Observability hooks, set by the daemon after openJournal and invoked
+	// under the daemon's lock (every append happens there). All are optional.
+	onAppend     func(rec *record, dur time.Duration) // after a durable append; dur covers write+fsync
+	onRotate     func(seq int)                        // after a segment seal
+	onCheckpoint func(recs int, dur time.Duration)    // after a successful compaction
 }
 
 // openJournal locks dir, adopts a legacy single-file journal if present,
@@ -273,6 +285,9 @@ func (j *journal) rotate() error {
 	j.f.Close()
 	j.sealed = append(j.sealed, j.seq)
 	j.f, j.seq, j.size = next, j.seq+1, 0
+	if j.onRotate != nil {
+		j.onRotate(j.seq)
+	}
 	return nil
 }
 
@@ -289,6 +304,7 @@ func (j *journal) append(rec record) error {
 			return err
 		}
 	}
+	start := time.Now()
 	if _, err := j.f.Write(buf); err != nil {
 		return fmt.Errorf("service: journal append: %w", err)
 	}
@@ -296,6 +312,9 @@ func (j *journal) append(rec record) error {
 		return fmt.Errorf("service: journal sync: %w", err)
 	}
 	j.size += int64(len(buf))
+	if j.onAppend != nil {
+		j.onAppend(&rec, time.Since(start))
+	}
 	return nil
 }
 
@@ -306,6 +325,7 @@ func (j *journal) append(rec record) error {
 // both to the same state — so the compaction is crash-safe at every step.
 // The directory lock is held throughout; it is never dropped mid-swap.
 func (j *journal) checkpoint(recs []record) error {
+	start := time.Now()
 	path := filepath.Join(j.dir, segName(j.seq+1))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -346,6 +366,9 @@ func (j *journal) checkpoint(recs []record) error {
 	}
 	j.sealed = nil
 	j.f, j.seq, j.size = f, j.seq+1, size
+	if j.onCheckpoint != nil {
+		j.onCheckpoint(len(recs), time.Since(start))
+	}
 	return nil
 }
 

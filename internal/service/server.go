@@ -25,6 +25,8 @@ import (
 //	GET  /v1/jobs/{id}/report             merged SuiteReport (?stable=1 for StableJSON,
 //	                                      ?text=1 for the terminal rendering)
 //	GET  /v1/jobs/{id}/profile            merged simulated-machine profile, pprof protobuf
+//	GET  /v1/jobs/{id}/trace              stitched daemon+worker Perfetto trace
+//	                                      (Chrome trace-event JSON; 404 without tracing)
 //	POST /v1/leases                       claim a shard lease ({"worker", "wait_ms"};
 //	                                      204 when nothing is pending)
 //	POST /v1/leases/{token}/heartbeat     keep a lease alive ({"done", "total"})
@@ -62,14 +64,19 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	handle("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+	handle("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		if !s.d.Ready() {
+			// A draining daemon answering probes is an event worth seeing:
+			// without it, an operator only infers the drain from re-leases.
+			s.d.Obs().Metrics().Inc("readyz_draining_total", 1)
+			s.d.log.Warn("readiness probe while draining", "remote", r.RemoteAddr)
 			writeError(w, http.StatusServiceUnavailable, "draining", "daemon is draining")
 			return
 		}
 		fmt.Fprintln(w, "ready")
 	})
 	mux.HandleFunc("GET /v1/meta", s.handleMeta)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("POST /v1/leases", s.handleLease)
 	mux.HandleFunc("POST /v1/leases/{token}/heartbeat", s.handleHeartbeat)
 	mux.HandleFunc("POST /v1/leases/{token}/complete", s.handleComplete)
@@ -225,20 +232,32 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Partial *harness.PartialReport `json:"partial,omitempty"`
-		Error   string                 `json:"error,omitempty"`
-		Overrun bool                   `json:"overrun,omitempty"`
-	}
+	var req Completion
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", "bad completion: "+err.Error())
 		return
 	}
-	if err := s.d.Complete(r.PathValue("token"), req.Partial, req.Error, req.Overrun); err != nil {
+	if err := s.d.Complete(r.PathValue("token"), req); err != nil {
 		s.fail(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleTrace serves the job's stitched daemon+worker Perfetto trace. The
+// route is /v1-only, like the lease surface.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	b, err := s.d.TracePerfetto(r.PathValue("id"))
+	if err != nil {
+		if errors.Is(err, ErrJobNotFound) {
+			s.fail(w, err)
+			return
+		}
+		writeError(w, http.StatusNotFound, "no_trace", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
 }
 
 // handleWatch streams NDJSON status snapshots — one line per state change,
@@ -252,9 +271,15 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	s.d.Obs().Metrics().Inc("watch_requests_total", 1)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	var last []byte
+	emitted := 0
+	defer func() {
+		// Fan-out: how many snapshot lines this stream pushed before ending.
+		s.d.Obs().Metrics().Observe("watch_fanout", float64(emitted))
+	}()
 	emit := func(st JobStatus) bool {
 		line, _ := json.Marshal(st)
 		if string(line) == string(last) {
@@ -264,6 +289,7 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		if err := enc.Encode(st); err != nil {
 			return false
 		}
+		emitted++
 		if flusher != nil {
 			flusher.Flush()
 		}

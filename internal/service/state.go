@@ -107,12 +107,24 @@ type shard struct {
 	trialsDone  int
 	trialsTotal int
 	err         string
+	// wallMS is the completed shard's host wall clock, lifted from its
+	// journaled PartialReport — the raw material of the per-experiment timing
+	// distributions a split-factor scheduler consumes. Host-dependent, so it
+	// never feeds the merged report.
+	wallMS float64
+	// enqueuedAt is when the shard last became pending (submission, retry,
+	// revocation — or journal replay, where the reopen moment is the truthful
+	// start of its wait); it feeds the queue-wait observability only.
+	enqueuedAt time.Time
 }
 
 // job is one submitted suite with its shard table.
 type job struct {
-	id     string
-	seq    int // submission order, the priority tiebreak
+	id  string
+	seq int // submission order, the priority tiebreak
+	// trace is the job's observability correlation ID (journaled with the
+	// submit record; empty for jobs from legacy journals).
+	trace  string
 	spec   JobSpec
 	plan   fault.Plan
 	state  string
@@ -198,24 +210,46 @@ type ShardStatus struct {
 	TrialsDone  int    `json:"trials_done,omitempty"`
 	TrialsTotal int    `json:"trials_total,omitempty"`
 	Error       string `json:"error,omitempty"`
+	// WallMS is the done shard's host wall clock (from its journaled
+	// fragment). Host-dependent: present in status views only, never in the
+	// merged report's StableJSON.
+	WallMS float64 `json:"wall_ms,omitempty"`
+}
+
+// ExpTiming summarizes one experiment's completed-shard wall-clock
+// distribution within a job — the observed-timing surface a split-factor
+// scheduler reads back to size the next submission's Split.
+type ExpTiming struct {
+	Shards  int     `json:"shards"`
+	TotalMS float64 `json:"total_ms"`
+	MinMS   float64 `json:"min_ms"`
+	MaxMS   float64 `json:"max_ms"`
+	MeanMS  float64 `json:"mean_ms"`
 }
 
 // JobStatus is the public job view served by GET /v1/jobs/{id}.
 type JobStatus struct {
-	ID     string        `json:"id"`
-	State  string        `json:"state"`
-	Spec   JobSpec       `json:"spec"`
+	ID    string  `json:"id"`
+	State string  `json:"state"`
+	Spec  JobSpec `json:"spec"`
+	// Trace is the job's observability correlation ID; its stitched Perfetto
+	// trace is served at GET /v1/jobs/{id}/trace while the daemon holds it.
+	Trace  string        `json:"trace,omitempty"`
 	Done   int           `json:"done"`
 	Failed int           `json:"failed,omitempty"`
 	Total  int           `json:"total"`
 	Shards []ShardStatus `json:"shards"`
-	Error  string        `json:"error,omitempty"`
+	// Timings is the per-experiment wall-clock distribution over completed
+	// shards, persisted via the journaled shard fragments (it survives
+	// restarts) and keyed by experiment ID.
+	Timings map[string]ExpTiming `json:"timings,omitempty"`
+	Error   string               `json:"error,omitempty"`
 }
 
 func (j *job) status() JobStatus {
 	done, failed, total := j.counts()
 	st := JobStatus{
-		ID: j.id, State: j.state, Spec: j.spec,
+		ID: j.id, State: j.state, Spec: j.spec, Trace: j.trace,
 		Done: done, Failed: failed, Total: total, Error: j.err,
 	}
 	for _, id := range j.order {
@@ -223,7 +257,24 @@ func (j *job) status() JobStatus {
 		st.Shards = append(st.Shards, ShardStatus{
 			ID: s.id, State: s.state, Attempt: s.attempt,
 			TrialsDone: s.trialsDone, TrialsTotal: s.trialsTotal, Error: s.err,
+			WallMS: s.wallMS,
 		})
+		if s.state == ShardDone {
+			if st.Timings == nil {
+				st.Timings = map[string]ExpTiming{}
+			}
+			t := st.Timings[s.def.Exp]
+			if t.Shards == 0 || s.wallMS < t.MinMS {
+				t.MinMS = s.wallMS
+			}
+			if s.wallMS > t.MaxMS {
+				t.MaxMS = s.wallMS
+			}
+			t.Shards++
+			t.TotalMS += s.wallMS
+			t.MeanMS = t.TotalMS / float64(t.Shards)
+			st.Timings[s.def.Exp] = t
+		}
 	}
 	return st
 }
@@ -285,18 +336,19 @@ func (t *jobTable) apply(rec record) {
 		}
 		t.seq++
 		j := &job{
-			id: rec.Job, seq: t.seq, spec: *rec.Spec, state: JobQueued,
+			id: rec.Job, seq: t.seq, trace: rec.Trace, spec: *rec.Spec, state: JobQueued,
 			shards:   map[string]*shard{},
 			partials: map[string]*harness.PartialReport{},
 			merged:   map[string]harness.Report{},
 		}
+		now := time.Now() // volatile queue-wait origin, not replayed state
 		seenExp := map[string]bool{}
 		for _, def := range submitDefs(rec) {
 			id := def.ID()
 			if _, dup := j.shards[id]; dup {
 				continue
 			}
-			j.shards[id] = &shard{def: def, id: id, state: ShardPending}
+			j.shards[id] = &shard{def: def, id: id, state: ShardPending, enqueuedAt: now}
 			j.order = append(j.order, id)
 			if !seenExp[def.Exp] {
 				seenExp[def.Exp] = true
@@ -326,6 +378,7 @@ func (t *jobTable) apply(rec record) {
 		}
 		s.state = ShardDone
 		s.lease = ""
+		s.wallMS = p.WallMS
 		j.partials[rec.Shard] = p
 		if j.state == JobQueued {
 			j.state = JobRunning
@@ -385,7 +438,7 @@ func (t *jobTable) records() []record {
 		for _, sid := range j.order {
 			defs = append(defs, j.shards[sid].def)
 		}
-		out = append(out, record{Type: recSubmit, Job: j.id, Spec: &spec, Defs: defs})
+		out = append(out, record{Type: recSubmit, Job: j.id, Trace: j.trace, Spec: &spec, Defs: defs})
 		for _, sid := range j.order {
 			s := j.shards[sid]
 			switch s.state {

@@ -4,13 +4,27 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"zenspec/internal/fault"
 	"zenspec/internal/harness"
+	"zenspec/internal/svcobs"
 )
+
+// Completion is one shard attempt's outcome, handed back under its lease
+// token — the body of POST /v1/leases/{token}/complete. Spans carries the
+// worker's wall-clock trace spans for the attempt; the daemon stitches them
+// into the job's trace by correlation ID, which is how a remote worker's
+// execution shows up inside the daemon's Perfetto timeline.
+type Completion struct {
+	Partial *harness.PartialReport `json:"partial,omitempty"`
+	Error   string                 `json:"error,omitempty"`
+	Overrun bool                   `json:"overrun,omitempty"`
+	Spans   []svcobs.Span          `json:"spans,omitempty"`
+}
 
 // LeaseSource is the pull side of the job API: claim a shard, keep its lease
 // alive, hand back the result. *Daemon implements it in-process; *Client
@@ -25,7 +39,7 @@ type LeaseSource interface {
 	// ErrLeaseNotFound means the lease was revoked: abandon the shard.
 	Heartbeat(token string, trialsDone, trialsTotal int) error
 	// Complete hands back the shard attempt's outcome.
-	Complete(token string, p *harness.PartialReport, errText string, overrun bool) error
+	Complete(token string, c Completion) error
 }
 
 // WorkerConfig configures one Worker.
@@ -51,9 +65,10 @@ type WorkerConfig struct {
 	// defaults 100ms and 5s.
 	Backoff    time.Duration
 	MaxBackoff time.Duration
-	// Log, when set, receives one line per lease event (claimed, completed,
-	// failed, abandoned). Nil means silent.
-	Log func(format string, args ...any)
+	// Logger receives one structured record per lease event (claimed, done,
+	// failed, abandoned) with consistent job/shard/lease/worker/attempt/trace
+	// fields. Nil means silent.
+	Logger *slog.Logger
 }
 
 // Worker pulls leases from a source and runs the shards on its own registry:
@@ -70,8 +85,8 @@ func NewWorker(src LeaseSource, cfg WorkerConfig) *Worker {
 	if cfg.Name == "" {
 		cfg.Name = "worker"
 	}
-	if cfg.Log == nil {
-		cfg.Log = func(string, ...any) {}
+	if cfg.Logger == nil {
+		cfg.Logger = svcobs.Discard()
 	}
 	if cfg.Registry == nil {
 		panic("service: WorkerConfig.Registry is required")
@@ -122,12 +137,25 @@ func (w *Worker) Run(ctx context.Context) error {
 
 // execute runs one leased shard: cancel flag threaded into the machines,
 // lease heartbeats carrying trial progress, per-shard deadline enforcement,
-// and the completion handshake.
+// and the completion handshake. The attempt's wall-clock span rides back to
+// the daemon inside the Completion, stitched into the job's trace there.
 func (w *Worker) execute(ctx context.Context, l *Lease) {
-	w.cfg.Log("lease %s: shard %s of %s", l.Token, l.Shard.ID(), l.Job)
+	lg := w.cfg.Logger.With(
+		"worker", w.cfg.Name, "job", l.Job, "shard", l.Shard.ID(),
+		"lease", l.Token, "attempt", l.Attempt, "trace", l.Trace)
+	lg.Info("lease claimed")
+	actor := svcobs.ActorWorker(w.cfg.Name)
+	span := func(name string, start time.Time, args map[string]any) svcobs.Span {
+		return svcobs.Span{
+			Trace: l.Trace, Actor: actor, Track: l.Shard.ID(), Name: name,
+			Phase: "X", StartUS: start.UnixMicro(),
+			DurUS: time.Since(start).Microseconds(), Args: args,
+		}
+	}
 	plan, err := fault.Parse(l.Spec.Faults)
 	if err != nil {
-		w.complete(ctx, l, nil, fmt.Sprintf("faults: %v", err), false)
+		lg.Error("shard failed", "error", "faults: "+err.Error())
+		w.complete(ctx, l, Completion{Error: fmt.Sprintf("faults: %v", err)})
 		return
 	}
 	rctx := shardRunCtx(l.Spec, plan, w.cfg.Parallelism)
@@ -188,30 +216,37 @@ func (w *Worker) execute(ctx context.Context, l *Lease) {
 		defer timer.Stop()
 	}
 
+	runStart := time.Now()
 	p, runErr := w.cfg.Registry.RunTrialRange(rctx, l.Shard.Exp, l.Shard.Lo, l.Shard.Hi)
 	close(hbStop)
 	hbWG.Wait()
 	if ctx.Err() != nil {
-		w.cfg.Log("lease %s: abandoned (worker stopping)", l.Token)
+		lg.Warn("lease abandoned", "reason", "worker stopping")
 		return // abandoned: the lease expires and the daemon re-leases
 	}
-	errText := ""
+	comp := Completion{Partial: &p, Overrun: overrun.Load()}
+	outcome := "done"
 	if runErr != nil {
-		errText = runErr.Error()
-		w.cfg.Log("lease %s: shard %s failed: %s", l.Token, l.Shard.ID(), errText)
+		comp.Partial, comp.Error = nil, runErr.Error()
+		outcome = "failed"
+		lg.Error("shard failed", "error", comp.Error, "overrun", comp.Overrun,
+			"wall_ms", time.Since(runStart).Milliseconds())
 	} else {
-		w.cfg.Log("lease %s: shard %s done", l.Token, l.Shard.ID())
+		lg.Info("shard done", "wall_ms", time.Since(runStart).Milliseconds())
 	}
-	w.complete(ctx, l, &p, errText, overrun.Load())
+	comp.Spans = append(comp.Spans, span("run "+l.Shard.ID(), runStart, map[string]any{
+		"worker": w.cfg.Name, "attempt": l.Attempt, "outcome": outcome, "overrun": comp.Overrun,
+	}))
+	w.complete(ctx, l, comp)
 }
 
 // complete hands the outcome back, retrying transient failures so one
 // dropped connection does not discard a finished shard. ErrLeaseNotFound and
 // ErrDraining are terminal: the result has no home anymore.
-func (w *Worker) complete(ctx context.Context, l *Lease, p *harness.PartialReport, errText string, overrun bool) {
+func (w *Worker) complete(ctx context.Context, l *Lease, c Completion) {
 	bo := fault.Backoff{Base: w.cfg.Backoff, Max: w.cfg.MaxBackoff, Key: "complete/" + w.cfg.Name}
 	for attempt := 0; attempt < 5; attempt++ {
-		err := w.src.Complete(l.Token, p, errText, overrun)
+		err := w.src.Complete(l.Token, c)
 		if err == nil || errors.Is(err, ErrLeaseNotFound) || errors.Is(err, ErrDraining) {
 			return
 		}

@@ -213,7 +213,7 @@ func TestArchivedJobGC(t *testing.T) {
 		if err != nil || l == nil || l.Job != id {
 			t.Fatalf("lease for %s = %+v, %v", id, l, err)
 		}
-		if err := d.Complete(l.Token, &harness.PartialReport{Report: &rep}, "", false); err != nil {
+		if err := d.Complete(l.Token, Completion{Partial: &harness.PartialReport{Report: &rep}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -258,7 +258,7 @@ func TestArchivedJobGC(t *testing.T) {
 	if err != nil || l == nil || l.Job != liveID {
 		t.Fatalf("post-replay lease = %+v, %v", l, err)
 	}
-	if err := d2.Complete(l.Token, &harness.PartialReport{Report: &rep}, "", false); err != nil {
+	if err := d2.Complete(l.Token, Completion{Partial: &harness.PartialReport{Report: &rep}}); err != nil {
 		t.Fatal(err)
 	}
 	// Now terminal — and, as the oldest terminal job of three against

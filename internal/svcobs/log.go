@@ -1,0 +1,51 @@
+package svcobs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Log formats accepted by NewLogger (the -log-format flag of zenspecd and
+// zenspec-worker).
+const (
+	FormatText = "text"
+	FormatJSON = "json"
+)
+
+// ParseLevel maps a -log-level flag value onto a slog.Level. Accepted values
+// are debug, info, warn and error (case-insensitive).
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("svcobs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// NewLogger builds the service logger: format is "text" (the slog text
+// handler, one key=value line per record) or "json" (one JSON object per
+// line, every line independently parseable — the contract the verify.sh
+// smoke asserts), level is as ParseLevel. The zero values ("", "") mean text
+// at info.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "", FormatText:
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case FormatJSON:
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("svcobs: unknown log format %q (want text or json)", format)
+}

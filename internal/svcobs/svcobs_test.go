@@ -1,0 +1,247 @@
+package svcobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want slog.Level
+	}{
+		{"", slog.LevelInfo},
+		{"debug", slog.LevelDebug},
+		{"INFO", slog.LevelInfo},
+		{"warn", slog.LevelWarn},
+		{"warning", slog.LevelWarn},
+		{" error ", slog.LevelError},
+	}
+	for _, c := range cases {
+		got, err := ParseLevel(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatalf("ParseLevel(loud) accepted")
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, FormatJSON, "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("lease claimed", "job", "j1", "shard", "fig2[0:8)", "attempt", 1)
+	lg.Debug("hidden")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want 1 line (debug filtered), got %d: %q", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("json log line does not parse: %v", err)
+	}
+	if rec["msg"] != "lease claimed" || rec["job"] != "j1" {
+		t.Fatalf("unexpected record: %v", rec)
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hello", "worker", "w1")
+	if !strings.Contains(buf.String(), "msg=hello") || !strings.Contains(buf.String(), "worker=w1") {
+		t.Fatalf("text handler output unexpected: %q", buf.String())
+	}
+
+	if _, err := NewLogger(&buf, "yaml", ""); err == nil {
+		t.Fatal("NewLogger accepted bad format")
+	}
+	if _, err := NewLogger(&buf, "text", "loud"); err == nil {
+		t.Fatal("NewLogger accepted bad level")
+	}
+}
+
+func TestHubNilSafety(t *testing.T) {
+	var h *Hub
+	if h.Enabled() {
+		t.Fatal("nil hub enabled")
+	}
+	// Must not panic, and must be usable.
+	h.Logger().Info("dropped")
+	h.Metrics().Inc("x_total", 1)
+	h.Traces().Add(Span{Trace: "t", Actor: "a", Name: "n"})
+	if h.Metrics().Counter("x_total", "") != 0 {
+		t.Fatal("nil hub collected a counter")
+	}
+	if h.Traces().Len("t") != 0 {
+		t.Fatal("nil hub collected a span")
+	}
+
+	on := New(nil)
+	if !on.Enabled() {
+		t.Fatal("New hub not enabled")
+	}
+	on.Logger().Info("also dropped")
+	on.Metrics().Inc("x_total", 2)
+	if on.Metrics().Counter("x_total", "") != 2 {
+		t.Fatal("enabled hub lost a counter")
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("shards_completed_total", "Shards completed.")
+	r.Inc("shards_completed_total", 3)
+	r.IncL("shards_completed_total", Label("exp", "fig2"), 2)
+	r.Describe("shard_wall_ms", "Shard wall-clock.")
+	r.ObserveL("shard_wall_ms", Label("exp", "fig2"), 7)
+	r.ObserveL("shard_wall_ms", Label("exp", "fig2"), 120)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP zenspec_service_shards_completed_total Shards completed.",
+		"# TYPE zenspec_service_shards_completed_total counter",
+		"zenspec_service_shards_completed_total 3",
+		`zenspec_service_shards_completed_total{exp="fig2"} 2`,
+		"# TYPE zenspec_service_shard_wall_ms histogram",
+		`zenspec_service_shard_wall_ms_bucket{exp="fig2",le="10"} 1`,
+		`zenspec_service_shard_wall_ms_bucket{exp="fig2",le="250"} 2`,
+		`zenspec_service_shard_wall_ms_bucket{exp="fig2",le="+Inf"} 2`,
+		`zenspec_service_shard_wall_ms_sum{exp="fig2"} 127`,
+		`zenspec_service_shard_wall_ms_count{exp="fig2"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	if r.HistCount("shard_wall_ms", Label("exp", "fig2")) != 2 {
+		t.Fatal("HistCount wrong")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	got := Label("exp", "a\"b\\c\nd")
+	want := `exp="a\"b\\c\nd"`
+	if got != want {
+		t.Fatalf("Label = %q, want %q", got, want)
+	}
+}
+
+func TestStableSnapshotDeterministicAndVolatile(t *testing.T) {
+	build := func(order []float64) *Registry {
+		r := NewRegistry()
+		r.MarkVolatile("fsync_ms", "journal_rotations_total")
+		r.Inc("shards_completed_total", 5)
+		r.Inc("journal_rotations_total", 2) // volatile counter: excluded
+		for _, v := range order {
+			r.ObserveL("shard_wall_ms", Label("exp", "fig2"), v)
+			r.Observe("fsync_ms", v) // volatile histogram: excluded
+		}
+		return r
+	}
+	a := build([]float64{1, 900, 33})
+	b := build([]float64{4000, 2, 2}) // same counts, wildly different values
+	if !bytes.Equal(a.StableSnapshot(), b.StableSnapshot()) {
+		t.Fatalf("stable snapshots differ:\n%s--\n%s", a.StableSnapshot(), b.StableSnapshot())
+	}
+	snap := string(a.StableSnapshot())
+	if strings.Contains(snap, "fsync_ms") || strings.Contains(snap, "journal_rotations_total") {
+		t.Fatalf("volatile series leaked into stable snapshot:\n%s", snap)
+	}
+	for _, want := range []string{"shards_completed_total 5", `shard_wall_ms_count{exp="fig2"} 3`} {
+		if !strings.Contains(snap, want) {
+			t.Fatalf("stable snapshot missing %q:\n%s", want, snap)
+		}
+	}
+}
+
+func TestTraceLogPerfetto(t *testing.T) {
+	tl := NewTraceLog()
+	start := time.Unix(1000, 0)
+	tl.Span("tr1", ActorDaemon, "jobs", "job j1", start, 5*time.Second, map[string]any{"job": "j1"})
+	tl.Span("tr1", ActorDaemon, "fig2[0:8)", "queue-wait", start, 100*time.Millisecond, nil)
+	tl.Span("tr1", ActorWorker("w1"), "fig2[0:8)", "run fig2[0:8)", start.Add(time.Second), 2*time.Second, nil)
+	tl.Add(Span{Trace: "tr1", Actor: ActorWorker("w1"), Track: "fig2[0:8)", Name: "trials", Phase: "i", StartUS: start.Add(2 * time.Second).UnixMicro()})
+	tl.Add(Span{Trace: "other", Actor: ActorDaemon, Name: "x", StartUS: 1})
+	tl.Add(Span{Actor: ActorDaemon, Name: "no trace id"}) // dropped
+
+	if tl.Len("tr1") != 4 {
+		t.Fatalf("Len = %d, want 4", tl.Len("tr1"))
+	}
+
+	raw, err := tl.Perfetto("tr1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    int64          `json:"ts"`
+			PID   int            `json:"pid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("Perfetto output is not JSON: %v", err)
+	}
+	var procNames []string
+	minTS := int64(1 << 60)
+	seen := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		seen[ev.Name] = true
+		if ev.Phase == "M" && ev.Name == "process_name" {
+			procNames = append(procNames, ev.Args["name"].(string))
+		}
+		if ev.Phase != "M" && ev.TS < minTS {
+			minTS = ev.TS
+		}
+	}
+	if len(procNames) != 2 || procNames[0] != ActorDaemon || procNames[1] != ActorWorker("w1") {
+		t.Fatalf("process metadata wrong: %v", procNames)
+	}
+	if minTS != 0 {
+		t.Fatalf("timestamps not normalized to origin: min ts = %d", minTS)
+	}
+	for _, want := range []string{"job j1", "queue-wait", "run fig2[0:8)", "trials"} {
+		if !seen[want] {
+			t.Fatalf("trace missing event %q", want)
+		}
+	}
+	// Spans from the other trace must not leak in.
+	if seen["x"] {
+		t.Fatal("foreign trace event leaked")
+	}
+
+	if _, err := tl.Perfetto("nope"); err == nil {
+		t.Fatal("Perfetto accepted unknown trace")
+	}
+	tl.Drop("tr1")
+	if tl.Len("tr1") != 0 {
+		t.Fatal("Drop left spans behind")
+	}
+}
+
+func TestTraceLogBounds(t *testing.T) {
+	tl := NewTraceLog()
+	for i := 0; i < maxTraces+3; i++ {
+		tl.Add(Span{Trace: string(rune('a'+i%26)) + "-" + string(rune('0'+i/26)), Actor: "a", Name: "n"})
+	}
+	tl.mu.Lock()
+	n := len(tl.traces)
+	tl.mu.Unlock()
+	if n != maxTraces {
+		t.Fatalf("retained %d traces, want %d", n, maxTraces)
+	}
+}

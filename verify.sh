@@ -169,10 +169,10 @@ if [ -z "$svc_url" ]; then
     exit 1
 fi
 "$svc_tmp/zenspec-worker" -url "$svc_url" -name doomed -poll 200ms \
-    > "$svc_tmp/wrk-a.log" 2>&1 &
+    -log-format json > "$svc_tmp/wrk-a.log" 2>&1 &
 wrk_a_pid=$!
 "$svc_tmp/zenspec-worker" -url "$svc_url" -name survivor -poll 200ms \
-    > "$svc_tmp/wrk-b.log" 2>&1 &
+    -log-format json > "$svc_tmp/wrk-b.log" 2>&1 &
 wrk_b_pid=$!
 "$svc_tmp/experiments" -submit "$svc_url" -quick -only fig2,table1 -split 4 \
     -stable > "$svc_tmp/dist.json" &
@@ -194,9 +194,80 @@ if ! wait "$submit_pid"; then
     exit 1
 fi
 cmp "$svc_tmp/dist.json" "$svc_tmp/direct.json"
+
+echo "== distributed observability smoke (metrics, stitched trace, JSON logs) =="
+# After the drain the daemon's /metrics scrape must carry the service plane:
+# per-experiment shard wall-clock histograms, lease counters, and — because
+# the doomed worker was SIGKILLed after claiming a lease — at least one
+# revocation.
+curl -fsS "$svc_url/metrics" > "$svc_tmp/metrics"
+grep -q '^zenspec_service_shard_wall_ms_bucket{exp=' "$svc_tmp/metrics" || {
+    echo "metrics scrape missing per-experiment shard wall-clock histogram:" >&2
+    cat "$svc_tmp/metrics" >&2
+    exit 1
+}
+grep -q '^zenspec_service_leases_granted_total [1-9]' "$svc_tmp/metrics" || {
+    echo "metrics scrape missing lease grant counter:" >&2
+    cat "$svc_tmp/metrics" >&2
+    exit 1
+}
+# The job's stitched daemon+worker trace must be Perfetto-loadable JSON with
+# events from the daemon and both worker actors, re-leased shard included.
+python3 - "$svc_url" <<'PYEOF'
+import json, sys, urllib.request
+base = sys.argv[1]
+jobs = json.load(urllib.request.urlopen(base + "/v1/jobs"))["jobs"]
+assert jobs, "daemon lists no jobs"
+trace = json.load(urllib.request.urlopen(base + "/v1/jobs/" + jobs[0]["id"] + "/trace"))
+evs = trace["traceEvents"]
+assert evs, "trace has no events"
+actors = {e["args"]["name"] for e in evs if e["ph"] == "M" and e["name"] == "process_name"}
+assert "zenspecd" in actors, f"daemon actor missing from trace: {actors}"
+assert any(a.startswith("worker:") for a in actors), f"no worker spans stitched in: {actors}"
+shards = {s["id"] for s in jobs[0]["shards"]}
+runs = {e["name"][4:] for e in evs if e["name"].startswith("run ")}
+missing = shards - runs
+assert not missing, f"trace missing run spans for shards: {missing}"
+print(f"trace OK: {len(evs)} events, actors {sorted(actors)}")
+PYEOF
+# -log-format=json means every worker log line is an independently
+# parseable JSON object.
+python3 - "$svc_tmp/wrk-b.log" <<'PYEOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, "survivor worker logged nothing"
+for l in lines:
+    json.loads(l)
+print(f"worker JSON logs OK: {len(lines)} lines")
+PYEOF
 kill "$wrk_b_pid" 2>/dev/null || true
 wait "$wrk_b_pid" 2>/dev/null || true
 wrk_b_pid=
+# Revocation path: with no workers left, claim a lease by hand over /v1 and
+# never heartbeat. The monitor must revoke it within the 2s TTL and the
+# revocation must land on the scrape.
+python3 - "$svc_url" <<'PYEOF'
+import json, sys, time, urllib.request
+base = sys.argv[1]
+def post(path, body):
+    req = urllib.request.Request(base + path, json.dumps(body).encode(),
+                                 {"Content-Type": "application/json"})
+    with urllib.request.urlopen(req) as r:
+        return json.loads(r.read()) if r.status != 204 else None
+post("/v1/jobs", {"seed": 1, "quick": True, "only": ["fig2"]})
+lease = post("/v1/leases", {"worker": "verify-zombie", "wait_ms": 2000})
+assert lease and lease.get("token"), f"no lease granted: {lease}"
+deadline = time.time() + 30
+while time.time() < deadline:
+    scrape = urllib.request.urlopen(base + "/metrics").read().decode()
+    n = [l for l in scrape.splitlines()
+         if l.startswith("zenspec_service_lease_revocations_total ")]
+    if n and int(n[0].split()[1]) >= 1:
+        print(f"revocation OK: {n[0]}")
+        sys.exit(0)
+    time.sleep(0.5)
+sys.exit("abandoned lease was never revoked (revocation counter still 0)")
+PYEOF
 kill -TERM "$svc_pid"
 wait "$svc_pid"
 svc_pid=

@@ -20,6 +20,7 @@ package zenspec
 
 import (
 	"context"
+	"log/slog"
 	"time"
 
 	"zenspec/internal/asm"
@@ -634,8 +635,9 @@ type WorkerOptions struct {
 	// Poll is how long each lease request waits server-side for work before
 	// coming back empty; 0 means 2s.
 	Poll time.Duration
-	// Log, when set, receives one line per lease event. Nil means silent.
-	Log func(format string, args ...any)
+	// Logger, when set, receives one structured record per lease event with
+	// job/shard/lease/worker/attempt/trace fields. Nil means silent.
+	Logger *slog.Logger
 }
 
 // ServeWorker connects to a zenspecd daemon at url (e.g.
@@ -651,7 +653,7 @@ func ServeWorker(ctx context.Context, url string, opts WorkerOptions) error {
 		Registry:    suite.Registry(),
 		Parallelism: opts.Parallelism,
 		Poll:        opts.Poll,
-		Log:         opts.Log,
+		Logger:      opts.Logger,
 	})
 	return w.Run(ctx)
 }
